@@ -1,0 +1,110 @@
+//! Table 2 of the paper: which benchmark suites contain workloads
+//! corresponding to each accelerator.
+
+/// One suite row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteRow {
+    /// Benchmark-suite name.
+    pub suite: &'static str,
+    /// Bitmask over the 12 catalog accelerators (bit *i* set ⇔ the suite
+    /// covers catalog accelerator *i*, in Table 2 column order:
+    /// Autoencoder, Cholesky, Conv2D, FFT, GEMM, MLP, MRI-Q, NVDLA,
+    /// Night-vision, Sort, SPMV, Viterbi).
+    pub coverage: u16,
+}
+
+impl SuiteRow {
+    /// Does the suite cover catalog accelerator `index`?
+    pub fn covers(&self, index: usize) -> bool {
+        index < 12 && self.coverage & (1 << index) != 0
+    }
+
+    /// Number of covered accelerators.
+    pub fn count(&self) -> u32 {
+        self.coverage.count_ones()
+    }
+}
+
+const fn bits(indices: &[usize]) -> u16 {
+    let mut mask = 0u16;
+    let mut i = 0;
+    while i < indices.len() {
+        mask |= 1 << indices[i];
+        i += 1;
+    }
+    mask
+}
+
+// Column order: 0=Autoencoder 1=Cholesky 2=Conv2D 3=FFT 4=GEMM 5=MLP
+//               6=MRI-Q 7=NVDLA 8=Night-vision 9=Sort 10=SPMV 11=Viterbi
+/// The rows of Table 2.
+pub const TABLE2: &[SuiteRow] = &[
+    SuiteRow {
+        suite: "CortexSuite",
+        coverage: bits(&[0, 10]),
+    },
+    SuiteRow {
+        suite: "ESP",
+        coverage: bits(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]),
+    },
+    SuiteRow {
+        suite: "MachSuite",
+        coverage: bits(&[3, 4, 8, 9, 10]),
+    },
+    SuiteRow {
+        suite: "Parboil",
+        coverage: bits(&[2, 4, 6, 10]),
+    },
+    SuiteRow {
+        suite: "PERFECT",
+        coverage: bits(&[2, 3, 8, 9]),
+    },
+    SuiteRow {
+        suite: "S2CBench",
+        coverage: bits(&[2, 3, 8, 9]),
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_six_suites() {
+        assert_eq!(TABLE2.len(), 6);
+    }
+
+    #[test]
+    fn esp_covers_all_twelve() {
+        let esp = TABLE2.iter().find(|r| r.suite == "ESP").unwrap();
+        assert_eq!(esp.count(), 12);
+        for i in 0..12 {
+            assert!(esp.covers(i));
+        }
+    }
+
+    #[test]
+    fn every_accelerator_appears_in_some_suite() {
+        for i in 0..12 {
+            assert!(
+                TABLE2.iter().any(|r| r.covers(i)),
+                "accelerator column {i} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_rejects_out_of_range() {
+        let esp = TABLE2.iter().find(|r| r.suite == "ESP").unwrap();
+        assert!(!esp.covers(12));
+    }
+
+    #[test]
+    fn spot_checks_against_paper() {
+        let parboil = TABLE2.iter().find(|r| r.suite == "Parboil").unwrap();
+        assert!(parboil.covers(6), "Parboil contains MRI-Q");
+        assert!(!parboil.covers(0), "Parboil lacks the autoencoder");
+        let cortex = TABLE2.iter().find(|r| r.suite == "CortexSuite").unwrap();
+        assert_eq!(cortex.count(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Micro-benchmarks of the simulation substrates: NoC transfers, cache
+//! protocol operations, DRAM bursts, and the Cohmeleon decision path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cohmeleon_cache::{AddressMap, CacheGeometry, CacheId, CoherenceController, LineAddr};
+use cohmeleon_core::policy::{CohmeleonPolicy, Policy};
+use cohmeleon_core::qlearn::{LearningSchedule, QLearner, QTable};
+use cohmeleon_core::reward::{InvocationMeasurement, RewardHistory, RewardWeights};
+use cohmeleon_core::snapshot::{ArchParams, SystemSnapshot};
+use cohmeleon_core::{AccelInstanceId, CoherenceMode, ModeSet, PartitionId, State};
+use cohmeleon_mem::{DramConfig, DramController};
+use cohmeleon_noc::{Coord, Noc, NocConfig, Plane};
+use cohmeleon_sim::Cycle;
+
+fn bench_noc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc");
+    group.bench_function("transfer-5x5-1kb", |b| {
+        let mut noc = Noc::new(NocConfig::new(5, 5));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            noc.transfer(
+                Plane::DmaReq,
+                Coord::new(0, 0),
+                Coord::new(4, 4),
+                1024,
+                Cycle(t),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let l2 = CacheGeometry::new(32 * 1024, 4, 64);
+    let llc = CacheGeometry::new(256 * 1024, 16, 64);
+
+    group.bench_function("l2-access-streaming", |b| {
+        let mut ctrl = CoherenceController::new(AddressMap::new(2), &[l2; 4], llc);
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 1) % 8192;
+            ctrl.l2_access(CacheId(0), LineAddr(line), line % 3 == 0)
+        })
+    });
+
+    group.bench_function("coh-dma-access", |b| {
+        let mut ctrl = CoherenceController::new(AddressMap::new(2), &[l2; 4], llc);
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 1) % 8192;
+            ctrl.coh_dma_access(LineAddr(line), line % 2 == 0)
+        })
+    });
+
+    group.bench_function("flush-l2-512-lines", |b| {
+        b.iter_with_setup(
+            || {
+                let mut ctrl =
+                    CoherenceController::new(AddressMap::new(2), &[l2; 1], llc);
+                for i in 0..512 {
+                    ctrl.l2_access(CacheId(0), LineAddr(i), true);
+                }
+                ctrl
+            },
+            |mut ctrl| ctrl.flush_l2(CacheId(0)),
+        )
+    });
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.bench_function("burst-64-lines", |b| {
+        let mut dram = DramController::new(DramConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10_000;
+            dram.burst_access(Cycle(t), 0, 64, false)
+        })
+    });
+    group.finish();
+}
+
+fn bench_qlearning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qlearn");
+    group.bench_function("q-update", |b| {
+        let mut learner = QLearner::new(LearningSchedule::paper_default(10), 7);
+        let state = State::from_index(42);
+        b.iter(|| learner.update(state, CoherenceMode::CohDma, black_box(0.7)))
+    });
+    group.bench_function("choose-epsilon-greedy", |b| {
+        let mut learner = QLearner::new(LearningSchedule::paper_default(10), 7);
+        let state = State::from_index(42);
+        b.iter(|| learner.choose(state, ModeSet::all()))
+    });
+    group.bench_function("best-action-scan", |b| {
+        let table = QTable::new();
+        let state = State::from_index(100);
+        b.iter(|| table.best_action(state, ModeSet::all()))
+    });
+    group.finish();
+}
+
+fn bench_decision_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision");
+    let arch = ArchParams::new(32 * 1024, 256 * 1024, 2);
+    let snapshot = SystemSnapshot::new(arch, vec![], 64 * 1024, vec![PartitionId(0)]);
+
+    group.bench_function("state-from-snapshot", |b| {
+        b.iter(|| State::from_snapshot(black_box(&snapshot)))
+    });
+
+    group.bench_function("cohmeleon-decide-observe", |b| {
+        let mut policy = CohmeleonPolicy::new(
+            RewardWeights::paper_default(),
+            LearningSchedule::paper_default(10),
+            7,
+        );
+        let m = InvocationMeasurement {
+            total_cycles: 100_000,
+            accel_active_cycles: 90_000,
+            accel_comm_cycles: 30_000,
+            offchip_accesses: 512.0,
+            footprint_bytes: 64 * 1024,
+        };
+        b.iter(|| {
+            let d = policy.decide(&snapshot, ModeSet::all(), AccelInstanceId(0));
+            policy.observe(AccelInstanceId(0), &d, &m);
+        })
+    });
+
+    group.bench_function("reward-record", |b| {
+        let mut history = RewardHistory::new();
+        let m = InvocationMeasurement {
+            total_cycles: 100_000,
+            accel_active_cycles: 90_000,
+            accel_comm_cycles: 30_000,
+            offchip_accesses: 512.0,
+            footprint_bytes: 64 * 1024,
+        };
+        b.iter(|| history.record(AccelInstanceId(0), black_box(&m)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_noc,
+    bench_cache,
+    bench_dram,
+    bench_qlearning,
+    bench_decision_path,
+);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Criterion benches exercising the code path of every paper figure at a
+//! reduced scale. The full-scale regenerations are the `src/bin/` binaries;
+//! these benches track the simulator's performance on the same paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cohmeleon_bench::figures;
+use cohmeleon_bench::Scale;
+use cohmeleon_core::policy::{FixedPolicy, ManualPolicy};
+use cohmeleon_core::manual::ManualThresholds;
+use cohmeleon_core::{AccelInstanceId, CoherenceMode};
+use cohmeleon_soc::config::{motivation_isolation_soc, soc0, soc1};
+use cohmeleon_soc::{run_app, AppSpec, PhaseSpec, Soc, ThreadSpec};
+use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+use cohmeleon_workloads::phases::figure5_app;
+
+fn bench_fig2_isolation(c: &mut Criterion) {
+    let config = motivation_isolation_soc();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for mode in CoherenceMode::ALL {
+        group.bench_function(format!("small-invocation-{mode}"), |b| {
+            b.iter(|| {
+                let app = AppSpec {
+                    name: "bench".into(),
+                    phases: vec![PhaseSpec {
+                        name: "p".into(),
+                        threads: vec![ThreadSpec {
+                            dataset_bytes: 16 * 1024,
+                            chain: vec![AccelInstanceId(0)],
+                            loops: 2,
+                            check_output: false,
+                        }],
+                    }],
+                };
+                let mut soc = Soc::new(config.clone());
+                let mut policy = FixedPolicy::new(mode);
+                run_app(&mut soc, &app, &mut policy, 42)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3_parallel(c: &mut Criterion) {
+    let config = cohmeleon_soc::config::motivation_parallel_soc();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("four-parallel-medium", |b| {
+        b.iter(|| {
+            let app = AppSpec {
+                name: "bench".into(),
+                phases: vec![PhaseSpec {
+                    name: "p".into(),
+                    threads: (0..4)
+                        .map(|i| ThreadSpec {
+                            dataset_bytes: 96 * 1024,
+                            chain: vec![AccelInstanceId(i as u16)],
+                            loops: 2,
+                            check_output: false,
+                        })
+                        .collect(),
+                }],
+            };
+            let mut soc = Soc::new(config.clone());
+            let mut policy = FixedPolicy::new(CoherenceMode::LlcCohDma);
+            run_app(&mut soc, &app, &mut policy, 42)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig5_phases(c: &mut Criterion) {
+    let config = soc0();
+    let app = figure5_app(&config, 77);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("four-phases-manual", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(config.clone());
+            let mut policy =
+                ManualPolicy::new(ManualThresholds::for_arch(&config.arch_params()));
+            run_app(&mut soc, &app, &mut policy, 7)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig6_training_iteration(c: &mut Criterion) {
+    let config = soc0();
+    let app = generate_app(&config, &GeneratorParams::quick(), 1);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("one-training-iteration", |b| {
+        b.iter(|| {
+            let mut policy = cohmeleon_core::policy::CohmeleonPolicy::new(
+                cohmeleon_core::reward::RewardWeights::paper_default(),
+                cohmeleon_core::qlearn::LearningSchedule::paper_default(10),
+                7,
+            );
+            let mut soc = Soc::new(config.clone());
+            run_app(&mut soc, &app, &mut policy, 7)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig7_breakdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("decision-breakdown-fast", |b| {
+        b.iter(|| figures::fig7::run(Scale::Fast))
+    });
+    group.finish();
+}
+
+fn bench_fig8_alternation(c: &mut Criterion) {
+    let config = soc1();
+    let train = generate_app(&config, &GeneratorParams::quick(), 1);
+    let test = generate_app(&config, &GeneratorParams::quick(), 2);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("train-then-test", |b| {
+        b.iter(|| {
+            let mut policy = cohmeleon_core::policy::CohmeleonPolicy::new(
+                cohmeleon_core::reward::RewardWeights::paper_default(),
+                cohmeleon_core::qlearn::LearningSchedule::paper_default(2),
+                7,
+            );
+            cohmeleon_workloads::runner::run_protocol(&config, &train, &test, &mut policy, 2, 7)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig9_suite(c: &mut Criterion) {
+    let config = soc1();
+    let app = generate_app(&config, &GeneratorParams::quick(), 1);
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("policy-suite-soc1", |b| {
+        b.iter(|| {
+            cohmeleon_bench::suite::run_suite(
+                &config,
+                &app,
+                &app,
+                &[
+                    cohmeleon_bench::PolicyKind::FixedNonCoh,
+                    cohmeleon_bench::PolicyKind::Manual,
+                    cohmeleon_bench::PolicyKind::Cohmeleon,
+                ],
+                1,
+                3,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_overhead_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(10);
+    group.bench_function("sweep-fast", |b| {
+        b.iter(|| figures::overhead::run(Scale::Fast))
+    });
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1-literature", |b| {
+        b.iter(|| cohmeleon_core::modes::LITERATURE.len())
+    });
+    group.bench_function("table2-suites", |b| {
+        b.iter(|| cohmeleon_accel::table2::TABLE2.len())
+    });
+    group.bench_function("table4-configs", |b| {
+        b.iter(cohmeleon_soc::config::table4)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2_isolation,
+    bench_fig3_parallel,
+    bench_fig5_phases,
+    bench_fig6_training_iteration,
+    bench_fig7_breakdown,
+    bench_fig8_alternation,
+    bench_fig9_suite,
+    bench_overhead_sweep,
+    bench_tables,
+);
+criterion_main!(benches);

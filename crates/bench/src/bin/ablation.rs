@@ -1,0 +1,8 @@
+//! Runs the ablation studies (coherent-DMA support, attribution accuracy,
+//! exploration).
+
+fn main() {
+    let scale = cohmeleon_bench::Scale::from_env();
+    let data = cohmeleon_bench::figures::ablation::run(scale);
+    cohmeleon_bench::figures::ablation::print(&data);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 2 (accelerators in isolation).
+
+fn main() {
+    let scale = cohmeleon_bench::Scale::from_env();
+    let data = cohmeleon_bench::figures::fig2::run(scale);
+    cohmeleon_bench::figures::fig2::print(&data);
+}

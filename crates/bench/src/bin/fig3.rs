@@ -1,0 +1,7 @@
+//! Regenerates Figure 3 (parallel accelerator execution).
+
+fn main() {
+    let scale = cohmeleon_bench::Scale::from_env();
+    let data = cohmeleon_bench::figures::fig3::run(scale);
+    cohmeleon_bench::figures::fig3::print(&data);
+}

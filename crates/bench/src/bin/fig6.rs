@@ -1,0 +1,7 @@
+//! Regenerates fig6 of the paper's evaluation.
+
+fn main() {
+    let scale = cohmeleon_bench::Scale::from_env();
+    let data = cohmeleon_bench::figures::fig6::run(scale);
+    cohmeleon_bench::figures::fig6::print(&data);
+}

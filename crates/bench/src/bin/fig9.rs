@@ -1,0 +1,7 @@
+//! Regenerates fig9 of the paper's evaluation.
+
+fn main() {
+    let scale = cohmeleon_bench::Scale::from_env();
+    let data = cohmeleon_bench::figures::fig9::run(scale);
+    cohmeleon_bench::figures::fig9::print(&data);
+}

@@ -1,0 +1,7 @@
+//! Regenerates overhead of the paper's evaluation.
+
+fn main() {
+    let scale = cohmeleon_bench::Scale::from_env();
+    let data = cohmeleon_bench::figures::overhead::run(scale);
+    cohmeleon_bench::figures::overhead::print(&data);
+}

@@ -1,0 +1,5 @@
+//! Regenerates table1 of the paper.
+
+fn main() {
+    cohmeleon_bench::figures::table1::print();
+}

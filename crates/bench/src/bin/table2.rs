@@ -1,0 +1,5 @@
+//! Regenerates table2 of the paper.
+
+fn main() {
+    cohmeleon_bench::figures::table2::print();
+}

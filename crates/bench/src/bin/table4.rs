@@ -1,0 +1,5 @@
+//! Regenerates table4 of the paper.
+
+fn main() {
+    cohmeleon_bench::figures::table4::print();
+}

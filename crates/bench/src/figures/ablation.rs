@@ -1,0 +1,209 @@
+//! Ablation studies of the design choices called out in DESIGN.md:
+//!
+//! 1. **Coherent-DMA support** — the paper extended ESP's protocol with
+//!    coherent DMA ("we extended the protocol to support coherent-DMA by
+//!    issuing recalls from the LLC"). How much does Cohmeleon lose on an
+//!    unmodified ESP that offers only the other three modes?
+//! 2. **Attribution accuracy** — the paper approximates per-accelerator
+//!    off-chip accesses proportionally to footprint to stay
+//!    accelerator-agnostic. Does an oracle (exact per-invocation counts,
+//!    available only in simulation) learn a better policy?
+//! 3. **Exploration** — ε₀ = 0.5 versus purely greedy training (ε₀ = 0).
+
+use cohmeleon_core::policy::{CohmeleonPolicy, Policy, RestrictedPolicy};
+use cohmeleon_core::qlearn::LearningSchedule;
+use cohmeleon_core::reward::RewardWeights;
+use cohmeleon_core::{CoherenceMode, ModeSet};
+use cohmeleon_soc::config::soc0;
+use cohmeleon_soc::{run_app_with_options, Attribution, EngineOptions, Soc};
+use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+use cohmeleon_workloads::runner::summarize;
+
+use crate::scale::Scale;
+use crate::table;
+
+/// One ablation arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arm {
+    /// Arm label.
+    pub label: String,
+    /// Geometric-mean normalized execution time vs. the full system.
+    pub norm_time: f64,
+    /// Geometric-mean normalized off-chip accesses vs. the full system.
+    pub norm_mem: f64,
+}
+
+/// The ablation results (first arm is the full system ≡ 1.0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Data {
+    /// All arms.
+    pub arms: Vec<Arm>,
+}
+
+fn train_and_test(
+    config: &cohmeleon_soc::SocConfig,
+    train_app: &cohmeleon_soc::AppSpec,
+    test_app: &cohmeleon_soc::AppSpec,
+    policy: &mut dyn Policy,
+    iterations: usize,
+    options: EngineOptions,
+    seed: u64,
+) -> cohmeleon_soc::AppResult {
+    for i in 0..iterations {
+        policy.begin_iteration(i);
+        let mut soc = Soc::new(config.clone());
+        run_app_with_options(
+            &mut soc,
+            train_app,
+            policy,
+            seed.wrapping_add(i as u64 * 7919),
+            options,
+        );
+    }
+    policy.freeze();
+    let mut soc = Soc::new(config.clone());
+    run_app_with_options(&mut soc, test_app, policy, seed ^ 0x5eed_7e57, options)
+}
+
+/// Runs the three ablations on SoC0.
+pub fn run(scale: Scale) -> Data {
+    let config = soc0();
+    let iterations = scale.pick(20, 2);
+    let gen_params = scale.pick(GeneratorParams::default(), GeneratorParams::quick());
+    let train_app = generate_app(&config, &gen_params, 6001);
+    let test_app = generate_app(&config, &gen_params, 6002);
+    let weights = RewardWeights::paper_default();
+    let seed = 7;
+
+    let baseline = {
+        let mut policy =
+            CohmeleonPolicy::new(weights, LearningSchedule::paper_default(iterations), seed);
+        train_and_test(
+            &config,
+            &train_app,
+            &test_app,
+            &mut policy,
+            iterations,
+            EngineOptions::default(),
+            seed,
+        )
+    };
+
+    let mut arms = vec![Arm {
+        label: "full system (4 modes, approx attribution, ε₀=0.5)".into(),
+        norm_time: 1.0,
+        norm_mem: 1.0,
+    }];
+
+    // 1. No coherent-DMA hardware (unmodified ESP).
+    {
+        let inner =
+            CohmeleonPolicy::new(weights, LearningSchedule::paper_default(iterations), seed);
+        let mut policy =
+            RestrictedPolicy::new(inner, ModeSet::all().without(CoherenceMode::CohDma));
+        let result = train_and_test(
+            &config,
+            &train_app,
+            &test_app,
+            &mut policy,
+            iterations,
+            EngineOptions::default(),
+            seed,
+        );
+        let o = summarize(result, &baseline);
+        arms.push(Arm {
+            label: "no coherent-DMA support".into(),
+            norm_time: o.geo_time,
+            norm_mem: o.geo_mem,
+        });
+    }
+
+    // 2. Oracle attribution.
+    {
+        let mut policy =
+            CohmeleonPolicy::new(weights, LearningSchedule::paper_default(iterations), seed);
+        let result = train_and_test(
+            &config,
+            &train_app,
+            &test_app,
+            &mut policy,
+            iterations,
+            EngineOptions {
+                attribution: Attribution::GroundTruth,
+            },
+            seed,
+        );
+        let o = summarize(result, &baseline);
+        arms.push(Arm {
+            label: "oracle off-chip attribution".into(),
+            norm_time: o.geo_time,
+            norm_mem: o.geo_mem,
+        });
+    }
+
+    // 3. Greedy training (no exploration).
+    {
+        let mut policy = CohmeleonPolicy::new(
+            weights,
+            LearningSchedule {
+                epsilon0: 0.0,
+                alpha0: 0.25,
+                train_iterations: iterations,
+            },
+            seed,
+        );
+        let result = train_and_test(
+            &config,
+            &train_app,
+            &test_app,
+            &mut policy,
+            iterations,
+            EngineOptions::default(),
+            seed,
+        );
+        let o = summarize(result, &baseline);
+        arms.push(Arm {
+            label: "greedy training (ε₀=0)".into(),
+            norm_time: o.geo_time,
+            norm_mem: o.geo_mem,
+        });
+    }
+
+    Data { arms }
+}
+
+/// Prints the ablation table.
+pub fn print(data: &Data) {
+    let rows: Vec<Vec<String>> = data
+        .arms
+        .iter()
+        .map(|a| {
+            vec![
+                a.label.clone(),
+                table::ratio(a.norm_time),
+                table::ratio(a.norm_mem),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["configuration", "norm-time", "norm-mem"], &rows)
+    );
+    println!("(normalized to the full system; >1.00 means the ablated system is worse)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_ablation_produces_all_arms() {
+        let data = run(Scale::Fast);
+        assert_eq!(data.arms.len(), 4);
+        assert_eq!(data.arms[0].norm_time, 1.0);
+        for arm in &data.arms {
+            assert!(arm.norm_time > 0.0);
+            assert!(arm.norm_mem >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Figure 2: each accelerator running in isolation under every coherence
+//! mode, for Small (16 KiB), Medium (256 KiB) and Large (4 MiB) workloads.
+//! As in the paper, each bar averages ten executions (repeated invocations
+//! on the same dataset, so caches stay warm across executions). Bars are
+//! execution time and off-chip memory accesses, normalized to non-coherent
+//! DMA for the same accelerator and size.
+
+use cohmeleon_core::policy::FixedPolicy;
+use cohmeleon_core::{AccelInstanceId, CoherenceMode};
+use cohmeleon_soc::config::motivation_isolation_soc;
+use cohmeleon_soc::{run_app, AppSpec, PhaseSpec, Soc, ThreadSpec};
+
+use crate::scale::Scale;
+use crate::table;
+
+/// One bar pair of Figure 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Accelerator name (figure row).
+    pub accel: String,
+    /// Workload size label (figure column).
+    pub size: &'static str,
+    /// Coherence mode (bar position).
+    pub mode: CoherenceMode,
+    /// Measured execution time in cycles (driver + flush included).
+    pub exec_cycles: u64,
+    /// Measured off-chip accesses (monitor-attributed).
+    pub offchip: f64,
+    /// Execution time normalized to non-coherent DMA.
+    pub norm_time: f64,
+    /// Off-chip accesses normalized to non-coherent DMA.
+    pub norm_mem: f64,
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Data {
+    /// All bars, grouped by (accelerator, size) in mode order.
+    pub entries: Vec<Entry>,
+}
+
+impl Data {
+    /// The entry for a given (accelerator, size, mode).
+    pub fn get(&self, accel: &str, size: &str, mode: CoherenceMode) -> Option<&Entry> {
+        self.entries
+            .iter()
+            .find(|e| e.accel == accel && e.size == size && e.mode == mode)
+    }
+
+    /// The best (lowest normalized time) mode for an (accelerator, size).
+    pub fn winner(&self, accel: &str, size: &str) -> Option<CoherenceMode> {
+        self.entries
+            .iter()
+            .filter(|e| e.accel == accel && e.size == size)
+            .min_by(|a, b| a.norm_time.partial_cmp(&b.norm_time).expect("finite"))
+            .map(|e| e.mode)
+    }
+}
+
+/// The three workload sizes of the figure, scaled.
+pub fn sizes(scale: Scale) -> [(&'static str, u64); 3] {
+    match scale {
+        Scale::Full => [
+            ("Small", 16 * 1024),
+            ("Medium", 256 * 1024),
+            ("Large", 4 * 1024 * 1024),
+        ],
+        Scale::Fast => [
+            ("Small", 16 * 1024),
+            ("Medium", 128 * 1024),
+            ("Large", 2 * 1024 * 1024),
+        ],
+    }
+}
+
+/// Executions averaged per bar (the paper uses ten).
+pub fn executions(scale: Scale) -> u32 {
+    scale.pick(10, 3)
+}
+
+/// Runs the isolation experiment.
+pub fn run(scale: Scale) -> Data {
+    let config = motivation_isolation_soc();
+    let loops = executions(scale);
+    let mut entries = Vec::new();
+    for (i, tile) in config.accels.iter().enumerate() {
+        for (size_label, bytes) in sizes(scale) {
+            let mut group = Vec::new();
+            for mode in CoherenceMode::ALL {
+                let app = AppSpec {
+                    name: "fig2".into(),
+                    phases: vec![PhaseSpec {
+                        name: size_label.into(),
+                        threads: vec![ThreadSpec {
+                            dataset_bytes: bytes,
+                            chain: vec![AccelInstanceId(i as u16)],
+                            loops,
+                            check_output: true,
+                        }],
+                    }],
+                };
+                let mut soc = Soc::new(config.clone());
+                let mut policy = FixedPolicy::new(mode);
+                let result = run_app(&mut soc, &app, &mut policy, 42);
+                let invs = &result.phases[0].invocations;
+                let n = invs.len().max(1) as u64;
+                let mean_cycles =
+                    invs.iter().map(|r| r.measurement.total_cycles).sum::<u64>() / n;
+                let mean_mem = invs
+                    .iter()
+                    .map(|r| r.measurement.offchip_accesses)
+                    .sum::<f64>()
+                    / n as f64;
+                group.push(Entry {
+                    accel: tile.spec.profile.name.clone(),
+                    size: size_label,
+                    mode,
+                    exec_cycles: mean_cycles,
+                    offchip: mean_mem,
+                    norm_time: 0.0,
+                    norm_mem: 0.0,
+                });
+            }
+            let base_time = group[0].exec_cycles.max(1) as f64;
+            let base_mem = group[0].offchip.max(1.0);
+            for e in &mut group {
+                e.norm_time = e.exec_cycles as f64 / base_time;
+                e.norm_mem = e.offchip / base_mem;
+            }
+            entries.extend(group);
+        }
+    }
+    Data { entries }
+}
+
+/// Prints the figure as a table of normalized bars.
+pub fn print(data: &Data) {
+    let rows: Vec<Vec<String>> = data
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.accel.clone(),
+                e.size.to_string(),
+                e.mode.to_string(),
+                table::ratio(e.norm_time),
+                table::ratio(e.norm_mem),
+                e.exec_cycles.to_string(),
+                format!("{:.0}", e.offchip),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "accelerator",
+                "size",
+                "mode",
+                "norm-time",
+                "norm-mem",
+                "cycles",
+                "offchip"
+            ],
+            &rows
+        )
+    );
+    // Shape summary: winners per size class.
+    for (size_label, _) in sizes(Scale::Full) {
+        let mut wins = [0usize; 4];
+        let accels: std::collections::BTreeSet<String> =
+            data.entries.iter().map(|e| e.accel.clone()).collect();
+        for a in &accels {
+            if let Some(w) = data.winner(a, size_label) {
+                wins[w.index()] += 1;
+            }
+        }
+        println!(
+            "{size_label}: winners — non-coh {} | llc-coh {} | coh-dma {} | full-coh {}",
+            wins[0], wins[1], wins[2], wins[3]
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_all_bars() {
+        let data = run(Scale::Fast);
+        // 12 accelerators × 3 sizes × 4 modes.
+        assert_eq!(data.entries.len(), 144);
+        for e in &data.entries {
+            assert!(e.exec_cycles > 0, "{e:?}");
+            assert!(e.norm_time > 0.0);
+        }
+        // Baseline bars normalize to 1.
+        for e in data
+            .entries
+            .iter()
+            .filter(|e| e.mode == CoherenceMode::NonCohDma)
+        {
+            assert!((e.norm_time - 1.0).abs() < 1e-9);
+        }
+    }
+}

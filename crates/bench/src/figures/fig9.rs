@@ -1,0 +1,245 @@
+//! Figure 9: all eight policies across eight SoC configurations —
+//! SoC0-Streaming, SoC0-Irregular, SoC1, SoC2, SoC3 (traffic generators)
+//! and the case studies SoC4 (mixed accelerators), SoC5 (autonomous
+//! driving), SoC6 (computer vision). Also computes the paper's headline
+//! numbers: Cohmeleon's average speedup and off-chip-access reduction
+//! against the five fixed policies.
+
+use cohmeleon_sim::stats::geometric_mean;
+use cohmeleon_soc::config::{soc0_irregular, soc0_streaming, soc1, soc2, soc3, soc4, soc5, soc6};
+use cohmeleon_soc::{AppSpec, SocConfig};
+use cohmeleon_workloads::case_studies::{soc4_app, soc5_app, soc6_app};
+use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+use crossbeam::channel;
+
+use crate::policies::PolicyKind;
+use crate::scale::Scale;
+use crate::suite::run_suite;
+use crate::table;
+
+/// One scatter point: a policy on a SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// SoC panel name.
+    pub soc: String,
+    /// Policy name.
+    pub policy: String,
+    /// Geometric-mean normalized execution time.
+    pub norm_time: f64,
+    /// Geometric-mean normalized off-chip accesses.
+    pub norm_mem: f64,
+}
+
+/// The regenerated figure plus headline summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Data {
+    /// All points, SoC-major in policy order.
+    pub points: Vec<Point>,
+    /// Mean speedup of Cohmeleon vs. the five fixed policies
+    /// (paper: ≈ 1.38×).
+    pub headline_speedup: f64,
+    /// Mean reduction of off-chip accesses vs. the five fixed policies
+    /// (paper: ≈ 66%).
+    pub headline_mem_reduction: f64,
+}
+
+impl Data {
+    /// Points for one SoC.
+    pub fn soc(&self, name: &str) -> Vec<&Point> {
+        self.points.iter().filter(|p| p.soc == name).collect()
+    }
+
+    /// Distinct SoC names in order.
+    pub fn socs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.soc) {
+                out.push(p.soc.clone());
+            }
+        }
+        out
+    }
+}
+
+/// The eight experiment configurations: `(config, train app, test app)`.
+fn experiments(scale: Scale) -> Vec<(SocConfig, AppSpec, AppSpec)> {
+    let gen_params = scale.pick(GeneratorParams::default(), GeneratorParams::quick());
+    let mut out = Vec::new();
+    for (i, config) in [soc0_streaming(), soc0_irregular(), soc1(), soc2(), soc3()]
+        .into_iter()
+        .enumerate()
+    {
+        let train = generate_app(&config, &gen_params, 5000 + i as u64 * 2);
+        let test = generate_app(&config, &gen_params, 5001 + i as u64 * 2);
+        out.push((config, train, test));
+    }
+    // Case-study SoCs: per the paper, training always runs a randomly
+    // configured instance of the evaluation application on the target SoC;
+    // the domain application is the test workload.
+    let c4 = soc4();
+    out.push((
+        c4.clone(),
+        generate_app(&c4, &gen_params, 5100),
+        soc4_app(&c4, 2),
+    ));
+    let c5 = soc5();
+    out.push((
+        c5.clone(),
+        generate_app(&c5, &gen_params, 5101),
+        soc5_app(&c5, 2),
+    ));
+    let c6 = soc6();
+    out.push((
+        c6.clone(),
+        generate_app(&c6, &gen_params, 5102),
+        soc6_app(&c6, 2),
+    ));
+    out
+}
+
+/// Runs the cross-SoC experiment (SoCs in parallel).
+pub fn run(scale: Scale) -> Data {
+    let train_iterations = scale.pick(20, 2);
+    let exps = experiments(scale);
+
+    let (tx, rx) = channel::unbounded();
+    std::thread::scope(|scope| {
+        for (i, (config, train_app, test_app)) in exps.iter().enumerate() {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let outcomes = run_suite(
+                    config,
+                    train_app,
+                    test_app,
+                    &PolicyKind::ALL,
+                    train_iterations,
+                    7 + i as u64,
+                );
+                let points: Vec<Point> = outcomes
+                    .iter()
+                    .map(|(_, o)| Point {
+                        soc: config.name.clone(),
+                        policy: o.policy.clone(),
+                        norm_time: o.geo_time,
+                        norm_mem: o.geo_mem,
+                    })
+                    .collect();
+                tx.send((i, points)).expect("receiver alive");
+            });
+        }
+    });
+    drop(tx);
+    let mut per_soc: Vec<_> = rx.iter().collect();
+    per_soc.sort_by_key(|(i, _)| *i);
+    let points: Vec<Point> = per_soc.into_iter().flat_map(|(_, p)| p).collect();
+
+    let (headline_speedup, headline_mem_reduction) = headline(&points);
+    Data {
+        points,
+        headline_speedup,
+        headline_mem_reduction,
+    }
+}
+
+/// Computes the headline averages: for every SoC and every fixed policy,
+/// Cohmeleon's speedup (`fixed_time / cohmeleon_time`) and access reduction
+/// (`1 − cohmeleon_mem / fixed_mem`), averaged geometrically (speedup) and
+/// arithmetically (reduction) as ratios-of-means are reported in the paper.
+fn headline(points: &[Point]) -> (f64, f64) {
+    let fixed_names = [
+        "fixed-non-coh-dma",
+        "fixed-llc-coh-dma",
+        "fixed-coh-dma",
+        "fixed-full-coh",
+        "fixed-hetero",
+    ];
+    let mut speedups = Vec::new();
+    let mut reductions = Vec::new();
+    let socs: Vec<String> = {
+        let mut out = Vec::new();
+        for p in points {
+            if !out.contains(&p.soc) {
+                out.push(p.soc.clone());
+            }
+        }
+        out
+    };
+    for soc in &socs {
+        let coh = points
+            .iter()
+            .find(|p| &p.soc == soc && p.policy == "cohmeleon")
+            .expect("cohmeleon point per SoC");
+        for fixed in fixed_names {
+            if let Some(f) = points.iter().find(|p| &p.soc == soc && p.policy == fixed) {
+                speedups.push(f.norm_time / coh.norm_time.max(1e-12));
+                if f.norm_mem > 1e-12 {
+                    reductions.push(1.0 - (coh.norm_mem / f.norm_mem).min(1.0));
+                }
+            }
+        }
+    }
+    let speedup = geometric_mean(speedups.iter().copied()).unwrap_or(1.0);
+    let reduction = if reductions.is_empty() {
+        0.0
+    } else {
+        reductions.iter().sum::<f64>() / reductions.len() as f64
+    };
+    (speedup, reduction)
+}
+
+/// Prints the scatter and headline.
+pub fn print(data: &Data) {
+    let rows: Vec<Vec<String>> = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.soc.clone(),
+                p.policy.clone(),
+                table::ratio(p.norm_time),
+                table::ratio(p.norm_mem),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["soc", "policy", "norm-time", "norm-mem"], &rows)
+    );
+    for soc in data.socs() {
+        let pts = data.soc(&soc);
+        let best = pts
+            .iter()
+            .min_by(|a, b| a.norm_time.partial_cmp(&b.norm_time).expect("finite"))
+            .expect("non-empty");
+        let coh = pts
+            .iter()
+            .find(|p| p.policy == "cohmeleon")
+            .expect("cohmeleon present");
+        println!(
+            "{soc}: best={} ({}); cohmeleon {} time / {} mem",
+            best.policy,
+            table::ratio(best.norm_time),
+            table::ratio(coh.norm_time),
+            table::ratio(coh.norm_mem)
+        );
+    }
+    println!(
+        "HEADLINE: cohmeleon vs fixed policies — speedup {:.2}x (paper ≈ 1.38x), off-chip reduction {} (paper ≈ 66%)",
+        data.headline_speedup,
+        table::percent(data.headline_mem_reduction)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "several minutes even at fast scale; run explicitly"]
+    fn fast_run_covers_eight_socs() {
+        let data = run(Scale::Fast);
+        assert_eq!(data.socs().len(), 8);
+        assert_eq!(data.points.len(), 64);
+        assert!(data.headline_speedup > 0.5);
+    }
+}

@@ -1,0 +1,28 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — coherence modes in the literature |
+//! | [`table2`] | Table 2 — accelerators vs. benchmark suites |
+//! | [`table4`] | Table 4 — parameters of the evaluation SoCs |
+//! | [`fig2`] | Figure 2 — accelerators in isolation |
+//! | [`fig3`] | Figure 3 — parallel accelerator execution |
+//! | [`fig5`] | Figure 5 — four phases on SoC0, eight policies |
+//! | [`fig6`] | Figure 6 — reward-function design-space exploration |
+//! | [`fig7`] | Figure 7 — breakdown of coherence decisions |
+//! | [`fig8`] | Figure 8 — performance over training iterations |
+//! | [`fig9`] | Figure 9 — eight SoC configurations, eight policies |
+//! | [`overhead`] | Section 6 — Cohmeleon's runtime overhead |
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod overhead;
+pub mod table1;
+pub mod table2;
+pub mod table4;

@@ -1,0 +1,70 @@
+//! Table 4: parameters of the evaluation SoCs.
+
+use cohmeleon_soc::config::table4;
+
+use crate::table;
+
+/// Prints Table 4 from the configurations in `cohmeleon-soc`.
+pub fn print() {
+    let socs = table4();
+    let header: Vec<String> = std::iter::once("parameter".to_owned())
+        .chain(socs.iter().map(|s| s.name.clone()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push_row = |name: &str, values: Vec<String>| {
+        let mut row = vec![name.to_owned()];
+        row.extend(values);
+        rows.push(row);
+    };
+    push_row(
+        "Accelerators",
+        socs.iter().map(|s| s.accels.len().to_string()).collect(),
+    );
+    push_row(
+        "NoC size",
+        socs.iter()
+            .map(|s| format!("{}x{}", s.noc_width, s.noc_height))
+            .collect(),
+    );
+    push_row("CPUs", socs.iter().map(|s| s.cpus.to_string()).collect());
+    push_row(
+        "DDRs",
+        socs.iter().map(|s| s.mem_tiles.to_string()).collect(),
+    );
+    push_row(
+        "LLC part.",
+        socs.iter()
+            .map(|s| format!("{}kB", s.llc_slice_bytes / 1024))
+            .collect(),
+    );
+    push_row(
+        "Total LLC",
+        socs.iter()
+            .map(|s| {
+                let kb = s.llc_total_bytes() / 1024;
+                if kb >= 1024 {
+                    format!("{}MB", kb / 1024)
+                } else {
+                    format!("{kb}kB")
+                }
+            })
+            .collect(),
+    );
+    push_row(
+        "L2 cache",
+        socs.iter()
+            .map(|s| format!("{}kB", s.l2_bytes / 1024))
+            .collect(),
+    );
+    println!("{}", table::render(&header_refs, &rows));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn print_does_not_panic() {
+        super::print();
+    }
+}

@@ -1,0 +1,22 @@
+//! # cohmeleon-bench
+//!
+//! The benchmark and figure-regeneration harness: one module per table and
+//! figure of the paper's evaluation (see DESIGN.md's experiment index).
+//!
+//! Every figure module exposes `run(scale) -> Data` (structured results)
+//! and `print(&Data)` (the same rows/series the paper reports). The
+//! `src/bin/` binaries are thin wrappers; the criterion benches under
+//! `benches/` time scaled-down versions of the same code paths.
+//!
+//! Set `COHMELEON_FAST=1` to run every experiment in a reduced
+//! configuration (smaller workloads, fewer training iterations) — useful
+//! for smoke tests; the full configuration regenerates the paper's scales.
+
+pub mod figures;
+pub mod policies;
+pub mod scale;
+pub mod suite;
+pub mod table;
+
+pub use policies::{policy_suite, PolicyKind};
+pub use scale::Scale;

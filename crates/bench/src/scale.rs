@@ -1,0 +1,40 @@
+//! Experiment scale selection.
+
+/// How large an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale workloads and training schedules.
+    Full,
+    /// Reduced workloads/iterations for smoke runs and CI
+    /// (`COHMELEON_FAST=1`).
+    Fast,
+}
+
+impl Scale {
+    /// Reads the scale from the `COHMELEON_FAST` environment variable.
+    pub fn from_env() -> Scale {
+        match std::env::var("COHMELEON_FAST") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::Fast,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Picks `full` or `fast` according to the scale.
+    pub fn pick<T>(self, full: T, fast: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Fast => fast,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(Scale::Full.pick(10, 2), 10);
+        assert_eq!(Scale::Fast.pick(10, 2), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Running the whole policy suite on one experiment, in parallel.
+
+use cohmeleon_soc::{AppSpec, SocConfig};
+use cohmeleon_workloads::runner::{run_protocol, summarize, PolicyOutcome};
+use crossbeam::channel;
+
+use crate::policies::{build_policy, PolicyKind};
+
+/// Runs every policy in `kinds` through the train/test protocol
+/// (training only affects learning policies) and returns outcomes
+/// normalized against the first policy in `kinds` — by convention
+/// [`PolicyKind::FixedNonCoh`], the paper's baseline.
+///
+/// Policies run on OS threads in parallel; each gets a fresh SoC, so runs
+/// are independent and deterministic regardless of scheduling.
+pub fn run_suite(
+    config: &SocConfig,
+    train_app: &AppSpec,
+    test_app: &AppSpec,
+    kinds: &[PolicyKind],
+    train_iterations: usize,
+    seed: u64,
+) -> Vec<(PolicyKind, PolicyOutcome)> {
+    let (tx, rx) = channel::unbounded();
+    std::thread::scope(|scope| {
+        for (slot, &kind) in kinds.iter().enumerate() {
+            let tx = tx.clone();
+            let config = config.clone();
+            let train_app = train_app.clone();
+            let test_app = test_app.clone();
+            scope.spawn(move || {
+                let mut policy = build_policy(kind, &config, train_iterations, seed);
+                let result = run_protocol(
+                    &config,
+                    &train_app,
+                    &test_app,
+                    policy.as_mut(),
+                    train_iterations,
+                    seed,
+                );
+                tx.send((slot, kind, result)).expect("receiver alive");
+            });
+        }
+    });
+    drop(tx);
+    let mut results: Vec<_> = rx.iter().collect();
+    results.sort_by_key(|(slot, _, _)| *slot);
+
+    let baseline = results
+        .first()
+        .map(|(_, _, r)| r.clone())
+        .expect("at least one policy");
+    results
+        .into_iter()
+        .map(|(_, kind, result)| (kind, summarize(result, &baseline)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohmeleon_soc::config::soc1;
+    use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+
+    #[test]
+    fn suite_runs_all_kinds_in_order() {
+        let config = soc1();
+        let app = generate_app(&config, &GeneratorParams::quick(), 1);
+        let kinds = [
+            PolicyKind::FixedNonCoh,
+            PolicyKind::Manual,
+            PolicyKind::Cohmeleon,
+        ];
+        let outcomes = run_suite(&config, &app, &app, &kinds, 1, 3);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].0, PolicyKind::FixedNonCoh);
+        // Baseline normalizes to 1.
+        assert!((outcomes[0].1.geo_time - 1.0).abs() < 1e-9);
+        for (_, o) in &outcomes {
+            assert!(o.geo_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic_despite_threading() {
+        let config = soc1();
+        let app = generate_app(&config, &GeneratorParams::quick(), 2);
+        let kinds = [PolicyKind::FixedNonCoh, PolicyKind::Cohmeleon];
+        let a = run_suite(&config, &app, &app, &kinds, 1, 5);
+        let b = run_suite(&config, &app, &app, &kinds, 1, 5);
+        for ((_, x), (_, y)) in a.iter().zip(&b) {
+            assert_eq!(x.geo_time, y.geo_time);
+            assert_eq!(x.geo_mem, y.geo_mem);
+        }
+    }
+}

@@ -1,0 +1,937 @@
+//! The coherence controller: MESI protocol across private L2s and
+//! directory-backed LLC partitions, plus the DMA access paths and flush
+//! engines that realise the four coherence modes.
+//!
+//! # Protocol invariants (checked by [`CoherenceController::validate_coherence`])
+//!
+//! * **Inclusion** — every line resident in a private cache is resident in
+//!   its home LLC partition.
+//! * **SWMR** — at most one private cache holds a line in M/E, and then no
+//!   other private cache holds it at all; the directory `owner` field names
+//!   exactly that cache. Caches holding the line in S are exactly the
+//!   directory's `sharers`.
+//! * **Owner/sharer exclusivity** — an entry has an owner or sharers, never
+//!   both.
+
+use cohmeleon_core::PartitionId;
+
+use crate::effects::{AccessEffects, FlushEffects};
+use crate::geometry::{CacheGeometry, LineAddr};
+use crate::l2::L2Cache;
+use crate::llc::{LlcEntry, LlcPartition};
+use crate::mesi::MesiState;
+
+/// Identifies one private (L2) cache: processors first, then fully-coherent
+/// accelerator tiles, in SoC construction order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheId(pub u16);
+
+impl std::fmt::Display for CacheId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l2#{}", self.0)
+    }
+}
+
+/// Maps line addresses to memory partitions.
+///
+/// ESP partitions the global address space contiguously, one region per
+/// memory tile. The allocator (in the SoC crate) places each dataset inside
+/// one region; the map recovers the partition from the address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    num_partitions: u16,
+    /// Size of one partition's region, in lines.
+    region_lines: u64,
+}
+
+impl AddressMap {
+    /// Default region size: 2³⁰ lines (64 GiB of 64-byte lines) — far larger
+    /// than any workload, so allocations never overflow a region.
+    pub const DEFAULT_REGION_LINES: u64 = 1 << 30;
+
+    /// Creates a map for `num_partitions` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_partitions` is zero.
+    pub fn new(num_partitions: u16) -> AddressMap {
+        assert!(num_partitions > 0, "at least one memory partition required");
+        AddressMap {
+            num_partitions,
+            region_lines: Self::DEFAULT_REGION_LINES,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> u16 {
+        self.num_partitions
+    }
+
+    /// The partition owning `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line lies beyond the last partition's region.
+    pub fn partition_of(&self, line: LineAddr) -> PartitionId {
+        let p = line.0 / self.region_lines;
+        assert!(
+            p < u64::from(self.num_partitions),
+            "line {line} outside the {}-partition address space",
+            self.num_partitions
+        );
+        PartitionId(p as u16)
+    }
+
+    /// The first line of `partition`'s region (allocation base).
+    pub fn region_base(&self, partition: PartitionId) -> LineAddr {
+        LineAddr(u64::from(partition.0) * self.region_lines)
+    }
+
+    /// Region capacity in lines.
+    pub fn region_lines(&self) -> u64 {
+        self.region_lines
+    }
+}
+
+/// The full cache hierarchy of one SoC.
+#[derive(Debug, Clone)]
+pub struct CoherenceController {
+    map: AddressMap,
+    l2s: Vec<L2Cache>,
+    llcs: Vec<LlcPartition>,
+}
+
+impl CoherenceController {
+    /// Builds a hierarchy with one L2 per entry of `l2_geometries` and one
+    /// LLC partition per partition of `map`, all with `llc_geometry`.
+    pub fn new(
+        map: AddressMap,
+        l2_geometries: &[CacheGeometry],
+        llc_geometry: CacheGeometry,
+    ) -> CoherenceController {
+        let l2s = l2_geometries.iter().map(|g| L2Cache::new(*g)).collect();
+        let llcs = (0..map.num_partitions())
+            .map(|_| LlcPartition::new(llc_geometry))
+            .collect();
+        CoherenceController { map, l2s, llcs }
+    }
+
+    /// The address map.
+    pub fn address_map(&self) -> AddressMap {
+        self.map
+    }
+
+    /// Number of private caches.
+    pub fn num_l2s(&self) -> usize {
+        self.l2s.len()
+    }
+
+    /// Number of LLC partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.llcs.len()
+    }
+
+    /// Read access to an L2 (monitors, tests).
+    pub fn l2(&self, cache: CacheId) -> &L2Cache {
+        &self.l2s[cache.0 as usize]
+    }
+
+    /// Read access to an LLC partition (monitors, tests).
+    pub fn llc(&self, partition: PartitionId) -> &LlcPartition {
+        &self.llcs[partition.0 as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Fully-coherent path (processors and fully-coherent accelerators)
+    // ------------------------------------------------------------------
+
+    /// One MESI access by private cache `cache` to `line`.
+    ///
+    /// Covers L2 hits, S→M upgrades, misses with directory recalls and
+    /// sharer invalidations, LLC fills from DRAM, inclusive
+    /// back-invalidation of LLC victims, and dirty L2 victim writebacks.
+    pub fn l2_access(&mut self, cache: CacheId, line: LineAddr, write: bool) -> AccessEffects {
+        self.l2_access_inner(cache, line, write, true)
+    }
+
+    /// A full-line streaming store (e.g. dataset initialisation with
+    /// write-combining stores): allocates the line in M state without
+    /// fetching its previous contents from DRAM.
+    pub fn l2_store_streaming(&mut self, cache: CacheId, line: LineAddr) -> AccessEffects {
+        self.l2_access_inner(cache, line, true, false)
+    }
+
+    fn l2_access_inner(
+        &mut self,
+        cache: CacheId,
+        line: LineAddr,
+        write: bool,
+        fetch_on_miss: bool,
+    ) -> AccessEffects {
+        let mut fx = AccessEffects::new();
+        let c = cache.0 as usize;
+
+        // 1. Private-cache lookup.
+        if let Some(state) = self.l2s[c].lookup(line) {
+            if !write || state.grants_write() {
+                if write {
+                    *state = MesiState::Modified;
+                }
+                fx.l2_hit = true;
+                self.l2s[c].count_hit();
+                return fx;
+            }
+            // Write to a Shared line: upgrade through the directory.
+            fx.reached_llc = true;
+            fx.llc_hit = true;
+            let p = self.map.partition_of(line).0 as usize;
+            self.llcs[p].count_hit();
+            let entry = self.llcs[p]
+                .lookup(line)
+                .expect("inclusion: upgraded line resident in LLC");
+            let others: Vec<CacheId> =
+                entry.sharers.iter().filter(|s| *s != cache).collect();
+            entry.sharers.drain();
+            entry.owner = Some(cache);
+            for other in others {
+                self.l2s[other.0 as usize].invalidate(line);
+                fx.invalidations += 1;
+            }
+            *self.l2s[c]
+                .lookup(line)
+                .expect("line still resident during upgrade") = MesiState::Modified;
+            return fx;
+        }
+        self.l2s[c].count_miss();
+
+        // 2. Miss: go to the home LLC partition.
+        fx.reached_llc = true;
+        let hit = self.ensure_llc_resident(line, /*needs_data=*/ fetch_on_miss, &mut fx);
+        fx.llc_hit = hit;
+        let p = self.map.partition_of(line).0 as usize;
+        if hit {
+            self.llcs[p].count_hit();
+        } else {
+            self.llcs[p].count_miss();
+        }
+
+        // 3. Directory actions at the LLC.
+        let entry = self.llcs[p].lookup(line).expect("just ensured resident");
+        let owner = entry.owner.take();
+        let mut sharers_to_invalidate = Vec::new();
+        let new_state;
+        if write {
+            sharers_to_invalidate = entry.sharers.drain();
+            entry.owner = Some(cache);
+            new_state = MesiState::Modified;
+        } else if let Some(owner_cache) = owner {
+            // Recall below downgrades the owner to S; requester joins as S.
+            entry.sharers.add(owner_cache);
+            entry.sharers.add(cache);
+            new_state = MesiState::Shared;
+        } else if entry.sharers.is_empty() {
+            // Exclusive grant: directory tracks E holders as owners because
+            // they may upgrade to M silently.
+            entry.owner = Some(cache);
+            new_state = MesiState::Exclusive;
+        } else {
+            entry.sharers.add(cache);
+            new_state = MesiState::Shared;
+        };
+
+        // Recall from the previous owner (it cannot be the requester, which
+        // just missed).
+        if let Some(owner_cache) = owner {
+            fx.recalls += 1;
+            let o = owner_cache.0 as usize;
+            let owner_state = if write {
+                self.l2s[o].invalidate(line)
+            } else {
+                // Downgrade M/E to S on a read.
+                let st = self.l2s[o].lookup(line).copied();
+                if let Some(s) = self.l2s[o].lookup(line) {
+                    *s = MesiState::Shared;
+                }
+                st
+            };
+            if owner_state == Some(MesiState::Modified) {
+                // Recalled dirty data lands in the LLC.
+                self.llcs[p]
+                    .lookup(line)
+                    .expect("line resident during recall")
+                    .dirty = true;
+            }
+        }
+        for sharer in sharers_to_invalidate {
+            if sharer != cache {
+                self.l2s[sharer.0 as usize].invalidate(line);
+                fx.invalidations += 1;
+            }
+        }
+
+        // 4. Fill into the requester's L2; handle its victim.
+        if let Some(victim) = self.l2s[c].insert(line, new_state) {
+            self.handle_l2_victim(cache, victim.line, victim.state, &mut fx);
+        }
+        fx
+    }
+
+    /// Processes an L2 victim: dirty victims write back into the LLC, clean
+    /// victims only update the directory.
+    fn handle_l2_victim(
+        &mut self,
+        cache: CacheId,
+        line: LineAddr,
+        state: MesiState,
+        fx: &mut AccessEffects,
+    ) {
+        let p = self.map.partition_of(line).0 as usize;
+        let Some(entry) = self.llcs[p].lookup(line) else {
+            // Inclusion guarantees residency; tolerate release builds.
+            debug_assert!(false, "inclusion violated: L2 victim {line} absent from LLC");
+            return;
+        };
+        match state {
+            MesiState::Modified => {
+                entry.dirty = true;
+                entry.owner = None;
+                fx.llc_writebacks += 1;
+            }
+            MesiState::Exclusive => {
+                entry.owner = None;
+                fx.l2_clean_evictions += 1;
+            }
+            MesiState::Shared => {
+                entry.sharers.remove(cache);
+                fx.l2_clean_evictions += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DMA paths
+    // ------------------------------------------------------------------
+
+    /// One line of a *coherent DMA* transaction: the LLC serves the request
+    /// under full hardware coherence, recalling/invalidating private copies
+    /// as needed (the paper's protocol extension). DMA writes are full-line
+    /// and allocate without fetching.
+    pub fn coh_dma_access(&mut self, line: LineAddr, write: bool) -> AccessEffects {
+        let mut fx = AccessEffects::new();
+        fx.reached_llc = true;
+        let hit = self.ensure_llc_resident(line, /*needs_data=*/ !write, &mut fx);
+        fx.llc_hit = hit;
+        let p = self.map.partition_of(line).0 as usize;
+        if hit {
+            self.llcs[p].count_hit();
+        } else {
+            self.llcs[p].count_miss();
+        }
+
+        let entry = self.llcs[p].lookup(line).expect("just ensured resident");
+        let owner = entry.owner.take();
+        let sharers = if write {
+            entry.sharers.drain()
+        } else {
+            Vec::new()
+        };
+        if write {
+            entry.dirty = true;
+        }
+
+        if let Some(owner_cache) = owner {
+            fx.recalls += 1;
+            let o = owner_cache.0 as usize;
+            let owner_state = if write {
+                self.l2s[o].invalidate(line)
+            } else {
+                let st = self.l2s[o].lookup(line).copied();
+                if let Some(s) = self.l2s[o].lookup(line) {
+                    *s = MesiState::Shared;
+                }
+                st
+            };
+            if owner_state == Some(MesiState::Modified) {
+                self.llcs[p]
+                    .lookup(line)
+                    .expect("resident during recall")
+                    .dirty = true;
+            }
+            if !write {
+                // Owner stays resident as a sharer.
+                self.llcs[p]
+                    .lookup(line)
+                    .expect("resident during recall")
+                    .sharers
+                    .add(owner_cache);
+            }
+        }
+        for sharer in sharers {
+            self.l2s[sharer.0 as usize].invalidate(line);
+            fx.invalidations += 1;
+        }
+        fx
+    }
+
+    /// One line of an *LLC-coherent DMA* transaction: the LLC serves the
+    /// request without consulting the directory (software flushed the
+    /// private caches before the invocation).
+    pub fn llc_coh_dma_access(&mut self, line: LineAddr, write: bool) -> AccessEffects {
+        let mut fx = AccessEffects::new();
+        fx.reached_llc = true;
+        let hit = self.ensure_llc_resident(line, /*needs_data=*/ !write, &mut fx);
+        fx.llc_hit = hit;
+        let p = self.map.partition_of(line).0 as usize;
+        if hit {
+            self.llcs[p].count_hit();
+        } else {
+            self.llcs[p].count_miss();
+        }
+        if write {
+            self.llcs[p]
+                .lookup(line)
+                .expect("just ensured resident")
+                .dirty = true;
+        }
+        fx
+    }
+
+    /// Makes `line` resident in its home LLC partition. Returns whether it
+    /// already was (hit). On a miss, charges a DRAM fetch if `needs_data`
+    /// (full-line DMA writes allocate without fetching) and back-invalidates
+    /// the LLC victim's private copies to preserve inclusion.
+    fn ensure_llc_resident(
+        &mut self,
+        line: LineAddr,
+        needs_data: bool,
+        fx: &mut AccessEffects,
+    ) -> bool {
+        let p = self.map.partition_of(line).0 as usize;
+        if self.llcs[p].lookup(line).is_some() {
+            return true;
+        }
+        if needs_data {
+            fx.dram_fetches += 1;
+        }
+        if let Some(victim) = self.llcs[p].insert(line, LlcEntry::clean()) {
+            self.back_invalidate(victim.line, victim.state, fx);
+        }
+        false
+    }
+
+    /// Evicting an LLC line under private copies: recall/invalidate them
+    /// (inclusive hierarchy), then write dirty data back to DRAM.
+    fn back_invalidate(&mut self, line: LineAddr, entry: LlcEntry, fx: &mut AccessEffects) {
+        let mut dirty = entry.dirty;
+        if let Some(owner) = entry.owner {
+            fx.recalls += 1;
+            let owner_state = self.l2s[owner.0 as usize].invalidate(line);
+            if owner_state == Some(MesiState::Modified) {
+                dirty = true;
+            }
+        }
+        for sharer in entry.sharers.iter() {
+            self.l2s[sharer.0 as usize].invalidate(line);
+            fx.invalidations += 1;
+        }
+        if dirty {
+            fx.dram_writebacks += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flush engines (software coherence)
+    // ------------------------------------------------------------------
+
+    /// Flushes one private cache: dirty lines are written back into the LLC
+    /// and everything is invalidated. Used before LLC-coherent and
+    /// non-coherent DMA invocations.
+    pub fn flush_l2(&mut self, cache: CacheId) -> FlushEffects {
+        let mut fx = FlushEffects::new();
+        let c = cache.0 as usize;
+        let mut drained = Vec::new();
+        self.l2s[c].drain(|e| drained.push(e));
+        for e in drained {
+            let p = self.map.partition_of(e.line).0 as usize;
+            let Some(entry) = self.llcs[p].lookup(e.line) else {
+                debug_assert!(false, "inclusion violated during flush of {}", e.line);
+                continue;
+            };
+            match e.state {
+                MesiState::Modified => {
+                    entry.dirty = true;
+                    entry.owner = None;
+                    fx.writebacks += 1;
+                }
+                MesiState::Exclusive => {
+                    entry.owner = None;
+                    fx.invalidations += 1;
+                }
+                MesiState::Shared => {
+                    entry.sharers.remove(cache);
+                    fx.invalidations += 1;
+                }
+            }
+        }
+        fx
+    }
+
+    /// Flushes every private cache (ESP's driver flushes all L2s before a
+    /// non-coherent or LLC-coherent invocation).
+    pub fn flush_all_l2s(&mut self) -> FlushEffects {
+        let mut fx = FlushEffects::new();
+        for c in 0..self.l2s.len() {
+            let sub = self.flush_l2(CacheId(c as u16));
+            fx.accumulate(&sub);
+        }
+        fx
+    }
+
+    /// Flushes one LLC partition: private copies are recalled/invalidated
+    /// (preserving inclusion), dirty lines written back to DRAM, everything
+    /// invalidated. Used (after the L2 flush) before non-coherent DMA.
+    pub fn flush_llc(&mut self, partition: PartitionId) -> FlushEffects {
+        let mut fx = FlushEffects::new();
+        let p = partition.0 as usize;
+        let mut drained = Vec::new();
+        self.llcs[p].drain(|e| drained.push(e));
+        for e in drained {
+            let mut dirty = e.state.dirty;
+            if let Some(owner) = e.state.owner {
+                fx.recalls += 1;
+                if self.l2s[owner.0 as usize].invalidate(e.line) == Some(MesiState::Modified) {
+                    dirty = true;
+                }
+            }
+            for sharer in e.state.sharers.iter() {
+                self.l2s[sharer.0 as usize].invalidate(e.line);
+                fx.recalls += 1;
+            }
+            if dirty {
+                fx.writebacks += 1;
+            } else {
+                fx.invalidations += 1;
+            }
+        }
+        fx
+    }
+
+    /// Flushes all LLC partitions.
+    pub fn flush_all_llcs(&mut self) -> FlushEffects {
+        let mut fx = FlushEffects::new();
+        for p in 0..self.llcs.len() {
+            let sub = self.flush_llc(PartitionId(p as u16));
+            fx.accumulate(&sub);
+        }
+        fx
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Verifies inclusion, SWMR and directory consistency; returns a
+    /// description of the first violation found.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a human-readable message naming the violated
+    /// invariant and the line involved.
+    pub fn validate_coherence(&self) -> Result<(), String> {
+        // Directory ⇒ private caches.
+        for (p, llc) in self.llcs.iter().enumerate() {
+            for e in llc.iter() {
+                if let Some(owner) = e.state.owner {
+                    if !e.state.sharers.is_empty() {
+                        return Err(format!(
+                            "line {} in LLC{p} has owner {owner} and sharers simultaneously",
+                            e.line
+                        ));
+                    }
+                    match self.l2s[owner.0 as usize].peek(e.line) {
+                        Some(MesiState::Modified) | Some(MesiState::Exclusive) => {}
+                        other => {
+                            return Err(format!(
+                                "line {} owned by {owner} but its L2 state is {other:?}",
+                                e.line
+                            ));
+                        }
+                    }
+                }
+                for sharer in e.state.sharers.iter() {
+                    if self.l2s[sharer.0 as usize].peek(e.line) != Some(MesiState::Shared) {
+                        return Err(format!(
+                            "line {} listed shared by {sharer} but not S in that L2",
+                            e.line
+                        ));
+                    }
+                }
+            }
+        }
+        // Private caches ⇒ directory (inclusion + registration + SWMR).
+        for (c, l2) in self.l2s.iter().enumerate() {
+            let cache = CacheId(c as u16);
+            for e in l2.iter() {
+                let p = self.map.partition_of(e.line);
+                let Some(entry) = self.llcs[p.0 as usize].peek(e.line) else {
+                    return Err(format!(
+                        "inclusion violated: {cache} holds {} absent from LLC{}",
+                        e.line, p.0
+                    ));
+                };
+                match e.state {
+                    MesiState::Modified | MesiState::Exclusive => {
+                        if entry.owner != Some(cache) {
+                            return Err(format!(
+                                "{cache} holds {} in {} but directory owner is {:?}",
+                                e.line, e.state, entry.owner
+                            ));
+                        }
+                    }
+                    MesiState::Shared => {
+                        if !entry.sharers.contains(cache) {
+                            return Err(format!(
+                                "{cache} holds {} in S but is not a directory sharer",
+                                e.line
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total dirty lines across all LLC partitions (flush-cost estimation).
+    pub fn llc_dirty_lines(&self) -> u64 {
+        self.llcs.iter().map(|l| l.dirty_lines()).sum()
+    }
+
+    /// Total valid lines across all LLC partitions.
+    pub fn llc_valid_lines(&self) -> u64 {
+        self.llcs.iter().map(|l| l.valid_lines()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L2_GEOM: CacheGeometry = CacheGeometry {
+        size_bytes: 4 * 1024,
+        ways: 4,
+        line_bytes: 64,
+    };
+    const LLC_GEOM: CacheGeometry = CacheGeometry {
+        size_bytes: 16 * 1024,
+        ways: 16,
+        line_bytes: 64,
+    };
+
+    fn controller(l2s: usize) -> CoherenceController {
+        CoherenceController::new(AddressMap::new(2), &vec![L2_GEOM; l2s], LLC_GEOM)
+    }
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    fn check(c: &CoherenceController) {
+        c.validate_coherence().expect("coherence invariants hold");
+    }
+
+    #[test]
+    fn address_map_partitions() {
+        let m = AddressMap::new(2);
+        assert_eq!(m.partition_of(LineAddr(0)), PartitionId(0));
+        assert_eq!(m.partition_of(m.region_base(PartitionId(1))), PartitionId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn address_map_rejects_out_of_space() {
+        let m = AddressMap::new(2);
+        m.partition_of(LineAddr(2 * AddressMap::DEFAULT_REGION_LINES));
+    }
+
+    #[test]
+    fn cold_read_fetches_from_dram_and_grants_exclusive() {
+        let mut c = controller(2);
+        let fx = c.l2_access(CacheId(0), line(0), false);
+        assert!(!fx.l2_hit);
+        assert!(fx.reached_llc && !fx.llc_hit);
+        assert_eq!(fx.dram_fetches, 1);
+        assert_eq!(c.l2(CacheId(0)).peek(line(0)), Some(MesiState::Exclusive));
+        check(&c);
+    }
+
+    #[test]
+    fn second_read_hits_in_l2() {
+        let mut c = controller(1);
+        c.l2_access(CacheId(0), line(0), false);
+        let fx = c.l2_access(CacheId(0), line(0), false);
+        assert!(fx.l2_hit);
+        assert_eq!(fx.dram_fetches, 0);
+        check(&c);
+    }
+
+    #[test]
+    fn write_after_exclusive_is_silent_upgrade() {
+        let mut c = controller(1);
+        c.l2_access(CacheId(0), line(0), false);
+        let fx = c.l2_access(CacheId(0), line(0), true);
+        assert!(fx.l2_hit);
+        assert!(!fx.reached_llc);
+        assert_eq!(c.l2(CacheId(0)).peek(line(0)), Some(MesiState::Modified));
+        check(&c);
+    }
+
+    #[test]
+    fn read_shared_between_two_caches() {
+        let mut c = controller(2);
+        c.l2_access(CacheId(0), line(0), false);
+        // Cache 1 reads: recall-downgrade of the E owner, both end Shared.
+        let fx = c.l2_access(CacheId(1), line(0), false);
+        assert_eq!(fx.recalls, 1);
+        assert_eq!(fx.dram_fetches, 0, "LLC hit serves the data");
+        assert!(fx.llc_hit);
+        assert_eq!(c.l2(CacheId(0)).peek(line(0)), Some(MesiState::Shared));
+        assert_eq!(c.l2(CacheId(1)).peek(line(0)), Some(MesiState::Shared));
+        check(&c);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut c = controller(3);
+        c.l2_access(CacheId(0), line(0), false);
+        c.l2_access(CacheId(1), line(0), false);
+        c.l2_access(CacheId(2), line(0), false);
+        check(&c);
+        // Cache 0 upgrades S→M: the other two sharers are invalidated.
+        let fx = c.l2_access(CacheId(0), line(0), true);
+        assert_eq!(fx.invalidations, 2);
+        assert!(fx.llc_hit);
+        assert_eq!(c.l2(CacheId(0)).peek(line(0)), Some(MesiState::Modified));
+        assert_eq!(c.l2(CacheId(1)).peek(line(0)), None);
+        assert_eq!(c.l2(CacheId(2)).peek(line(0)), None);
+        check(&c);
+    }
+
+    #[test]
+    fn dirty_recall_marks_llc_dirty() {
+        let mut c = controller(2);
+        c.l2_access(CacheId(0), line(0), true); // M in cache 0
+        let fx = c.l2_access(CacheId(1), line(0), false);
+        assert_eq!(fx.recalls, 1);
+        let entry = c.llc(PartitionId(0)).peek(line(0)).unwrap();
+        assert!(entry.dirty, "recalled modified data must land dirty in LLC");
+        check(&c);
+    }
+
+    #[test]
+    fn write_miss_with_remote_owner_recalls_and_invalidates() {
+        let mut c = controller(2);
+        c.l2_access(CacheId(0), line(0), true); // M in cache 0
+        let fx = c.l2_access(CacheId(1), line(0), true);
+        assert_eq!(fx.recalls, 1);
+        assert_eq!(c.l2(CacheId(0)).peek(line(0)), None);
+        assert_eq!(c.l2(CacheId(1)).peek(line(0)), Some(MesiState::Modified));
+        check(&c);
+    }
+
+    #[test]
+    fn l2_capacity_eviction_writes_back_dirty_victim() {
+        let mut c = controller(1);
+        // Fill one L2 set (4 ways, 16 sets): lines 0,16,32,48 map to set 0.
+        for i in 0..4 {
+            c.l2_access(CacheId(0), line(i * 16), true);
+        }
+        check(&c);
+        let fx = c.l2_access(CacheId(0), line(4 * 16), true);
+        assert_eq!(fx.llc_writebacks, 1, "dirty LRU victim writes back to LLC");
+        assert_eq!(c.l2(CacheId(0)).peek(line(0)), None);
+        let victim_entry = c.llc(PartitionId(0)).peek(line(0)).unwrap();
+        assert!(victim_entry.dirty);
+        assert!(victim_entry.owner.is_none());
+        check(&c);
+    }
+
+    #[test]
+    fn llc_capacity_eviction_back_invalidates_and_writes_back() {
+        let mut c = controller(1);
+        // LLC: 16 KiB, 16-way, 64 B ⇒ 16 sets × 16 ways. Fill set 0 of the
+        // LLC (lines ≡ 0 mod 16) beyond capacity with dirty lines.
+        for i in 0..16 {
+            c.l2_access(CacheId(0), line(i * 16), true);
+        }
+        // L2 only holds 4 of them; LLC set 0 is now full. One more forces an
+        // LLC eviction whose line may still sit in the L2.
+        let fx = c.l2_access(CacheId(0), line(16 * 16), true);
+        assert!(fx.dram_writebacks >= 1, "dirty LLC victim goes to DRAM");
+        check(&c);
+    }
+
+    #[test]
+    fn coh_dma_read_hits_warm_llc() {
+        let mut c = controller(1);
+        c.l2_access(CacheId(0), line(0), true); // CPU warms the data
+        c.flush_l2(CacheId(0)); // move it to the LLC
+        let fx = c.coh_dma_access(line(0), false);
+        assert!(fx.llc_hit);
+        assert_eq!(fx.dram_fetches, 0);
+        check(&c);
+    }
+
+    #[test]
+    fn coh_dma_recalls_modified_private_data() {
+        let mut c = controller(1);
+        c.l2_access(CacheId(0), line(0), true); // M in the CPU cache
+        let fx = c.coh_dma_access(line(0), false);
+        assert_eq!(fx.recalls, 1);
+        assert_eq!(fx.dram_fetches, 0, "data comes from the recall, not DRAM");
+        // Owner is downgraded to a sharer on a DMA read.
+        assert_eq!(c.l2(CacheId(0)).peek(line(0)), Some(MesiState::Shared));
+        check(&c);
+    }
+
+    #[test]
+    fn coh_dma_write_invalidates_all_private_copies() {
+        let mut c = controller(2);
+        c.l2_access(CacheId(0), line(0), false);
+        c.l2_access(CacheId(1), line(0), false); // both Shared
+        let fx = c.coh_dma_access(line(0), true);
+        assert_eq!(fx.invalidations, 2);
+        assert_eq!(fx.dram_fetches, 0, "full-line DMA write allocates without fetch");
+        assert_eq!(c.l2(CacheId(0)).peek(line(0)), None);
+        assert_eq!(c.l2(CacheId(1)).peek(line(0)), None);
+        assert!(c.llc(PartitionId(0)).peek(line(0)).unwrap().dirty);
+        check(&c);
+    }
+
+    #[test]
+    fn llc_coh_dma_read_miss_fetches_and_caches() {
+        let mut c = controller(1);
+        let fx = c.llc_coh_dma_access(line(0), false);
+        assert!(!fx.llc_hit);
+        assert_eq!(fx.dram_fetches, 1);
+        let fx2 = c.llc_coh_dma_access(line(0), false);
+        assert!(fx2.llc_hit);
+        assert_eq!(fx2.dram_fetches, 0);
+        check(&c);
+    }
+
+    #[test]
+    fn llc_coh_dma_write_allocates_dirty() {
+        let mut c = controller(1);
+        let fx = c.llc_coh_dma_access(line(0), true);
+        assert_eq!(fx.dram_fetches, 0);
+        assert!(c.llc(PartitionId(0)).peek(line(0)).unwrap().dirty);
+        check(&c);
+    }
+
+    #[test]
+    fn flush_l2_moves_dirty_lines_to_llc() {
+        let mut c = controller(1);
+        c.l2_access(CacheId(0), line(0), true);
+        c.l2_access(CacheId(0), line(1), false);
+        let fx = c.flush_l2(CacheId(0));
+        assert_eq!(fx.writebacks, 1);
+        assert_eq!(fx.invalidations, 1);
+        assert_eq!(c.l2(CacheId(0)).valid_lines(), 0);
+        assert!(c.llc(PartitionId(0)).peek(line(0)).unwrap().dirty);
+        check(&c);
+    }
+
+    #[test]
+    fn flush_llc_writes_dirty_lines_to_dram() {
+        let mut c = controller(1);
+        c.l2_access(CacheId(0), line(0), true);
+        c.flush_l2(CacheId(0));
+        let fx = c.flush_llc(PartitionId(0));
+        assert_eq!(fx.writebacks, 1);
+        assert_eq!(c.llc_valid_lines(), 0);
+        check(&c);
+    }
+
+    #[test]
+    fn flush_llc_under_live_private_caches_recalls_them() {
+        let mut c = controller(1);
+        c.l2_access(CacheId(0), line(0), true); // still owned by the L2
+        let fx = c.flush_llc(PartitionId(0));
+        assert_eq!(fx.recalls, 1);
+        assert_eq!(fx.writebacks, 1, "owner's dirty data reaches DRAM");
+        assert_eq!(c.l2(CacheId(0)).peek(line(0)), None, "inclusion preserved");
+        check(&c);
+    }
+
+    #[test]
+    fn flush_all_covers_every_structure() {
+        let mut c = controller(2);
+        c.l2_access(CacheId(0), line(0), true);
+        c.l2_access(CacheId(1), line(AddressMap::DEFAULT_REGION_LINES), true);
+        let l2fx = c.flush_all_l2s();
+        assert_eq!(l2fx.writebacks, 2);
+        let llcfx = c.flush_all_llcs();
+        assert_eq!(llcfx.writebacks, 2);
+        assert_eq!(c.llc_valid_lines(), 0);
+        check(&c);
+    }
+
+    #[test]
+    fn partitions_are_independent() {
+        let mut c = controller(1);
+        let p1_line = line(AddressMap::DEFAULT_REGION_LINES);
+        c.llc_coh_dma_access(line(0), true);
+        c.llc_coh_dma_access(p1_line, true);
+        assert_eq!(c.llc(PartitionId(0)).valid_lines(), 1);
+        assert_eq!(c.llc(PartitionId(1)).valid_lines(), 1);
+        c.flush_llc(PartitionId(0));
+        assert_eq!(c.llc(PartitionId(0)).valid_lines(), 0);
+        assert_eq!(c.llc(PartitionId(1)).valid_lines(), 1);
+        check(&c);
+    }
+
+    #[test]
+    fn monitors_count_hits_and_misses() {
+        let mut c = controller(1);
+        c.l2_access(CacheId(0), line(0), false); // L2 miss, LLC miss
+        c.l2_access(CacheId(0), line(0), false); // L2 hit
+        c.coh_dma_access(line(0), false); // LLC hit
+        assert_eq!(c.l2(CacheId(0)).hits(), 1);
+        assert_eq!(c.l2(CacheId(0)).misses(), 1);
+        assert_eq!(c.llc(PartitionId(0)).hits(), 1);
+        assert_eq!(c.llc(PartitionId(0)).misses(), 1);
+    }
+
+    #[test]
+    fn mixed_traffic_preserves_invariants() {
+        // A randomized-ish deterministic interleaving of all access paths.
+        let mut c = controller(4);
+        for step in 0u64..2000 {
+            let ln = line((step * 7) % 96);
+            match step % 5 {
+                0 => {
+                    c.l2_access(CacheId((step % 4) as u16), ln, step % 3 == 0);
+                }
+                1 => {
+                    c.coh_dma_access(ln, step % 2 == 0);
+                }
+                2 => {
+                    c.llc_coh_dma_access(ln, step % 2 == 1);
+                }
+                3 => {
+                    c.l2_access(CacheId(((step + 1) % 4) as u16), ln, true);
+                }
+                _ => {
+                    if step % 97 == 4 {
+                        c.flush_l2(CacheId((step % 4) as u16));
+                    }
+                }
+            }
+            if step % 250 == 0 {
+                check(&c);
+            }
+        }
+        check(&c);
+    }
+}

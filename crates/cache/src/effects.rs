@@ -1,0 +1,144 @@
+//! Traffic descriptions returned by protocol operations.
+//!
+//! The cache crate is time-free: operations report *what happened* and the
+//! SoC layer charges simulated time for it (NoC messages, DRAM transfers).
+
+/// The observable side effects of one line-granular cache access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessEffects {
+    /// The request hit in the requester's private cache (L2).
+    pub l2_hit: bool,
+    /// The request travelled to an LLC partition (miss, upgrade, or DMA).
+    pub reached_llc: bool,
+    /// Of the requests that reached the LLC: the line was resident.
+    pub llc_hit: bool,
+    /// Lines fetched from DRAM (LLC misses that required data).
+    pub dram_fetches: u64,
+    /// Lines written back to DRAM (dirty LLC victims, or dirty recalled data
+    /// during an LLC eviction).
+    pub dram_writebacks: u64,
+    /// Lines recalled from an owning private cache by the directory.
+    pub recalls: u64,
+    /// Sharer copies invalidated by the directory.
+    pub invalidations: u64,
+    /// Dirty L2 victims written back into the LLC (PutM data messages).
+    pub llc_writebacks: u64,
+    /// Clean L2 victims dropped (directory notification only).
+    pub l2_clean_evictions: u64,
+}
+
+impl AccessEffects {
+    /// A zeroed effects record.
+    pub fn new() -> AccessEffects {
+        AccessEffects::default()
+    }
+
+    /// Adds the counters of `other` into `self` (the boolean fields are
+    /// OR-ed). Used when accumulating a burst of line accesses.
+    pub fn accumulate(&mut self, other: &AccessEffects) {
+        self.l2_hit |= other.l2_hit;
+        self.reached_llc |= other.reached_llc;
+        self.llc_hit |= other.llc_hit;
+        self.dram_fetches += other.dram_fetches;
+        self.dram_writebacks += other.dram_writebacks;
+        self.recalls += other.recalls;
+        self.invalidations += other.invalidations;
+        self.llc_writebacks += other.llc_writebacks;
+        self.l2_clean_evictions += other.l2_clean_evictions;
+    }
+
+    /// Total DRAM accesses (fetches + writebacks); what the paper's
+    /// memory-access monitors count.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_fetches + self.dram_writebacks
+    }
+}
+
+/// The observable side effects of a software cache flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushEffects {
+    /// Dirty lines written back (L2→LLC for private flushes, LLC→DRAM for
+    /// LLC flushes).
+    pub writebacks: u64,
+    /// Clean lines invalidated.
+    pub invalidations: u64,
+    /// Lines recalled from private caches while flushing the LLC under them.
+    pub recalls: u64,
+}
+
+impl FlushEffects {
+    /// A zeroed record.
+    pub fn new() -> FlushEffects {
+        FlushEffects::default()
+    }
+
+    /// Adds the counters of `other` into `self`.
+    pub fn accumulate(&mut self, other: &FlushEffects) {
+        self.writebacks += other.writebacks;
+        self.invalidations += other.invalidations;
+        self.recalls += other.recalls;
+    }
+
+    /// Total lines touched by the flush.
+    pub fn lines(&self) -> u64 {
+        self.writebacks + self.invalidations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_counters_and_ors_flags() {
+        let mut a = AccessEffects {
+            l2_hit: false,
+            reached_llc: true,
+            llc_hit: false,
+            dram_fetches: 1,
+            dram_writebacks: 2,
+            recalls: 3,
+            invalidations: 4,
+            llc_writebacks: 5,
+            l2_clean_evictions: 6,
+        };
+        let b = AccessEffects {
+            l2_hit: true,
+            reached_llc: false,
+            llc_hit: true,
+            dram_fetches: 10,
+            dram_writebacks: 20,
+            recalls: 30,
+            invalidations: 40,
+            llc_writebacks: 50,
+            l2_clean_evictions: 60,
+        };
+        a.accumulate(&b);
+        assert!(a.l2_hit && a.reached_llc && a.llc_hit);
+        assert_eq!(a.dram_fetches, 11);
+        assert_eq!(a.dram_writebacks, 22);
+        assert_eq!(a.recalls, 33);
+        assert_eq!(a.invalidations, 44);
+        assert_eq!(a.llc_writebacks, 55);
+        assert_eq!(a.l2_clean_evictions, 66);
+        assert_eq!(a.dram_accesses(), 33);
+    }
+
+    #[test]
+    fn flush_effects_accumulate() {
+        let mut a = FlushEffects {
+            writebacks: 1,
+            invalidations: 2,
+            recalls: 3,
+        };
+        a.accumulate(&FlushEffects {
+            writebacks: 10,
+            invalidations: 20,
+            recalls: 30,
+        });
+        assert_eq!(a.writebacks, 11);
+        assert_eq!(a.invalidations, 22);
+        assert_eq!(a.recalls, 33);
+        assert_eq!(a.lines(), 33);
+    }
+}

@@ -1,0 +1,148 @@
+//! Private (L2) caches: one per processor and one per fully-coherent
+//! accelerator tile.
+
+use cohmeleon_sim::stats::Counter;
+
+use crate::geometry::{CacheGeometry, LineAddr};
+use crate::mesi::MesiState;
+use crate::tagarray::{Entry, TagArray};
+
+/// A private L2 cache: a MESI tag array plus hit/miss counters (the
+/// tile-level performance monitors of Section 4.3).
+#[derive(Debug, Clone)]
+pub struct L2Cache {
+    tags: TagArray<MesiState>,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl L2Cache {
+    /// An empty L2 with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> L2Cache {
+        L2Cache {
+            tags: TagArray::new(geometry),
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.tags.geometry()
+    }
+
+    /// Looks up `line`, updating LRU; returns its MESI state if present.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut MesiState> {
+        self.tags.lookup(line)
+    }
+
+    /// Looks up `line` without perturbing LRU or counters.
+    pub fn peek(&self, line: LineAddr) -> Option<MesiState> {
+        self.tags.peek(line).map(|e| e.state)
+    }
+
+    /// Inserts `line` in `state`, returning the evicted victim if any.
+    pub fn insert(&mut self, line: LineAddr, state: MesiState) -> Option<Entry<MesiState>> {
+        self.tags.insert(line, state)
+    }
+
+    /// Invalidates `line` if present, returning its former state.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<MesiState> {
+        self.tags.invalidate(line).map(|e| e.state)
+    }
+
+    /// Drains every line, calling `f` with each entry (flush).
+    pub fn drain<F: FnMut(Entry<MesiState>)>(&mut self, f: F) {
+        self.tags.drain(f);
+    }
+
+    /// Iterates resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<MesiState>> {
+        self.tags.iter()
+    }
+
+    /// Number of resident lines.
+    pub fn valid_lines(&self) -> u64 {
+        self.tags.valid_lines()
+    }
+
+    /// Number of resident dirty (Modified) lines.
+    pub fn dirty_lines(&self) -> u64 {
+        self.tags.iter().filter(|e| e.state.is_dirty()).count() as u64
+    }
+
+    /// Records a hit in the monitor counters.
+    pub fn count_hit(&mut self) {
+        self.hits.incr();
+    }
+
+    /// Records a miss in the monitor counters.
+    pub fn count_miss(&mut self) {
+        self.misses.incr();
+    }
+
+    /// Monitor: total hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.sample()
+    }
+
+    /// Monitor: total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2() -> L2Cache {
+        L2Cache::new(CacheGeometry::new(4 * 1024, 4, 64))
+    }
+
+    #[test]
+    fn insert_lookup_invalidate() {
+        let mut c = l2();
+        assert!(c.lookup(LineAddr(7)).is_none());
+        c.insert(LineAddr(7), MesiState::Exclusive);
+        assert_eq!(c.peek(LineAddr(7)), Some(MesiState::Exclusive));
+        *c.lookup(LineAddr(7)).unwrap() = MesiState::Modified;
+        assert_eq!(c.invalidate(LineAddr(7)), Some(MesiState::Modified));
+        assert!(c.peek(LineAddr(7)).is_none());
+    }
+
+    #[test]
+    fn dirty_line_count() {
+        let mut c = l2();
+        c.insert(LineAddr(0), MesiState::Modified);
+        c.insert(LineAddr(1), MesiState::Shared);
+        c.insert(LineAddr(2), MesiState::Modified);
+        assert_eq!(c.valid_lines(), 3);
+        assert_eq!(c.dirty_lines(), 2);
+    }
+
+    #[test]
+    fn drain_flushes_all() {
+        let mut c = l2();
+        c.insert(LineAddr(0), MesiState::Modified);
+        c.insert(LineAddr(1), MesiState::Shared);
+        let mut dirty = 0;
+        c.drain(|e| {
+            if e.state.is_dirty() {
+                dirty += 1;
+            }
+        });
+        assert_eq!(dirty, 1);
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn counters_are_manual() {
+        let mut c = l2();
+        c.count_hit();
+        c.count_hit();
+        c.count_miss();
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! MESI states for private-cache lines.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The state of a line in a private (L2) cache under the MESI protocol used
+/// by ESP's cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MesiState {
+    /// Present and dirty; this cache is the exclusive owner.
+    Modified,
+    /// Present, clean, and no other private cache holds the line.
+    Exclusive,
+    /// Present, clean, possibly shared with other private caches.
+    Shared,
+}
+
+impl MesiState {
+    /// May the holder read without a coherence transaction?
+    pub fn grants_read(self) -> bool {
+        true // any valid state is readable
+    }
+
+    /// May the holder write without a coherence transaction?
+    /// `Exclusive` upgrades silently to `Modified`.
+    pub fn grants_write(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// Does the line hold data not yet reflected in the LLC?
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MesiState::Modified)
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MesiState::Modified => f.write_str("M"),
+            MesiState::Exclusive => f.write_str("E"),
+            MesiState::Shared => f.write_str("S"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions() {
+        assert!(MesiState::Modified.grants_write());
+        assert!(MesiState::Exclusive.grants_write());
+        assert!(!MesiState::Shared.grants_write());
+        for s in [MesiState::Modified, MesiState::Exclusive, MesiState::Shared] {
+            assert!(s.grants_read());
+        }
+    }
+
+    #[test]
+    fn only_modified_is_dirty() {
+        assert!(MesiState::Modified.is_dirty());
+        assert!(!MesiState::Exclusive.is_dirty());
+        assert!(!MesiState::Shared.is_dirty());
+    }
+
+    #[test]
+    fn display_single_letter() {
+        assert_eq!(MesiState::Modified.to_string(), "M");
+        assert_eq!(MesiState::Exclusive.to_string(), "E");
+        assert_eq!(MesiState::Shared.to_string(), "S");
+    }
+}

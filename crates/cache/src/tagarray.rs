@@ -1,0 +1,263 @@
+//! A generic set-associative tag array with LRU replacement.
+//!
+//! Both the private L2s (payload: [`MesiState`](crate::mesi::MesiState)) and
+//! the LLC partitions (payload: directory entry) are built on this array, so
+//! capacity and conflict behaviour — the source of the warm-data and
+//! thrashing effects in the paper's Figure 2 — are structural.
+
+use crate::geometry::{CacheGeometry, LineAddr};
+
+/// One resident line: its address and the cache-specific payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry<S> {
+    /// The line address.
+    pub line: LineAddr,
+    /// Cache-specific state (MESI state, directory entry, …).
+    pub state: S,
+}
+
+#[derive(Debug, Clone)]
+struct Way<S> {
+    entry: Option<Entry<S>>,
+    /// Monotonic use stamp; smallest = least recently used.
+    lru: u64,
+}
+
+/// A set-associative array of [`Entry`]s with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct TagArray<S> {
+    geometry: CacheGeometry,
+    ways: Vec<Way<S>>,
+    clock: u64,
+    valid: u64,
+}
+
+impl<S> TagArray<S> {
+    /// An empty array with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> TagArray<S> {
+        let n = (geometry.sets() * u64::from(geometry.ways)) as usize;
+        let mut ways = Vec::with_capacity(n);
+        for _ in 0..n {
+            ways.push(Way {
+                entry: None,
+                lru: 0,
+            });
+        }
+        TagArray {
+            geometry,
+            ways,
+            clock: 0,
+            valid: 0,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> u64 {
+        self.valid
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = self.geometry.set_of(line) as usize;
+        let ways = self.geometry.ways as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    /// Looks up a line without touching LRU state.
+    pub fn peek(&self, line: LineAddr) -> Option<&Entry<S>> {
+        self.ways[self.set_range(line)]
+            .iter()
+            .filter_map(|w| w.entry.as_ref())
+            .find(|e| e.line == line)
+    }
+
+    /// Looks up a line, updating LRU on hit, and returns a mutable reference
+    /// to its state.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut S> {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line);
+        self.ways[range]
+            .iter_mut()
+            .find(|w| w.entry.as_ref().is_some_and(|e| e.line == line))
+            .map(|w| {
+                w.lru = clock;
+                &mut w.entry.as_mut().expect("checked above").state
+            })
+    }
+
+    /// Inserts a line (which must not already be present), evicting the LRU
+    /// victim of its set if the set is full. Returns the evicted entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is already present; callers must
+    /// use [`lookup`](Self::lookup) first.
+    pub fn insert(&mut self, line: LineAddr, state: S) -> Option<Entry<S>> {
+        debug_assert!(self.peek(line).is_none(), "inserting resident line {line}");
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line);
+        let set = &mut self.ways[range];
+
+        // Prefer an invalid way.
+        if let Some(way) = set.iter_mut().find(|w| w.entry.is_none()) {
+            way.entry = Some(Entry { line, state });
+            way.lru = clock;
+            self.valid += 1;
+            return None;
+        }
+        // Evict the least recently used way.
+        let victim_way = set
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("sets have at least one way");
+        let victim = victim_way.entry.replace(Entry { line, state });
+        victim_way.lru = clock;
+        victim
+    }
+
+    /// Removes a line if present, returning its entry.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Entry<S>> {
+        let range = self.set_range(line);
+        let way = self.ways[range]
+            .iter_mut()
+            .find(|w| w.entry.as_ref().is_some_and(|e| e.line == line))?;
+        self.valid -= 1;
+        way.entry.take()
+    }
+
+    /// Removes every line, invoking `f` on each removed entry (e.g. to count
+    /// dirty writebacks during a flush).
+    pub fn drain<F: FnMut(Entry<S>)>(&mut self, mut f: F) {
+        for way in &mut self.ways {
+            if let Some(entry) = way.entry.take() {
+                f(entry);
+            }
+        }
+        self.valid = 0;
+    }
+
+    /// Iterates over all resident entries (no LRU update).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<S>> {
+        self.ways.iter().filter_map(|w| w.entry.as_ref())
+    }
+
+    /// Iterates mutably over all resident entries (no LRU update).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Entry<S>> {
+        self.ways.iter_mut().filter_map(|w| w.entry.as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TagArray<u32> {
+        // 2 sets × 2 ways of 64-byte lines.
+        TagArray::new(CacheGeometry::new(256, 2, 64))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = small();
+        assert!(t.lookup(LineAddr(0)).is_none());
+        assert_eq!(t.insert(LineAddr(0), 7), None);
+        assert_eq!(t.lookup(LineAddr(0)), Some(&mut 7));
+        assert_eq!(t.valid_lines(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut t = small();
+        // Lines 0, 2, 4 all map to set 0 (2 sets).
+        t.insert(LineAddr(0), 0);
+        t.insert(LineAddr(2), 2);
+        // Touch line 0 so line 2 becomes LRU.
+        t.lookup(LineAddr(0));
+        let victim = t.insert(LineAddr(4), 4).expect("set is full");
+        assert_eq!(victim.line, LineAddr(2));
+        assert!(t.peek(LineAddr(0)).is_some());
+        assert!(t.peek(LineAddr(4)).is_some());
+    }
+
+    #[test]
+    fn insert_prefers_invalid_ways() {
+        let mut t = small();
+        t.insert(LineAddr(0), 0);
+        assert!(t.insert(LineAddr(2), 2).is_none());
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut t = small();
+        t.insert(LineAddr(0), 0); // set 0
+        t.insert(LineAddr(1), 1); // set 1
+        t.insert(LineAddr(2), 2); // set 0
+        t.insert(LineAddr(3), 3); // set 1
+        assert_eq!(t.valid_lines(), 4);
+        assert!(t.insert(LineAddr(4), 4).is_some()); // set 0 overflows
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut t = small();
+        t.insert(LineAddr(0), 9);
+        let removed = t.invalidate(LineAddr(0)).unwrap();
+        assert_eq!(removed.state, 9);
+        assert!(t.peek(LineAddr(0)).is_none());
+        assert_eq!(t.valid_lines(), 0);
+        assert!(t.invalidate(LineAddr(0)).is_none());
+    }
+
+    #[test]
+    fn drain_visits_everything() {
+        let mut t = small();
+        t.insert(LineAddr(0), 1);
+        t.insert(LineAddr(1), 2);
+        t.insert(LineAddr(2), 3);
+        let mut sum = 0;
+        t.drain(|e| sum += e.state);
+        assert_eq!(sum, 6);
+        assert_eq!(t.valid_lines(), 0);
+    }
+
+    #[test]
+    fn state_is_mutable_through_lookup() {
+        let mut t = small();
+        t.insert(LineAddr(0), 1);
+        *t.lookup(LineAddr(0)).unwrap() = 42;
+        assert_eq!(t.peek(LineAddr(0)).unwrap().state, 42);
+    }
+
+    #[test]
+    fn iter_covers_resident_lines() {
+        let mut t = small();
+        t.insert(LineAddr(0), 1);
+        t.insert(LineAddr(3), 2);
+        let mut lines: Vec<u64> = t.iter().map(|e| e.line.0).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0, 3]);
+    }
+
+    #[test]
+    fn capacity_larger_arrays() {
+        // 32 KiB, 4-way, 64 B: 512 lines. Insert 512 distinct lines in a
+        // stride-free pattern: no evictions.
+        let mut t: TagArray<()> = TagArray::new(CacheGeometry::new(32 * 1024, 4, 64));
+        let mut evictions = 0;
+        for i in 0..512 {
+            if t.insert(LineAddr(i), ()).is_some() {
+                evictions += 1;
+            }
+        }
+        assert_eq!(evictions, 0);
+        assert_eq!(t.valid_lines(), 512);
+        // The 513th line must evict.
+        assert!(t.insert(LineAddr(512), ()).is_some());
+    }
+}

@@ -1,0 +1,540 @@
+//! The Q-learning module of Section 4.2.
+//!
+//! A [`QTable`] stores, for each (state, action) pair, the expected reward of
+//! taking that action from that state (243 × 4 = 972 entries, initialised to
+//! zero). The [`QLearner`] selects actions ε-greedily among the *available*
+//! modes and updates the table with
+//!
+//! ```text
+//! Q(s,a) ← (1 − α) · Q(s,a) + α · R(s,a)
+//! ```
+//!
+//! The exploration rate ε and learning rate α start at the paper's values
+//! (0.5 and 0.25) and decay linearly to zero over the configured number of
+//! training iterations, after which the model is frozen and further updates
+//! are disabled.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::modes::{CoherenceMode, ModeSet};
+use crate::state::State;
+
+/// The Q-table: expected reward per (state, action) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    /// Row-major `[state][action]`, `State::COUNT × CoherenceMode::COUNT`.
+    q: Vec<f64>,
+}
+
+impl QTable {
+    /// Total number of entries: 243 × 4 = 972.
+    pub const ENTRIES: usize = State::COUNT * CoherenceMode::COUNT;
+
+    /// A zero-initialised table, as at the beginning of training.
+    pub fn new() -> QTable {
+        QTable {
+            q: vec![0.0; Self::ENTRIES],
+        }
+    }
+
+    /// Reads `Q(s, a)`.
+    pub fn get(&self, state: State, action: CoherenceMode) -> f64 {
+        self.q[state.index() * CoherenceMode::COUNT + action.index()]
+    }
+
+    /// Writes `Q(s, a)`.
+    pub fn set(&mut self, state: State, action: CoherenceMode, value: f64) {
+        self.q[state.index() * CoherenceMode::COUNT + action.index()] = value;
+    }
+
+    /// The highest-valued action from `state` among `available` modes.
+    /// Ties break toward the lower mode index, deterministically.
+    ///
+    /// Returns `None` if `available` is empty.
+    pub fn best_action(&self, state: State, available: ModeSet) -> Option<CoherenceMode> {
+        let mut best: Option<(CoherenceMode, f64)> = None;
+        for mode in available.iter() {
+            let q = self.get(state, mode);
+            // Strict comparison: ties resolve to the first (lowest-index) mode.
+            if best.map_or(true, |(_, bq)| q > bq) {
+                best = Some((mode, q));
+            }
+        }
+        best.map(|(m, _)| m)
+    }
+
+    /// Number of entries that have been written to a non-zero value —
+    /// a rough measure of how much of the state space training has visited.
+    pub fn populated_entries(&self) -> usize {
+        self.q.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Iterates `(state, action, value)` over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (State, CoherenceMode, f64)> + '_ {
+        self.q.iter().enumerate().map(|(i, &v)| {
+            (
+                State::from_index(i / CoherenceMode::COUNT),
+                CoherenceMode::from_index(i % CoherenceMode::COUNT),
+                v,
+            )
+        })
+    }
+
+    /// Serialises the table to a TSV text: one row per state,
+    /// `state_index<TAB>q0<TAB>q1<TAB>q2<TAB>q3`. Zero rows are skipped, so
+    /// sparsely-trained tables stay compact. Round-trips through
+    /// [`from_tsv`](Self::from_tsv); useful for persisting a trained model
+    /// and restoring it on a later run (the paper's "disable further
+    /// updates and evaluate" protocol across process lifetimes).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("# cohmeleon q-table v1\n");
+        for s in 0..State::COUNT {
+            let row = &self.q[s * CoherenceMode::COUNT..(s + 1) * CoherenceMode::COUNT];
+            if row.iter().all(|v| *v == 0.0) {
+                continue;
+            }
+            out.push_str(&format!(
+                "{s}\t{}\t{}\t{}\t{}\n",
+                row[0], row[1], row[2], row[3]
+            ));
+        }
+        out
+    }
+
+    /// Parses a table previously produced by [`to_tsv`](Self::to_tsv).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for malformed rows,
+    /// out-of-range state indices, or non-finite values.
+    pub fn from_tsv(text: &str) -> Result<QTable, String> {
+        let mut table = QTable::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 1 + CoherenceMode::COUNT {
+                return Err(format!("line {}: expected 5 fields", lineno + 1));
+            }
+            let s: usize = fields[0]
+                .parse()
+                .map_err(|_| format!("line {}: bad state index", lineno + 1))?;
+            if s >= State::COUNT {
+                return Err(format!("line {}: state {s} out of range", lineno + 1));
+            }
+            for (a, field) in fields[1..].iter().enumerate() {
+                let v: f64 = field
+                    .parse()
+                    .map_err(|_| format!("line {}: bad value", lineno + 1))?;
+                if !v.is_finite() {
+                    return Err(format!("line {}: non-finite value", lineno + 1));
+                }
+                table.q[s * CoherenceMode::COUNT + a] = v;
+            }
+        }
+        Ok(table)
+    }
+}
+
+impl Default for QTable {
+    fn default() -> Self {
+        QTable::new()
+    }
+}
+
+/// The training schedule: initial ε and α and the number of evaluation-app
+/// iterations over which both decay linearly to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearningSchedule {
+    /// Initial exploration rate (paper: 0.5).
+    pub epsilon0: f64,
+    /// Initial learning rate (paper: 0.25).
+    pub alpha0: f64,
+    /// Number of training iterations over which ε and α decay to zero.
+    pub train_iterations: usize,
+}
+
+impl LearningSchedule {
+    /// The paper's schedule: ε₀ = 0.5, α₀ = 0.25, decaying linearly to zero
+    /// over `train_iterations` iterations of the evaluation application.
+    pub fn paper_default(train_iterations: usize) -> LearningSchedule {
+        LearningSchedule {
+            epsilon0: 0.5,
+            alpha0: 0.25,
+            train_iterations: train_iterations.max(1),
+        }
+    }
+
+    /// Validates the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroTrainingIterations`] when no training
+    /// iterations are configured.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.train_iterations == 0 {
+            return Err(CoreError::ZeroTrainingIterations);
+        }
+        Ok(())
+    }
+
+    /// ε at the start of training iteration `i` (0-based): linear decay
+    /// reaching zero at `i == train_iterations`.
+    pub fn epsilon_at(&self, iteration: usize) -> f64 {
+        decayed(self.epsilon0, iteration, self.train_iterations)
+    }
+
+    /// α at the start of training iteration `i` (0-based).
+    pub fn alpha_at(&self, iteration: usize) -> f64 {
+        decayed(self.alpha0, iteration, self.train_iterations)
+    }
+}
+
+fn decayed(initial: f64, iteration: usize, total: usize) -> f64 {
+    if iteration >= total {
+        0.0
+    } else {
+        initial * (1.0 - iteration as f64 / total as f64)
+    }
+}
+
+/// The reinforcement-learning agent: Q-table + ε-greedy selection + update
+/// rule + decay schedule.
+#[derive(Debug, Clone)]
+pub struct QLearner {
+    table: QTable,
+    schedule: LearningSchedule,
+    epsilon: f64,
+    alpha: f64,
+    iteration: usize,
+    frozen: bool,
+    rng: SmallRng,
+}
+
+impl QLearner {
+    /// Creates an untrained learner (all Q-values zero) positioned at
+    /// training iteration 0.
+    pub fn new(schedule: LearningSchedule, seed: u64) -> QLearner {
+        QLearner {
+            table: QTable::new(),
+            schedule,
+            epsilon: schedule.epsilon_at(0),
+            alpha: schedule.alpha_at(0),
+            iteration: 0,
+            frozen: false,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Marks the start of training iteration `i`, updating ε and α per the
+    /// linear decay schedule. Iterations at or past `train_iterations`
+    /// freeze the model.
+    pub fn begin_iteration(&mut self, iteration: usize) {
+        self.iteration = iteration;
+        self.epsilon = self.schedule.epsilon_at(iteration);
+        self.alpha = self.schedule.alpha_at(iteration);
+        if iteration >= self.schedule.train_iterations {
+            self.frozen = true;
+        }
+    }
+
+    /// Permanently disables exploration and updates ("once the learning
+    /// model has converged, we disable further updates").
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+        self.epsilon = 0.0;
+        self.alpha = 0.0;
+    }
+
+    /// Whether updates are disabled.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        if self.frozen {
+            0.0
+        } else {
+            self.epsilon
+        }
+    }
+
+    /// Current learning rate.
+    pub fn alpha(&self) -> f64 {
+        if self.frozen {
+            0.0
+        } else {
+            self.alpha
+        }
+    }
+
+    /// ε-greedy action selection among `available` modes: with probability ε
+    /// a uniformly random available mode (exploration), otherwise the
+    /// highest-Q available mode (exploitation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available` is empty; callers must offer at least one mode.
+    pub fn choose(&mut self, state: State, available: ModeSet) -> CoherenceMode {
+        assert!(!available.is_empty(), "cannot choose from an empty mode set");
+        if !self.frozen && self.rng.gen::<f64>() < self.epsilon {
+            let n = available.len();
+            let pick = self.rng.gen_range(0..n);
+            available.iter().nth(pick).expect("index within set size")
+        } else {
+            // Exploit: argmax with *random* tie-breaking, so an untrained
+            // model (all-zero table) behaves exactly like the Random policy,
+            // as the paper states for iteration 0 of Figure 8.
+            let best = self
+                .table
+                .best_action(state, available)
+                .expect("non-empty set has a best action");
+            let best_q = self.table.get(state, best);
+            let ties: Vec<CoherenceMode> = available
+                .iter()
+                .filter(|m| (self.table.get(state, *m) - best_q).abs() < f64::EPSILON)
+                .collect();
+            if ties.len() <= 1 {
+                best
+            } else {
+                ties[self.rng.gen_range(0..ties.len())]
+            }
+        }
+    }
+
+    /// Applies the update `Q(s,a) ← (1−α)·Q(s,a) + α·R`. No-op when frozen.
+    pub fn update(&mut self, state: State, action: CoherenceMode, reward: f64) {
+        if self.frozen || self.alpha == 0.0 {
+            return;
+        }
+        let old = self.table.get(state, action);
+        self.table
+            .set(state, action, (1.0 - self.alpha) * old + self.alpha * reward);
+    }
+
+    /// Read access to the learned table.
+    pub fn table(&self) -> &QTable {
+        &self.table
+    }
+
+    /// Replaces the table (e.g. to restore a previously trained model).
+    pub fn set_table(&mut self, table: QTable) {
+        self.table = table;
+    }
+
+    /// The learner's schedule.
+    pub fn schedule(&self) -> LearningSchedule {
+        self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn any_state() -> State {
+        State::from_index(42)
+    }
+
+    #[test]
+    fn table_starts_at_zero() {
+        let t = QTable::new();
+        for (_, _, v) in t.iter() {
+            assert_eq!(v, 0.0);
+        }
+        assert_eq!(t.populated_entries(), 0);
+    }
+
+    #[test]
+    fn table_has_972_entries() {
+        assert_eq!(QTable::ENTRIES, 972);
+        assert_eq!(QTable::new().iter().count(), 972);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = QTable::new();
+        t.set(any_state(), CoherenceMode::CohDma, 0.7);
+        assert_eq!(t.get(any_state(), CoherenceMode::CohDma), 0.7);
+        assert_eq!(t.get(any_state(), CoherenceMode::FullCoh), 0.0);
+    }
+
+    #[test]
+    fn best_action_prefers_highest_q() {
+        let mut t = QTable::new();
+        t.set(any_state(), CoherenceMode::LlcCohDma, 0.9);
+        t.set(any_state(), CoherenceMode::FullCoh, 0.5);
+        assert_eq!(
+            t.best_action(any_state(), ModeSet::all()),
+            Some(CoherenceMode::LlcCohDma)
+        );
+    }
+
+    #[test]
+    fn best_action_ties_break_to_lowest_index() {
+        let t = QTable::new();
+        assert_eq!(
+            t.best_action(any_state(), ModeSet::all()),
+            Some(CoherenceMode::NonCohDma)
+        );
+    }
+
+    #[test]
+    fn best_action_respects_availability() {
+        let mut t = QTable::new();
+        t.set(any_state(), CoherenceMode::NonCohDma, 1.0);
+        let available = ModeSet::all().without(CoherenceMode::NonCohDma);
+        let best = t.best_action(any_state(), available).unwrap();
+        assert_ne!(best, CoherenceMode::NonCohDma);
+        assert_eq!(t.best_action(any_state(), ModeSet::EMPTY), None);
+    }
+
+    #[test]
+    fn schedule_decays_linearly_to_zero() {
+        let s = LearningSchedule::paper_default(10);
+        assert_eq!(s.epsilon_at(0), 0.5);
+        assert!((s.epsilon_at(5) - 0.25).abs() < 1e-12);
+        assert_eq!(s.epsilon_at(10), 0.0);
+        assert_eq!(s.epsilon_at(11), 0.0);
+        assert_eq!(s.alpha_at(0), 0.25);
+        assert!((s.alpha_at(5) - 0.125).abs() < 1e-12);
+        assert_eq!(s.alpha_at(10), 0.0);
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(LearningSchedule::paper_default(10).validate().is_ok());
+        let bad = LearningSchedule {
+            epsilon0: 0.5,
+            alpha0: 0.25,
+            train_iterations: 0,
+        };
+        assert_eq!(bad.validate(), Err(CoreError::ZeroTrainingIterations));
+    }
+
+    #[test]
+    fn update_applies_learning_rate() {
+        let mut l = QLearner::new(LearningSchedule::paper_default(10), 1);
+        l.update(any_state(), CoherenceMode::CohDma, 1.0);
+        // Q = (1 - 0.25)*0 + 0.25*1 = 0.25
+        assert!((l.table().get(any_state(), CoherenceMode::CohDma) - 0.25).abs() < 1e-12);
+        l.update(any_state(), CoherenceMode::CohDma, 1.0);
+        assert!((l.table().get(any_state(), CoherenceMode::CohDma) - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frozen_learner_neither_updates_nor_explores() {
+        let mut l = QLearner::new(LearningSchedule::paper_default(10), 1);
+        l.table.set(any_state(), CoherenceMode::FullCoh, 0.9);
+        l.freeze();
+        l.update(any_state(), CoherenceMode::CohDma, 1.0);
+        assert_eq!(l.table().get(any_state(), CoherenceMode::CohDma), 0.0);
+        // With exploration disabled, choice is always the argmax.
+        for _ in 0..50 {
+            assert_eq!(l.choose(any_state(), ModeSet::all()), CoherenceMode::FullCoh);
+        }
+    }
+
+    #[test]
+    fn begin_iteration_past_schedule_freezes() {
+        let mut l = QLearner::new(LearningSchedule::paper_default(10), 1);
+        l.begin_iteration(10);
+        assert!(l.is_frozen());
+        assert_eq!(l.epsilon(), 0.0);
+        assert_eq!(l.alpha(), 0.0);
+    }
+
+    #[test]
+    fn exploration_visits_multiple_actions() {
+        let mut l = QLearner::new(LearningSchedule::paper_default(10), 7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let m = l.choose(any_state(), ModeSet::all());
+            seen[m.index()] = true;
+        }
+        // ε = 0.5 ⇒ all four actions appear with overwhelming probability.
+        assert!(seen.iter().all(|&s| s), "seen = {seen:?}");
+    }
+
+    #[test]
+    fn exploration_respects_available_set() {
+        let mut l = QLearner::new(LearningSchedule::paper_default(10), 7);
+        let available = ModeSet::only(CoherenceMode::LlcCohDma).with(CoherenceMode::CohDma);
+        for _ in 0..100 {
+            let m = l.choose(any_state(), available);
+            assert!(available.contains(m));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mode set")]
+    fn choosing_from_empty_set_panics() {
+        let mut l = QLearner::new(LearningSchedule::paper_default(10), 7);
+        l.choose(any_state(), ModeSet::EMPTY);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_choices() {
+        let mut a = QLearner::new(LearningSchedule::paper_default(10), 99);
+        let mut b = QLearner::new(LearningSchedule::paper_default(10), 99);
+        for _ in 0..100 {
+            assert_eq!(
+                a.choose(any_state(), ModeSet::all()),
+                b.choose(any_state(), ModeSet::all())
+            );
+        }
+    }
+
+    #[test]
+    fn tsv_roundtrip_preserves_values() {
+        let mut t = QTable::new();
+        t.set(State::from_index(0), CoherenceMode::NonCohDma, 0.125);
+        t.set(State::from_index(42), CoherenceMode::CohDma, 0.75);
+        t.set(State::from_index(242), CoherenceMode::FullCoh, 1.0);
+        let text = t.to_tsv();
+        let back = QTable::from_tsv(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn tsv_skips_zero_rows() {
+        let mut t = QTable::new();
+        t.set(State::from_index(7), CoherenceMode::LlcCohDma, 0.5);
+        let text = t.to_tsv();
+        // Header + one populated row.
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_input() {
+        assert!(QTable::from_tsv("1\t2\t3\n").is_err());
+        assert!(QTable::from_tsv("999\t0\t0\t0\t0\n").is_err());
+        assert!(QTable::from_tsv("abc\t0\t0\t0\t0\n").is_err());
+        assert!(QTable::from_tsv("1\t0\tNaN\t0\t0\n").is_err());
+        // Comments and blank lines are tolerated.
+        let ok = QTable::from_tsv("# comment\n\n0\t0.1\t0.2\t0.3\t0.4\n").unwrap();
+        assert_eq!(ok.get(State::from_index(0), CoherenceMode::FullCoh), 0.4);
+    }
+
+    #[test]
+    fn learner_converges_to_best_action_on_stationary_rewards() {
+        // Synthetic bandit: CohDma always pays 1.0, everything else 0.1.
+        let mut l = QLearner::new(LearningSchedule::paper_default(50), 3);
+        for i in 0..50 {
+            l.begin_iteration(i);
+            for _ in 0..20 {
+                let a = l.choose(any_state(), ModeSet::all());
+                let r = if a == CoherenceMode::CohDma { 1.0 } else { 0.1 };
+                l.update(any_state(), a, r);
+            }
+        }
+        l.freeze();
+        assert_eq!(l.choose(any_state(), ModeSet::all()), CoherenceMode::CohDma);
+    }
+}

@@ -1,0 +1,295 @@
+//! The "sense" phase: a compact snapshot of SoC status.
+//!
+//! Tracking the complete state of an SoC is intractable, so the paper's
+//! software layer records only the variables shown to matter (Section 4.1):
+//! the number of active accelerators, the coherence mode of each, and their
+//! memory footprints — plus which memory partitions each active dataset maps
+//! to, because contention is per-partition. [`SystemSnapshot`] is that
+//! record, taken at the moment one particular accelerator is about to be
+//! invoked (the *target* invocation).
+
+use serde::{Deserialize, Serialize};
+
+use crate::modes::CoherenceMode;
+use crate::{AccelInstanceId, PartitionId};
+
+/// The architecture constants the sense layer needs in order to discretize
+/// footprints: private-cache and LLC-slice capacities and the number of
+/// memory partitions. These mirror the per-SoC rows of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchParams {
+    /// Capacity of one private (L2) cache in bytes.
+    pub l2_bytes: u64,
+    /// Capacity of one LLC partition (slice) in bytes.
+    pub llc_slice_bytes: u64,
+    /// Number of memory partitions (LLC slice + DRAM controller pairs).
+    pub num_partitions: usize,
+}
+
+impl ArchParams {
+    /// Convenience constructor.
+    pub fn new(l2_bytes: u64, llc_slice_bytes: u64, num_partitions: usize) -> ArchParams {
+        ArchParams {
+            l2_bytes,
+            llc_slice_bytes,
+            num_partitions,
+        }
+    }
+
+    /// Aggregate LLC capacity across all partitions.
+    pub fn llc_total_bytes(&self) -> u64 {
+        self.llc_slice_bytes * self.num_partitions as u64
+    }
+}
+
+/// One currently-active accelerator invocation, as recorded by the status
+/// tracker when the accelerator was started.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActiveAccel {
+    /// Which accelerator tile is running.
+    pub instance: AccelInstanceId,
+    /// The coherence mode it was started with.
+    pub mode: CoherenceMode,
+    /// Memory footprint (workload size) of its invocation, in bytes.
+    pub footprint_bytes: u64,
+    /// The memory partitions its dataset maps to. The footprint is assumed
+    /// to be spread evenly across them (ESP allocates datasets in contiguous
+    /// big pages, so this is typically a single partition).
+    pub partitions: Vec<PartitionId>,
+}
+
+impl ActiveAccel {
+    /// The share of this accelerator's footprint that falls on `partition`
+    /// (0 if the dataset does not touch it).
+    pub fn footprint_on(&self, partition: PartitionId) -> f64 {
+        if self.partitions.contains(&partition) {
+            self.footprint_bytes as f64 / self.partitions.len() as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Does this accelerator's dataset touch `partition`?
+    pub fn touches(&self, partition: PartitionId) -> bool {
+        self.partitions.contains(&partition)
+    }
+}
+
+/// A snapshot of system status taken when a target accelerator is about to
+/// be invoked. Input to every [`Policy`](crate::policy::Policy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSnapshot {
+    /// Architecture constants of the SoC this snapshot was taken on.
+    pub arch: ArchParams,
+    /// All accelerators active at snapshot time (excluding the target).
+    pub active: Vec<ActiveAccel>,
+    /// Memory footprint of the target invocation, in bytes.
+    pub target_footprint: u64,
+    /// The memory partitions the target invocation's dataset maps to.
+    pub target_partitions: Vec<PartitionId>,
+}
+
+impl SystemSnapshot {
+    /// Creates a snapshot. `target_partitions` must be non-empty; an
+    /// invocation always touches at least one memory partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_partitions` is empty.
+    pub fn new(
+        arch: ArchParams,
+        active: Vec<ActiveAccel>,
+        target_footprint: u64,
+        target_partitions: Vec<PartitionId>,
+    ) -> SystemSnapshot {
+        assert!(
+            !target_partitions.is_empty(),
+            "target invocation must map to at least one memory partition"
+        );
+        SystemSnapshot {
+            arch,
+            active,
+            target_footprint,
+            target_partitions,
+        }
+    }
+
+    /// Number of active accelerators (the target not included).
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of active accelerators currently in `mode`.
+    pub fn active_in_mode(&self, mode: CoherenceMode) -> usize {
+        self.active.iter().filter(|a| a.mode == mode).count()
+    }
+
+    /// Sum of the footprints of all active accelerators, in bytes.
+    /// (`active_footprint` in Algorithm 1.)
+    pub fn active_footprint_bytes(&self) -> u64 {
+        self.active.iter().map(|a| a.footprint_bytes).sum()
+    }
+
+    /// *Fully coh acc* attribute of Table 3: total number of active
+    /// fully-coherent accelerators.
+    pub fn fully_coherent_count(&self) -> usize {
+        self.active_in_mode(CoherenceMode::FullCoh)
+    }
+
+    /// *Non coh acc per tile* of Table 3: average number of non-coherent
+    /// accelerators communicating with each memory partition needed by the
+    /// target invocation.
+    pub fn avg_non_coh_per_needed_partition(&self) -> f64 {
+        self.avg_over_needed_partitions(|p| {
+            self.active
+                .iter()
+                .filter(|a| a.mode == CoherenceMode::NonCohDma && a.touches(p))
+                .count() as f64
+        })
+    }
+
+    /// *To LLC per tile* of Table 3: average number of accelerators whose
+    /// requests reach each LLC partition needed by the target invocation
+    /// (every mode except non-coherent DMA routes through the LLC).
+    pub fn avg_to_llc_per_needed_partition(&self) -> f64 {
+        self.avg_over_needed_partitions(|p| {
+            self.active
+                .iter()
+                .filter(|a| a.mode.accesses_llc() && a.touches(p))
+                .count() as f64
+        })
+    }
+
+    /// *Tile footprint* of Table 3 (before discretization): average number of
+    /// bytes of active data — including the target's own share — mapped to
+    /// each cache-hierarchy partition needed by the target invocation.
+    pub fn avg_needed_partition_footprint(&self) -> f64 {
+        let target_share = self.target_footprint as f64 / self.target_partitions.len() as f64;
+        self.avg_over_needed_partitions(|p| {
+            let others: f64 = self.active.iter().map(|a| a.footprint_on(p)).sum();
+            others + target_share
+        })
+    }
+
+    /// Averages `f(partition)` over the partitions needed by the target.
+    fn avg_over_needed_partitions<F: Fn(PartitionId) -> f64>(&self, f: F) -> f64 {
+        let sum: f64 = self.target_partitions.iter().map(|&p| f(p)).sum();
+        sum / self.target_partitions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> ArchParams {
+        ArchParams::new(32 * 1024, 256 * 1024, 2)
+    }
+
+    fn active(id: u16, mode: CoherenceMode, kb: u64, parts: &[u16]) -> ActiveAccel {
+        ActiveAccel {
+            instance: AccelInstanceId(id),
+            mode,
+            footprint_bytes: kb * 1024,
+            partitions: parts.iter().map(|&p| PartitionId(p)).collect(),
+        }
+    }
+
+    #[test]
+    fn llc_total_is_slices_times_partitions() {
+        assert_eq!(arch().llc_total_bytes(), 512 * 1024);
+    }
+
+    #[test]
+    fn empty_system_has_zero_everything() {
+        let s = SystemSnapshot::new(arch(), vec![], 4096, vec![PartitionId(0)]);
+        assert_eq!(s.active_count(), 0);
+        assert_eq!(s.fully_coherent_count(), 0);
+        assert_eq!(s.avg_non_coh_per_needed_partition(), 0.0);
+        assert_eq!(s.avg_to_llc_per_needed_partition(), 0.0);
+        // Only the target's own footprint counts toward partition pressure.
+        assert_eq!(s.avg_needed_partition_footprint(), 4096.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one memory partition")]
+    fn empty_target_partitions_panics() {
+        SystemSnapshot::new(arch(), vec![], 4096, vec![]);
+    }
+
+    #[test]
+    fn counts_by_mode() {
+        let s = SystemSnapshot::new(
+            arch(),
+            vec![
+                active(1, CoherenceMode::FullCoh, 16, &[0]),
+                active(2, CoherenceMode::FullCoh, 16, &[1]),
+                active(3, CoherenceMode::NonCohDma, 64, &[0]),
+            ],
+            16 * 1024,
+            vec![PartitionId(0)],
+        );
+        assert_eq!(s.fully_coherent_count(), 2);
+        assert_eq!(s.active_in_mode(CoherenceMode::NonCohDma), 1);
+        assert_eq!(s.active_footprint_bytes(), 96 * 1024);
+    }
+
+    #[test]
+    fn per_partition_averages_respect_partition_mapping() {
+        // Two non-coherent accelerators on partition 0, none on partition 1.
+        let s = SystemSnapshot::new(
+            arch(),
+            vec![
+                active(1, CoherenceMode::NonCohDma, 16, &[0]),
+                active(2, CoherenceMode::NonCohDma, 16, &[0]),
+            ],
+            4096,
+            vec![PartitionId(0), PartitionId(1)],
+        );
+        // Target needs both partitions; avg over {2, 0} = 1.
+        assert_eq!(s.avg_non_coh_per_needed_partition(), 1.0);
+
+        let s_only_p0 = SystemSnapshot::new(
+            s.arch,
+            s.active.clone(),
+            4096,
+            vec![PartitionId(0)],
+        );
+        assert_eq!(s_only_p0.avg_non_coh_per_needed_partition(), 2.0);
+    }
+
+    #[test]
+    fn to_llc_counts_all_llc_modes() {
+        let s = SystemSnapshot::new(
+            arch(),
+            vec![
+                active(1, CoherenceMode::LlcCohDma, 16, &[0]),
+                active(2, CoherenceMode::CohDma, 16, &[0]),
+                active(3, CoherenceMode::FullCoh, 16, &[0]),
+                active(4, CoherenceMode::NonCohDma, 16, &[0]),
+            ],
+            4096,
+            vec![PartitionId(0)],
+        );
+        assert_eq!(s.avg_to_llc_per_needed_partition(), 3.0);
+    }
+
+    #[test]
+    fn footprint_share_splits_across_partitions() {
+        let a = active(1, CoherenceMode::CohDma, 64, &[0, 1]);
+        assert_eq!(a.footprint_on(PartitionId(0)), 32.0 * 1024.0);
+        assert_eq!(a.footprint_on(PartitionId(1)), 32.0 * 1024.0);
+        assert_eq!(a.footprint_on(PartitionId(9)), 0.0);
+    }
+
+    #[test]
+    fn partition_footprint_includes_target_share() {
+        let s = SystemSnapshot::new(
+            arch(),
+            vec![active(1, CoherenceMode::CohDma, 64, &[0])],
+            32 * 1024,
+            vec![PartitionId(0)],
+        );
+        assert_eq!(s.avg_needed_partition_footprint(), (64.0 + 32.0) * 1024.0);
+    }
+}

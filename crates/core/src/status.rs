@@ -1,0 +1,196 @@
+//! The lightweight status-tracking layer of Section 4.1 ("Sense").
+//!
+//! The paper extends the ESP accelerator-invocation API with global
+//! structures recording the number of active accelerators, their footprints,
+//! and the chosen coherence modes; the structures are updated when an
+//! accelerator is invoked and when it returns control to software.
+//! [`StatusTracker`] is that layer: the embedding system calls
+//! [`StatusTracker::begin`] / [`StatusTracker::end`] around every invocation
+//! and [`StatusTracker::snapshot`] at decision time.
+
+use std::collections::HashMap;
+
+use crate::snapshot::{ActiveAccel, ArchParams, SystemSnapshot};
+use crate::{AccelInstanceId, CoherenceMode, PartitionId};
+
+/// Tracks which accelerators are active, with what footprint, in what mode.
+#[derive(Debug, Clone)]
+pub struct StatusTracker {
+    arch: ArchParams,
+    active: HashMap<AccelInstanceId, ActiveAccel>,
+    /// Monotonic count of completed invocations (diagnostics).
+    completed: u64,
+}
+
+impl StatusTracker {
+    /// Creates a tracker for an SoC with the given architecture parameters.
+    pub fn new(arch: ArchParams) -> StatusTracker {
+        StatusTracker {
+            arch,
+            active: HashMap::new(),
+            completed: 0,
+        }
+    }
+
+    /// The architecture parameters this tracker was built with.
+    pub fn arch(&self) -> ArchParams {
+        self.arch
+    }
+
+    /// Records that `accel` has started an invocation with the given
+    /// footprint, partition mapping and actuated mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accel` is already registered as active: loosely-coupled
+    /// accelerators execute one coarse-grained task at a time.
+    pub fn begin(
+        &mut self,
+        accel: AccelInstanceId,
+        mode: CoherenceMode,
+        footprint_bytes: u64,
+        partitions: Vec<PartitionId>,
+    ) {
+        let prev = self.active.insert(
+            accel,
+            ActiveAccel {
+                instance: accel,
+                mode,
+                footprint_bytes,
+                partitions,
+            },
+        );
+        assert!(
+            prev.is_none(),
+            "accelerator {accel} started a second invocation while active"
+        );
+    }
+
+    /// Records that `accel` has completed and returned control to software.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accel` was not active.
+    pub fn end(&mut self, accel: AccelInstanceId) {
+        let removed = self.active.remove(&accel);
+        assert!(removed.is_some(), "accelerator {accel} ended but was not active");
+        self.completed += 1;
+    }
+
+    /// Number of currently active accelerators.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether `accel` is currently active.
+    pub fn is_active(&self, accel: AccelInstanceId) -> bool {
+        self.active.contains_key(&accel)
+    }
+
+    /// Total completed invocations since construction.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Takes the system snapshot for a prospective invocation of a *target*
+    /// accelerator with the given footprint and partition mapping. The
+    /// target itself is excluded from the active list (it has not started
+    /// yet); all other in-flight invocations are included, sorted by
+    /// instance id for determinism.
+    pub fn snapshot(
+        &self,
+        target_footprint: u64,
+        target_partitions: Vec<PartitionId>,
+    ) -> SystemSnapshot {
+        let mut active: Vec<ActiveAccel> = self.active.values().cloned().collect();
+        active.sort_by_key(|a| a.instance);
+        SystemSnapshot::new(self.arch, active, target_footprint, target_partitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> StatusTracker {
+        StatusTracker::new(ArchParams::new(32 * 1024, 256 * 1024, 2))
+    }
+
+    #[test]
+    fn begin_end_lifecycle() {
+        let mut t = tracker();
+        assert_eq!(t.active_count(), 0);
+        t.begin(
+            AccelInstanceId(1),
+            CoherenceMode::CohDma,
+            4096,
+            vec![PartitionId(0)],
+        );
+        assert!(t.is_active(AccelInstanceId(1)));
+        assert_eq!(t.active_count(), 1);
+        t.end(AccelInstanceId(1));
+        assert!(!t.is_active(AccelInstanceId(1)));
+        assert_eq!(t.completed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "second invocation")]
+    fn double_begin_panics() {
+        let mut t = tracker();
+        t.begin(
+            AccelInstanceId(1),
+            CoherenceMode::CohDma,
+            4096,
+            vec![PartitionId(0)],
+        );
+        t.begin(
+            AccelInstanceId(1),
+            CoherenceMode::CohDma,
+            4096,
+            vec![PartitionId(0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "was not active")]
+    fn end_without_begin_panics() {
+        let mut t = tracker();
+        t.end(AccelInstanceId(1));
+    }
+
+    #[test]
+    fn snapshot_excludes_target_and_sorts_active() {
+        let mut t = tracker();
+        t.begin(
+            AccelInstanceId(5),
+            CoherenceMode::NonCohDma,
+            1000,
+            vec![PartitionId(0)],
+        );
+        t.begin(
+            AccelInstanceId(2),
+            CoherenceMode::FullCoh,
+            2000,
+            vec![PartitionId(1)],
+        );
+        let snap = t.snapshot(4096, vec![PartitionId(0)]);
+        assert_eq!(snap.active.len(), 2);
+        assert_eq!(snap.active[0].instance, AccelInstanceId(2));
+        assert_eq!(snap.active[1].instance, AccelInstanceId(5));
+        assert_eq!(snap.target_footprint, 4096);
+    }
+
+    #[test]
+    fn snapshot_reflects_modes_and_footprints() {
+        let mut t = tracker();
+        t.begin(
+            AccelInstanceId(1),
+            CoherenceMode::FullCoh,
+            64 * 1024,
+            vec![PartitionId(0)],
+        );
+        let snap = t.snapshot(1024, vec![PartitionId(0)]);
+        assert_eq!(snap.fully_coherent_count(), 1);
+        assert_eq!(snap.active_footprint_bytes(), 64 * 1024);
+    }
+}

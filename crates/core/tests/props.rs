@@ -1,0 +1,143 @@
+//! Property tests for the Cohmeleon core: state encoding, reward bounds,
+//! Q-table dynamics and policy behaviour.
+
+use cohmeleon_core::manual::{algorithm1_restricted, ManualThresholds};
+use cohmeleon_core::policy::{CohmeleonPolicy, Policy};
+use cohmeleon_core::qlearn::{LearningSchedule, QLearner};
+use cohmeleon_core::reward::{InvocationMeasurement, RewardHistory, RewardWeights};
+use cohmeleon_core::snapshot::{ActiveAccel, ArchParams, SystemSnapshot};
+use cohmeleon_core::{AccelInstanceId, CoherenceMode, ModeSet, PartitionId, State};
+use proptest::prelude::*;
+
+fn arb_mode() -> impl Strategy<Value = CoherenceMode> {
+    (0usize..4).prop_map(CoherenceMode::from_index)
+}
+
+fn arb_snapshot() -> impl Strategy<Value = SystemSnapshot> {
+    let active = proptest::collection::vec(
+        (0u16..32, arb_mode(), 1u64..(8 << 20), 0u16..4),
+        0..12,
+    );
+    (active, 1u64..(16 << 20), 0u16..4).prop_map(|(active, target, tp)| {
+        let arch = ArchParams::new(32 * 1024, 256 * 1024, 4);
+        let active = active
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, mode, footprint, p))| ActiveAccel {
+                instance: AccelInstanceId(i as u16),
+                mode,
+                footprint_bytes: footprint,
+                partitions: vec![PartitionId(p)],
+            })
+            .collect();
+        SystemSnapshot::new(arch, active, target, vec![PartitionId(tp)])
+    })
+}
+
+fn arb_measurement() -> impl Strategy<Value = InvocationMeasurement> {
+    (1u64..1 << 40, 0u64..1 << 38, 0u64..1 << 36, 0.0f64..1e9, 1u64..1 << 30).prop_map(
+        |(total, active, comm, mem, fp)| InvocationMeasurement {
+            total_cycles: total,
+            accel_active_cycles: active.min(total),
+            accel_comm_cycles: comm.min(active.min(total)),
+            offchip_accesses: mem,
+            footprint_bytes: fp,
+        },
+    )
+}
+
+proptest! {
+    /// Every snapshot discretizes to a valid state, and the state index is
+    /// a bijection on its range.
+    #[test]
+    fn snapshot_discretization_is_total(snapshot in arb_snapshot()) {
+        let state = State::from_snapshot(&snapshot);
+        let idx = state.index();
+        prop_assert!(idx < State::COUNT);
+        prop_assert_eq!(State::from_index(idx), state);
+    }
+
+    /// Reward components are always within [0, 1] for any measurement
+    /// sequence, and so is the combined reward for any valid weighting.
+    #[test]
+    fn rewards_are_bounded(
+        measurements in proptest::collection::vec(arb_measurement(), 1..40),
+        (x, y, z) in (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0),
+    ) {
+        prop_assume!(x + y + z > 0.0);
+        let weights = RewardWeights::new(x, y, z).expect("validated above");
+        let mut history = RewardHistory::new();
+        for m in &measurements {
+            let c = history.record(AccelInstanceId(0), m);
+            for v in [c.r_exec, c.r_comm, c.r_mem] {
+                prop_assert!((0.0..=1.0).contains(&v), "component {v}");
+            }
+            let r = weights.combine(c);
+            prop_assert!((0.0..=1.0).contains(&r), "reward {r}");
+        }
+    }
+
+    /// Q-values remain within the reward bounds under arbitrary updates.
+    #[test]
+    fn q_updates_stay_bounded(updates in proptest::collection::vec((0usize..243, 0usize..4, 0.0f64..1.0), 1..300)) {
+        let mut learner = QLearner::new(LearningSchedule::paper_default(10), 3);
+        for (s, a, r) in updates {
+            learner.update(State::from_index(s), CoherenceMode::from_index(a), r);
+        }
+        for (_, _, q) in learner.table().iter() {
+            prop_assert!((0.0..=1.0).contains(&q));
+        }
+    }
+
+    /// ε-greedy selection always returns an available mode.
+    #[test]
+    fn choices_respect_availability(mask in 1u8..16, picks in 1usize..50, seed in any::<u64>()) {
+        let available = CoherenceMode::ALL
+            .into_iter()
+            .filter(|m| mask & (1 << m.index()) != 0)
+            .fold(ModeSet::EMPTY, ModeSet::with);
+        prop_assume!(!available.is_empty());
+        let mut learner = QLearner::new(LearningSchedule::paper_default(10), seed);
+        for i in 0..picks {
+            let m = learner.choose(State::from_index(i % 243), available);
+            prop_assert!(available.contains(m));
+        }
+    }
+
+    /// Algorithm 1 always returns an available mode and is deterministic.
+    #[test]
+    fn manual_is_total_and_deterministic(snapshot in arb_snapshot(), mask in 1u8..16) {
+        let available = CoherenceMode::ALL
+            .into_iter()
+            .filter(|m| mask & (1 << m.index()) != 0)
+            .fold(ModeSet::EMPTY, ModeSet::with);
+        prop_assume!(!available.is_empty());
+        let thresholds = ManualThresholds::for_arch(&snapshot.arch);
+        let a = algorithm1_restricted(&snapshot, &thresholds, available);
+        let b = algorithm1_restricted(&snapshot, &thresholds, available);
+        prop_assert_eq!(a, b);
+        prop_assert!(available.contains(a));
+    }
+
+    /// The full Cohmeleon policy round trip (decide + observe) never
+    /// produces an unavailable mode or an out-of-range Q value.
+    #[test]
+    fn cohmeleon_roundtrip_is_sane(
+        snapshots in proptest::collection::vec(arb_snapshot(), 1..30),
+        measurements in proptest::collection::vec(arb_measurement(), 1..30),
+    ) {
+        let mut policy = CohmeleonPolicy::new(
+            RewardWeights::paper_default(),
+            LearningSchedule::paper_default(5),
+            9,
+        );
+        for (snapshot, m) in snapshots.iter().zip(&measurements) {
+            let d = policy.decide(snapshot, ModeSet::all(), AccelInstanceId(1));
+            prop_assert!(ModeSet::all().contains(d.mode));
+            policy.observe(AccelInstanceId(1), &d, m);
+        }
+        for (_, _, q) in policy.table().iter() {
+            prop_assert!((0.0..=1.0).contains(&q));
+        }
+    }
+}

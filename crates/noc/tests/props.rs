@@ -1,0 +1,71 @@
+//! Property tests for the mesh and NoC model.
+
+use cohmeleon_noc::{Coord, Mesh, Noc, NocConfig, Plane};
+use cohmeleon_sim::Cycle;
+use proptest::prelude::*;
+
+fn coords(w: u8, h: u8) -> impl Strategy<Value = (Coord, Coord)> {
+    ((0..w, 0..h), (0..w, 0..h))
+        .prop_map(|((sx, sy), (dx, dy))| (Coord::new(sx, sy), Coord::new(dx, dy)))
+}
+
+proptest! {
+    /// XY routes have exactly Manhattan-distance hops and end at the
+    /// destination.
+    #[test]
+    fn routes_are_minimal_and_correct((w, h) in (1u8..8, 1u8..8), seed in any::<u64>()) {
+        let mesh = Mesh::new(w, h);
+        let mut rng = seed;
+        for _ in 0..16 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let src = Coord::new((rng >> 8) as u8 % w, (rng >> 16) as u8 % h);
+            let dst = Coord::new((rng >> 24) as u8 % w, (rng >> 32) as u8 % h);
+            let route = mesh.route(src, dst);
+            prop_assert_eq!(route.len() as u32, src.manhattan(dst));
+            // Links are within the array bounds.
+            for link in &route {
+                prop_assert!(mesh.link_index(*link) < mesh.links());
+            }
+        }
+    }
+
+    /// Transfers always arrive strictly after injection, and uncontended
+    /// latency grows with distance and payload.
+    #[test]
+    fn transfer_latency_is_positive_and_monotone(
+        (src, dst) in coords(6, 6),
+        bytes in 0u64..4096,
+    ) {
+        let mut noc = Noc::new(NocConfig::new(6, 6));
+        let arrival = noc.transfer(Plane::DmaReq, src, dst, bytes, Cycle(1000));
+        prop_assert!(arrival > Cycle(1000));
+        let ideal = noc.ideal_latency(src, dst, bytes);
+        // First transfer on an idle NoC matches the ideal latency.
+        prop_assert_eq!(arrival - Cycle(1000), ideal);
+
+        // More payload on a fresh NoC is never faster.
+        let mut noc2 = Noc::new(NocConfig::new(6, 6));
+        let bigger = noc2.transfer(Plane::DmaReq, src, dst, bytes + 512, Cycle(1000));
+        prop_assert!(bigger >= arrival);
+    }
+
+    /// Back-to-back transfers on one plane serialize: total flits carried
+    /// equal the sum of each transfer's flits.
+    #[test]
+    fn flit_accounting_is_additive(payloads in proptest::collection::vec(0u64..2048, 1..20)) {
+        let mut noc = Noc::new(NocConfig::new(4, 4));
+        let mut expected = 0;
+        for (i, bytes) in payloads.iter().enumerate() {
+            expected += noc.flits_for(*bytes);
+            noc.transfer(
+                Plane::DmaRsp,
+                Coord::new(0, 0),
+                Coord::new(3, (i % 4) as u8),
+                *bytes,
+                Cycle(i as u64 * 10),
+            );
+        }
+        prop_assert_eq!(noc.plane_stats(Plane::DmaRsp).flits, expected);
+        prop_assert_eq!(noc.plane_stats(Plane::CohReq).flits, 0);
+    }
+}

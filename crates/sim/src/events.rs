@@ -1,0 +1,229 @@
+//! Deterministic discrete-event queue.
+//!
+//! The SoC simulator advances by repeatedly popping the earliest pending
+//! event (an accelerator ready to issue its next DMA burst, a CPU thread
+//! reaching an invocation point, a flush completing, …), processing it, and
+//! scheduling follow-up events. Determinism requires a total order even when
+//! several events share a timestamp, so the queue breaks ties by insertion
+//! order (FIFO).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// A time-ordered event queue with FIFO tie-breaking.
+///
+/// Events of type `E` are scheduled at absolute [`Cycle`] timestamps and
+/// popped in non-decreasing time order. Two events scheduled for the same
+/// cycle are popped in the order they were scheduled, which makes simulation
+/// runs bit-reproducible.
+///
+/// # Example
+///
+/// ```
+/// use cohmeleon_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(8), 'b');
+/// q.schedule(Cycle(3), 'a');
+/// q.schedule(Cycle(8), 'c'); // same time as 'b': FIFO order preserved
+///
+/// assert_eq!(q.pop(), Some((Cycle(3), 'a')));
+/// assert_eq!(q.pop(), Some((Cycle(8), 'b')));
+/// assert_eq!(q.pop(), Some((Cycle(8), 'c')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+// Min-heap ordering on (at, seq): BinaryHeap is a max-heap, so invert.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (time zero before the
+    /// first pop). Simulated components use this as "the current time".
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`now`](Self::now): scheduling into the
+    /// past would silently corrupt causality, so it is treated as a bug in
+    /// the caller.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} < now={}",
+            self.now
+        );
+        let entry = Entry {
+            at,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Schedules `event` to fire `delay` cycles after the current time.
+    pub fn schedule_after(&mut self, delay: Cycle, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing [`now`](Self::now)
+    /// to its timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(30), 3);
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(7), i)));
+        }
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.schedule(Cycle(5), ());
+        q.pop();
+        assert_eq!(q.now(), Cycle(5));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), "first");
+        q.pop();
+        q.schedule_after(Cycle(10), "second");
+        assert_eq!(q.pop(), Some((Cycle(15), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), ());
+        q.pop();
+        q.schedule(Cycle(9), ());
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Cycle(1), ());
+        q.schedule(Cycle(2), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(4), ());
+        assert_eq!(q.peek_time(), Some(Cycle(4)));
+        assert_eq!(q.now(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stay_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(1), 1);
+        q.schedule(Cycle(100), 100);
+        assert_eq!(q.pop(), Some((Cycle(1), 1)));
+        q.schedule(Cycle(50), 50);
+        q.schedule(Cycle(2), 2);
+        assert_eq!(q.pop(), Some((Cycle(2), 2)));
+        assert_eq!(q.pop(), Some((Cycle(50), 50)));
+        assert_eq!(q.pop(), Some((Cycle(100), 100)));
+    }
+}

@@ -1,0 +1,260 @@
+//! Counters and summary statistics.
+//!
+//! The paper's hardware monitors are free-running counters exposed through
+//! memory-mapped registers; [`Counter`] mirrors that behaviour (including
+//! wrap-around-tolerant deltas). The experiment harnesses additionally need
+//! running extrema for the reward function's per-accelerator min/max history
+//! and geometric means for the figure summaries.
+
+/// A free-running event counter, as exposed by the paper's hardware monitors.
+///
+/// Hardware counters are finite-width and wrap; software samples them before
+/// and after an invocation and computes the delta modulo the width. The
+/// simulator uses 64-bit counters, but [`Counter::delta`] still performs a
+/// wrapping subtraction so the monitor-access code path matches the paper's.
+///
+/// # Example
+///
+/// ```
+/// use cohmeleon_sim::stats::Counter;
+///
+/// let mut ddr_accesses = Counter::new();
+/// let before = ddr_accesses.sample();
+/// ddr_accesses.add(150);
+/// let after = ddr_accesses.sample();
+/// assert_eq!(Counter::delta(before, after), 150);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter { value: 0 }
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`, wrapping on overflow like a hardware counter.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.wrapping_add(n);
+    }
+
+    /// Reads the current raw value (a "register read").
+    pub fn sample(&self) -> u64 {
+        self.value
+    }
+
+    /// The number of events between two samples, accounting for wrap-around.
+    pub fn delta(before: u64, after: u64) -> u64 {
+        after.wrapping_sub(before)
+    }
+
+    /// Resets to zero (the simulator's equivalent of a counter-clear write).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// Running minimum and maximum of a sequence of observations.
+///
+/// Used for the paper's reward components, which normalise each invocation
+/// against the best (and, for memory accesses, worst) value seen so far for
+/// that accelerator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningExtrema {
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl RunningExtrema {
+    /// No observations yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Smallest observation so far, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation so far, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Whether at least one observation was recorded.
+    pub fn is_populated(&self) -> bool {
+        self.min.is_some()
+    }
+}
+
+/// Incremental arithmetic mean without storing the samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineMean {
+    count: u64,
+    mean: f64,
+}
+
+impl OnlineMean {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        self.mean += (value - self.mean) / self.count as f64;
+    }
+
+    /// Current mean; `None` if no samples were added.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// The paper reports figure summaries as geometric means of per-phase
+/// normalized metrics (e.g. Figure 6). Zero or negative inputs are clamped to
+/// a small epsilon so an all-cache-hit phase (zero off-chip accesses) does not
+/// collapse the mean to zero; this matches how normalized-to-baseline ratios
+/// are conventionally aggregated.
+///
+/// Returns `None` for an empty input.
+///
+/// # Example
+///
+/// ```
+/// use cohmeleon_sim::stats::geometric_mean;
+///
+/// let g = geometric_mean([1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    const EPS: f64 = 1e-9;
+    let mut log_sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        log_sum += v.max(EPS).ln();
+        n += 1;
+    }
+    (n > 0).then(|| (log_sum / n as f64).exp())
+}
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut acc = OnlineMean::new();
+    for v in values {
+        acc.add(v);
+    }
+    acc.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.sample(), 10);
+        c.reset();
+        assert_eq!(c.sample(), 0);
+    }
+
+    #[test]
+    fn counter_delta_handles_wraparound() {
+        let before = u64::MAX - 5;
+        let after = 4u64;
+        assert_eq!(Counter::delta(before, after), 10);
+    }
+
+    #[test]
+    fn extrema_track_min_and_max() {
+        let mut e = RunningExtrema::new();
+        assert!(!e.is_populated());
+        e.observe(3.0);
+        e.observe(1.0);
+        e.observe(2.0);
+        assert_eq!(e.min(), Some(1.0));
+        assert_eq!(e.max(), Some(3.0));
+    }
+
+    #[test]
+    fn extrema_ignore_non_finite() {
+        let mut e = RunningExtrema::new();
+        e.observe(f64::NAN);
+        e.observe(f64::INFINITY);
+        assert!(!e.is_populated());
+        e.observe(5.0);
+        assert_eq!(e.min(), Some(5.0));
+    }
+
+    #[test]
+    fn online_mean_matches_direct_mean() {
+        let mut m = OnlineMean::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.add(v);
+        }
+        assert!((m.mean().unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn online_mean_empty_is_none() {
+        assert_eq!(OnlineMean::new().mean(), None);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        let g = geometric_mean([2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_empty_is_none() {
+        assert_eq!(geometric_mean(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn geometric_mean_clamps_zero() {
+        // A zero sample must not produce 0 or NaN.
+        let g = geometric_mean([0.0, 1.0]).unwrap();
+        assert!(g.is_finite() && g > 0.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean([2.0, 4.0]), Some(3.0));
+        assert_eq!(mean(std::iter::empty()), None);
+    }
+}

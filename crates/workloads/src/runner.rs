@@ -1,0 +1,159 @@
+//! The experiment protocol shared by the figure harnesses.
+//!
+//! The paper's protocol (Section 5, "Experimental Setup"): Cohmeleon learns
+//! online while running a randomly-configured instance of the evaluation
+//! application; once the model has converged, updates are disabled and the
+//! frozen model is evaluated on a *different* instance. Baseline policies
+//! skip training. Results are reported per phase, normalized to the fixed
+//! non-coherent-DMA policy.
+
+use cohmeleon_core::policy::PolicyComplexity;
+use cohmeleon_core::Policy;
+use cohmeleon_sim::stats::geometric_mean;
+use cohmeleon_soc::{run_app, AppResult, AppSpec, Soc, SocConfig};
+
+/// Per-policy outcome of one experiment: the test-run result plus the
+/// phase-normalized summary against a baseline.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// Policy display name.
+    pub policy: String,
+    /// The raw test-run result.
+    pub result: AppResult,
+    /// Per-phase (execution time, off-chip accesses) normalized to the
+    /// baseline's same phase.
+    pub normalized_phases: Vec<(f64, f64)>,
+    /// Geometric means of the normalized phases.
+    pub geo_time: f64,
+    /// Geometric mean of normalized off-chip accesses.
+    pub geo_mem: f64,
+}
+
+/// Trains `policy` for `train_iterations` iterations of `train_app` (each
+/// on a fresh SoC), freezes it, then evaluates it on `test_app`.
+///
+/// Policies that do not learn ([`PolicyComplexity::Simple`] /
+/// [`PolicyComplexity::Heuristic`]) skip the training loop.
+pub fn run_protocol(
+    config: &SocConfig,
+    train_app: &AppSpec,
+    test_app: &AppSpec,
+    policy: &mut dyn Policy,
+    train_iterations: usize,
+    seed: u64,
+) -> AppResult {
+    if policy.complexity() == PolicyComplexity::Learned {
+        for i in 0..train_iterations {
+            policy.begin_iteration(i);
+            let mut soc = Soc::new(config.clone());
+            run_app(&mut soc, train_app, policy, seed.wrapping_add(i as u64 * 7919));
+        }
+        policy.freeze();
+    }
+    evaluate_policy(config, test_app, policy, seed ^ 0x5eed_7e57)
+}
+
+/// Runs `app` once on a fresh SoC under `policy` (no training).
+pub fn evaluate_policy(
+    config: &SocConfig,
+    app: &AppSpec,
+    policy: &mut dyn Policy,
+    seed: u64,
+) -> AppResult {
+    let mut soc = Soc::new(config.clone());
+    run_app(&mut soc, app, policy, seed)
+}
+
+/// Normalizes `result` phase-by-phase against `baseline`
+/// (`(time_ratio, mem_ratio)` per phase). Phases with a zero baseline
+/// off-chip count normalize memory against 1 access to stay finite.
+pub fn normalized_against(result: &AppResult, baseline: &AppResult) -> Vec<(f64, f64)> {
+    result
+        .phases
+        .iter()
+        .zip(&baseline.phases)
+        .map(|(r, b)| {
+            let time = r.duration as f64 / b.duration.max(1) as f64;
+            let mem = r.offchip as f64 / b.offchip.max(1) as f64;
+            (time, mem)
+        })
+        .collect()
+}
+
+/// Builds a [`PolicyOutcome`] from a test result and the baseline run.
+pub fn summarize(result: AppResult, baseline: &AppResult) -> PolicyOutcome {
+    let normalized_phases = normalized_against(&result, baseline);
+    let geo_time = geometric_mean(normalized_phases.iter().map(|p| p.0)).unwrap_or(1.0);
+    let geo_mem = geometric_mean(normalized_phases.iter().map(|p| p.1)).unwrap_or(1.0);
+    PolicyOutcome {
+        policy: result.policy.clone(),
+        result,
+        normalized_phases,
+        geo_time,
+        geo_mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_app, GeneratorParams};
+    use cohmeleon_core::policy::{CohmeleonPolicy, FixedPolicy};
+    use cohmeleon_core::qlearn::LearningSchedule;
+    use cohmeleon_core::reward::RewardWeights;
+    use cohmeleon_core::CoherenceMode;
+    use cohmeleon_soc::config::soc1;
+
+    #[test]
+    fn protocol_trains_and_freezes_cohmeleon() {
+        let config = soc1();
+        let train = generate_app(&config, &GeneratorParams::quick(), 1);
+        let test = generate_app(&config, &GeneratorParams::quick(), 2);
+        let mut policy = CohmeleonPolicy::new(
+            RewardWeights::paper_default(),
+            LearningSchedule::paper_default(2),
+            42,
+        );
+        let result = run_protocol(&config, &train, &test, &mut policy, 2, 9);
+        assert!(policy.epsilon() == 0.0, "frozen after protocol");
+        assert!(result.total_duration() > 0);
+        assert!(policy.table().populated_entries() > 0, "training updated the table");
+    }
+
+    #[test]
+    fn fixed_policies_skip_training() {
+        let config = soc1();
+        let train = generate_app(&config, &GeneratorParams::quick(), 1);
+        let test = generate_app(&config, &GeneratorParams::quick(), 2);
+        let mut policy = FixedPolicy::new(CoherenceMode::CohDma);
+        // With 1000 "iterations" this would take forever if not skipped.
+        let result = run_protocol(&config, &train, &test, &mut policy, 1000, 9);
+        assert!(result.total_duration() > 0);
+    }
+
+    #[test]
+    fn normalization_against_self_is_unity() {
+        let config = soc1();
+        let app = generate_app(&config, &GeneratorParams::quick(), 3);
+        let mut policy = FixedPolicy::new(CoherenceMode::NonCohDma);
+        let result = evaluate_policy(&config, &app, &mut policy, 4);
+        let norm = normalized_against(&result, &result);
+        for (t, m) in norm {
+            assert!((t - 1.0).abs() < 1e-12);
+            assert!(m <= 1.0 + 1e-12);
+        }
+        let outcome = summarize(result.clone(), &result);
+        assert!((outcome.geo_time - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_policies_produce_different_results() {
+        let config = soc1();
+        let app = generate_app(&config, &GeneratorParams::quick(), 3);
+        let mut a = FixedPolicy::new(CoherenceMode::NonCohDma);
+        let mut b = FixedPolicy::new(CoherenceMode::CohDma);
+        let ra = evaluate_policy(&config, &app, &mut a, 4);
+        let rb = evaluate_policy(&config, &app, &mut b, 4);
+        assert_ne!(ra.total_duration(), rb.total_duration());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the workload layer: config round-trips and
+//! generator bounds.
+
+use cohmeleon_core::AccelInstanceId;
+use cohmeleon_soc::{AppSpec, PhaseSpec, ThreadSpec};
+use cohmeleon_workloads::appconfig::{parse_app, render_app};
+use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+use cohmeleon_workloads::sizes::SizeClass;
+use proptest::prelude::*;
+
+fn arb_app() -> impl Strategy<Value = AppSpec> {
+    let thread = (1u64..(8 << 20), proptest::collection::vec(0u16..32, 1..5), 1u32..6, any::<bool>())
+        .prop_map(|(bytes, chain, loops, check)| ThreadSpec {
+            dataset_bytes: bytes,
+            chain: chain.into_iter().map(AccelInstanceId).collect(),
+            loops,
+            check_output: check,
+        });
+    let phase = ("[a-zA-Z][a-zA-Z0-9 _:-]{0,24}", proptest::collection::vec(thread, 1..6))
+        .prop_map(|(name, threads)| PhaseSpec { name, threads });
+    ("[a-zA-Z][a-zA-Z0-9_-]{0,16}", proptest::collection::vec(phase, 0..5))
+        .prop_map(|(name, phases)| AppSpec { name, phases })
+}
+
+proptest! {
+    /// Any application spec survives a render → parse round trip.
+    #[test]
+    fn appconfig_roundtrips(app in arb_app()) {
+        let text = render_app(&app);
+        let parsed = parse_app(&text).expect("rendered config parses");
+        prop_assert_eq!(app, parsed);
+    }
+
+    /// Generated applications respect their parameter bounds on any SoC.
+    #[test]
+    fn generator_respects_bounds(seed in any::<u64>(), phases in 1usize..5, tmin in 1usize..4, tspan in 0usize..6) {
+        let config = cohmeleon_soc::config::soc2();
+        let params = GeneratorParams {
+            phases,
+            threads: (tmin, tmin + tspan),
+            chain_len: (1, 3),
+            loops: (1, 4),
+            size_mix: vec![SizeClass::Small, SizeClass::Medium, SizeClass::Large],
+            check_per_mille: 500,
+        };
+        let app = generate_app(&config, &params, seed);
+        prop_assert_eq!(app.phases.len(), phases);
+        for phase in &app.phases {
+            prop_assert!(phase.threads.len() >= tmin);
+            prop_assert!(phase.threads.len() <= tmin + tspan);
+            for t in &phase.threads {
+                prop_assert!(!t.chain.is_empty() && t.chain.len() <= 3);
+                prop_assert!((1..=4).contains(&t.loops));
+                for a in &t.chain {
+                    prop_assert!((a.0 as usize) < config.accels.len());
+                }
+                // Sizes fall inside the drawn classes' envelope
+                // (Small..Large), give or take line rounding.
+                prop_assert!(t.dataset_bytes <= config.llc_total_bytes() + config.line_bytes);
+            }
+        }
+    }
+
+    /// Size classes partition the byte axis: every size classifies into
+    /// exactly the class whose range contains it.
+    #[test]
+    fn size_classification_is_consistent(bytes in 1u64..(16 << 20)) {
+        let config = cohmeleon_soc::config::soc1();
+        let class = SizeClass::classify(bytes, &config);
+        let (lo, hi) = class.byte_range(&config);
+        // Small's lower bound is clamped (4 KiB) but classification covers
+        // everything below it too.
+        if class == SizeClass::Small {
+            prop_assert!(bytes <= hi);
+        } else {
+            prop_assert!(bytes >= lo && bytes <= hi.max(bytes));
+        }
+    }
+}

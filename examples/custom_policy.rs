@@ -1,0 +1,92 @@
+//! Plugging a user-defined coherence policy into the framework.
+//!
+//! The `Policy` trait is the extension point of the Cohmeleon framework:
+//! anything that can map a `SystemSnapshot` to a `CoherenceMode` can drive
+//! the SoC. This example implements a simple "footprint threshold" policy
+//! (cache modes below a cut-off, non-coherent above) and races it against
+//! Cohmeleon on SoC2.
+//!
+//! Run with: `cargo run --release --example custom_policy`
+
+use cohmeleon_repro::core::policy::{CohmeleonPolicy, Decision, Policy};
+use cohmeleon_repro::core::qlearn::LearningSchedule;
+use cohmeleon_repro::core::reward::RewardWeights;
+use cohmeleon_repro::core::{
+    AccelInstanceId, CoherenceMode, ModeSet, State, SystemSnapshot,
+};
+use cohmeleon_repro::soc::config::soc2;
+use cohmeleon_repro::workloads::generator::{generate_app, GeneratorParams};
+use cohmeleon_repro::workloads::runner::{run_protocol, summarize};
+
+/// Below `threshold` bytes choose coherent DMA, above it non-coherent DMA —
+/// a two-rule heuristic someone might write on a whiteboard.
+struct ThresholdPolicy {
+    threshold: u64,
+}
+
+impl Policy for ThresholdPolicy {
+    fn name(&self) -> String {
+        format!("threshold-{}k", self.threshold / 1024)
+    }
+
+    fn decide(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        available: ModeSet,
+        _accel: AccelInstanceId,
+    ) -> Decision {
+        let preferred = if snapshot.target_footprint <= self.threshold {
+            CoherenceMode::CohDma
+        } else {
+            CoherenceMode::NonCohDma
+        };
+        let mode = if available.contains(preferred) {
+            preferred
+        } else {
+            available.iter().next().expect("at least one mode")
+        };
+        Decision {
+            mode,
+            state: State::from_snapshot(snapshot),
+        }
+    }
+}
+
+fn main() {
+    let config = soc2();
+    let train_app = generate_app(&config, &GeneratorParams::default(), 31);
+    let test_app = generate_app(&config, &GeneratorParams::default(), 32);
+
+    // Baseline: the custom threshold policy (no training needed).
+    let mut custom = ThresholdPolicy {
+        threshold: config.llc_slice_bytes,
+    };
+    let custom_result = run_protocol(&config, &train_app, &test_app, &mut custom, 0, 3);
+
+    // Challenger: Cohmeleon, trained online.
+    let mut cohmeleon = CohmeleonPolicy::new(
+        RewardWeights::paper_default(),
+        LearningSchedule::paper_default(10),
+        3,
+    );
+    let cohmeleon_result = run_protocol(&config, &train_app, &test_app, &mut cohmeleon, 10, 3);
+
+    println!(
+        "{:<16} {:>14} cycles {:>12} off-chip",
+        custom_result.policy,
+        custom_result.total_duration(),
+        custom_result.total_offchip()
+    );
+    println!(
+        "{:<16} {:>14} cycles {:>12} off-chip",
+        cohmeleon_result.policy,
+        cohmeleon_result.total_duration(),
+        cohmeleon_result.total_offchip()
+    );
+
+    let outcome = summarize(cohmeleon_result, &custom_result);
+    println!(
+        "\ncohmeleon vs {}: geo-time {:.2}, geo-mem {:.2} (lower favours cohmeleon)",
+        custom_result.policy, outcome.geo_time, outcome.geo_mem
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a simulated SoC, train Cohmeleon online, and compare
+//! it against the paper's baseline policies on a small workload mix.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cohmeleon_repro::core::policy::{CohmeleonPolicy, FixedPolicy, ManualPolicy, Policy};
+use cohmeleon_repro::core::manual::ManualThresholds;
+use cohmeleon_repro::core::qlearn::LearningSchedule;
+use cohmeleon_repro::core::reward::RewardWeights;
+use cohmeleon_repro::core::CoherenceMode;
+use cohmeleon_repro::soc::config::soc1;
+use cohmeleon_repro::workloads::generator::{generate_app, GeneratorParams};
+use cohmeleon_repro::workloads::runner::{evaluate_policy, run_protocol};
+
+fn main() {
+    // 1. Pick a SoC from Table 4 of the paper: SoC1 has 7 accelerators,
+    //    2 CPUs, 4 memory tiles with 256 KiB LLC partitions.
+    let config = soc1();
+    println!("SoC: {} ({} accelerators)", config.name, config.accels.len());
+
+    // 2. Generate a training and a test instance of the evaluation
+    //    application (different seeds = different instances).
+    let train_app = generate_app(&config, &GeneratorParams::default(), 1);
+    let test_app = generate_app(&config, &GeneratorParams::default(), 2);
+
+    // 3. Train Cohmeleon online for 10 iterations, then freeze and test.
+    let mut cohmeleon = CohmeleonPolicy::new(
+        RewardWeights::paper_default(),
+        LearningSchedule::paper_default(10),
+        42,
+    );
+    let cohmeleon_result = run_protocol(&config, &train_app, &test_app, &mut cohmeleon, 10, 42);
+
+    // 4. Compare against a design-time baseline and the manual heuristic.
+    let mut fixed = FixedPolicy::new(CoherenceMode::NonCohDma);
+    let fixed_result = evaluate_policy(&config, &test_app, &mut fixed, 42);
+    let mut manual = ManualPolicy::new(ManualThresholds::for_arch(&config.arch_params()));
+    let manual_result = evaluate_policy(&config, &test_app, &mut manual, 42);
+
+    println!("\n{:<22} {:>14} {:>14}", "policy", "cycles", "off-chip");
+    for result in [&fixed_result, &manual_result, &cohmeleon_result] {
+        println!(
+            "{:<22} {:>14} {:>14}",
+            result.policy,
+            result.total_duration(),
+            result.total_offchip()
+        );
+    }
+
+    let speedup = fixed_result.total_duration() as f64 / cohmeleon_result.total_duration() as f64;
+    let mem_saving = 1.0
+        - cohmeleon_result.total_offchip() as f64 / fixed_result.total_offchip().max(1) as f64;
+    println!(
+        "\ncohmeleon vs fixed non-coherent DMA: {speedup:.2}x speedup, {:.0}% fewer off-chip accesses",
+        mem_saving * 100.0
+    );
+}

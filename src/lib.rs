@@ -1,0 +1,31 @@
+//! # cohmeleon-repro
+//!
+//! Facade crate for the Cohmeleon reproduction workspace. It re-exports every
+//! sub-crate under a stable prefix so examples, integration tests and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use cohmeleon_repro::core::CoherenceMode;
+//!
+//! assert_eq!(CoherenceMode::ALL.len(), 4);
+//! ```
+//!
+//! See the individual crates for the substance:
+//!
+//! * [`core`] — the paper's contribution: coherence modes, the
+//!   sense/decide/actuate/evaluate framework, the Q-learning module and the
+//!   baseline policies.
+//! * [`soc`] — the simulated SoC substrate (tiles, Table-4 configurations,
+//!   hardware monitors, the accelerator-invocation API).
+//! * [`accel`] — accelerator communication models and the traffic generator.
+//! * [`workloads`] — the phase/thread/chain evaluation applications.
+//! * [`sim`], [`noc`], [`cache`], [`mem`] — the simulation substrates.
+
+pub use cohmeleon_accel as accel;
+pub use cohmeleon_cache as cache;
+pub use cohmeleon_core as core;
+pub use cohmeleon_mem as mem;
+pub use cohmeleon_noc as noc;
+pub use cohmeleon_sim as sim;
+pub use cohmeleon_soc as soc;
+pub use cohmeleon_workloads as workloads;
