@@ -42,7 +42,7 @@ fn bench_cache(c: &mut Criterion) {
         let mut line = 0u64;
         b.iter(|| {
             line = (line + 1) % 8192;
-            ctrl.l2_access(CacheId(0), LineAddr(line), line % 3 == 0)
+            ctrl.l2_access(CacheId(0), LineAddr(line), line.is_multiple_of(3))
         })
     });
 
@@ -51,7 +51,7 @@ fn bench_cache(c: &mut Criterion) {
         let mut line = 0u64;
         b.iter(|| {
             line = (line + 1) % 8192;
-            ctrl.coh_dma_access(LineAddr(line), line % 2 == 0)
+            ctrl.coh_dma_access(LineAddr(line), line.is_multiple_of(2))
         })
     });
 

@@ -1,0 +1,237 @@
+//! `perf_baseline` — the tracked simulator-throughput benchmark.
+//!
+//! Runs a fixed, fully deterministic suite (soc1 × the quick generator ×
+//! three policies: fixed-non-coh-dma, manual, cohmeleon) through the
+//! train/test protocol, reports wall time and simulation throughput, and
+//! records the numbers in `BENCH_hotpath.json` so every later PR is
+//! measured against the recorded baseline.
+//!
+//! ```text
+//! perf_baseline [--smoke] [--out FILE] [--reps N]
+//!
+//!   --smoke   correctness-only: run a reduced suite once, assert the
+//!             simulation completed and was deterministic, write nothing
+//!             (unless --out is given). For CI.
+//!   --out     output JSON path (default BENCH_hotpath.json)
+//!   --reps    timed repetitions; the best (fastest) rep is recorded
+//!             (default 3)
+//! ```
+//!
+//! The JSON keeps two entries: `baseline` (the first measurement ever
+//! recorded on this machine/checkout — preserved across runs) and
+//! `current` (the latest measurement). The speedup quoted is
+//! `baseline.wall_s / current.wall_s`.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cohmeleon_bench::policies::{build_policy, PolicyKind};
+use cohmeleon_soc::config::soc1;
+use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+use cohmeleon_workloads::runner::run_protocol;
+
+/// Policies in the fixed suite, in run order.
+const SUITE: [PolicyKind; 3] = [PolicyKind::FixedNonCoh, PolicyKind::Manual, PolicyKind::Cohmeleon];
+const TRAIN_ITERATIONS: usize = 2;
+const SEED: u64 = 7;
+
+struct Args {
+    smoke: bool,
+    /// `Some` iff `--out` was passed explicitly.
+    out_flag: Option<String>,
+    reps: usize,
+}
+
+impl Args {
+    fn out(&self) -> &str {
+        self.out_flag.as_deref().unwrap_or("BENCH_hotpath.json")
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out_flag: None,
+        reps: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out_flag = Some(it.next().ok_or("--out needs a path")?),
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .ok_or("--reps needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// One measured run of the full suite. Returns (wall seconds, simulation
+/// events, invocations, total simulated cycles) — everything but the wall
+/// time is deterministic.
+fn run_suite(train_iterations: usize, params: &GeneratorParams) -> (f64, u64, u64, u64) {
+    let config = soc1();
+    let train = generate_app(&config, params, 1);
+    let test = generate_app(&config, params, 2);
+    let start = Instant::now();
+    let mut events = 0u64;
+    let mut invocations = 0u64;
+    let mut sim_cycles = 0u64;
+    for kind in SUITE {
+        let mut policy = build_policy(kind, &config, train_iterations, SEED);
+        let result = run_protocol(&config, &train, &test, policy.as_mut(), train_iterations, SEED);
+        events += result.total_events();
+        invocations += result.invocations().count() as u64;
+        sim_cycles += result.total_duration();
+    }
+    (start.elapsed().as_secs_f64(), events, invocations, sim_cycles)
+}
+
+fn measurement_json(wall_s: f64, events: u64, invocations: u64, sim_cycles: u64) -> String {
+    // Microsecond resolution: the suite runs in single-digit milliseconds,
+    // so coarser rounding would dominate the recorded speedups.
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"wall_s\": {wall_s:.6}, \"sim_events\": {events}, \"events_per_s\": {:.0}, \
+         \"invocations\": {invocations}, \"sim_cycles\": {sim_cycles}, \
+         \"sim_cycles_per_s\": {:.3e}}}",
+        events as f64 / wall_s,
+        sim_cycles as f64 / wall_s,
+    );
+    s
+}
+
+/// Extracts the value of a top-level `"baseline": {...}` key from a
+/// previously written report (brace matching; no JSON library available
+/// offline).
+fn extract_baseline(json: &str) -> Option<String> {
+    let key = "\"baseline\":";
+    let at = json.find(key)? + key.len();
+    let open = json[at..].find('{')? + at;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("perf_baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.smoke {
+        // Correctness only: a reduced suite, run twice, must be
+        // deterministic and complete. No timing assertions (CI machines
+        // vary); the point is that the harness can never bit-rot.
+        let params = GeneratorParams {
+            phases: 1,
+            ..GeneratorParams::quick()
+        };
+        let (_, e1, i1, c1) = run_suite(1, &params);
+        let (_, e2, i2, c2) = run_suite(1, &params);
+        if (e1, i1, c1) != (e2, i2, c2) {
+            eprintln!("perf_baseline --smoke: nondeterministic suite: {e1}/{i1}/{c1} vs {e2}/{i2}/{c2}");
+            return ExitCode::FAILURE;
+        }
+        if i1 == 0 || e1 == 0 {
+            eprintln!("perf_baseline --smoke: suite ran no work (events={e1}, invocations={i1})");
+            return ExitCode::FAILURE;
+        }
+        println!("perf_baseline --smoke: ok ({e1} events, {i1} invocations, {c1} simulated cycles)");
+        if let Some(out) = &args.out_flag {
+            // Smoke runs make no timing claims, so no wall-time fields.
+            let body = format!(
+                "{{\"sim_events\": {e1}, \"invocations\": {i1}, \"sim_cycles\": {c1}}}"
+            );
+            if let Err(e) = std::fs::write(out, format!("{{\"smoke\": {body}}}\n")) {
+                eprintln!("perf_baseline --smoke: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let params = GeneratorParams::quick();
+    println!(
+        "perf_baseline: soc1 × quick generator × {:?}, {} train iteration(s), {} rep(s)",
+        SUITE, TRAIN_ITERATIONS, args.reps
+    );
+    let mut best: Option<(f64, u64, u64, u64)> = None;
+    for rep in 0..args.reps {
+        let m = run_suite(TRAIN_ITERATIONS, &params);
+        println!(
+            "  rep {}: {:.3} s wall, {} events, {:.0} events/s",
+            rep + 1,
+            m.0,
+            m.1,
+            m.1 as f64 / m.0
+        );
+        if best.is_none_or(|b| m.0 < b.0) {
+            best = Some(m);
+        }
+    }
+    let (wall_s, events, invocations, sim_cycles) = best.expect("at least one rep");
+    let current = measurement_json(wall_s, events, invocations, sim_cycles);
+
+    let previous = std::fs::read_to_string(args.out()).ok();
+    let baseline = previous
+        .as_deref()
+        .and_then(extract_baseline)
+        .unwrap_or_else(|| current.clone());
+
+    let report = format!(
+        "{{\n  \"suite\": \"soc1 x quick x [fixed-non-coh-dma, manual, cohmeleon]\",\n  \
+         \"baseline\": {baseline},\n  \"current\": {current}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(args.out(), &report) {
+        eprintln!("perf_baseline: cannot write {}: {e}", args.out());
+        return ExitCode::FAILURE;
+    }
+
+    let baseline_wall = extract_field(&baseline, "wall_s");
+    if let Some(b) = baseline_wall {
+        println!(
+            "perf_baseline: {wall_s:.3} s wall ({:.0} events/s); baseline {b:.3} s → speedup {:.2}x",
+            events as f64 / wall_s,
+            b / wall_s
+        );
+    }
+    println!("perf_baseline: wrote {}", args.out());
+    ExitCode::SUCCESS
+}
+
+/// Pulls a numeric field out of a flat JSON object.
+fn extract_field(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let at = json.find(&key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}

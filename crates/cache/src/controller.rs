@@ -18,7 +18,7 @@ use cohmeleon_core::PartitionId;
 use crate::effects::{AccessEffects, FlushEffects};
 use crate::geometry::{CacheGeometry, LineAddr};
 use crate::l2::L2Cache;
-use crate::llc::{LlcEntry, LlcPartition};
+use crate::llc::{LlcEntry, LlcPartition, SharerSet};
 use crate::mesi::MesiState;
 
 /// Identifies one private (L2) cache: processors first, then fully-coherent
@@ -151,74 +151,154 @@ impl CoherenceController {
     /// sharer invalidations, LLC fills from DRAM, inclusive
     /// back-invalidation of LLC victims, and dirty L2 victim writebacks.
     pub fn l2_access(&mut self, cache: CacheId, line: LineAddr, write: bool) -> AccessEffects {
-        self.l2_access_inner(cache, line, write, true)
+        let mut fx = AccessEffects::new();
+        let l2_set = self.l2s[cache.0 as usize].geometry().set_of(line);
+        let p = self.map.partition_of(line).0 as usize;
+        let llc_set = self.llcs[p].geometry().set_of(line);
+        self.l2_access_at(cache, l2_set, llc_set, p, line, write, true, &mut fx);
+        fx
     }
 
     /// A full-line streaming store (e.g. dataset initialisation with
     /// write-combining stores): allocates the line in M state without
     /// fetching its previous contents from DRAM.
     pub fn l2_store_streaming(&mut self, cache: CacheId, line: LineAddr) -> AccessEffects {
-        self.l2_access_inner(cache, line, true, false)
+        let mut fx = AccessEffects::new();
+        let l2_set = self.l2s[cache.0 as usize].geometry().set_of(line);
+        let p = self.map.partition_of(line).0 as usize;
+        let llc_set = self.llcs[p].geometry().set_of(line);
+        self.l2_access_at(cache, l2_set, llc_set, p, line, true, false, &mut fx);
+        fx
     }
 
-    fn l2_access_inner(
+    /// A burst of `count` MESI accesses to the consecutive lines starting
+    /// at `first`, all within one memory partition. Bit-equivalent to
+    /// calling [`l2_access`](Self::l2_access) per line and accumulating the
+    /// effects, but hoists the partition lookup out of the loop and steps
+    /// the set indices incrementally. Returns the accumulated effects and
+    /// the number of lines that hit in the private cache.
+    pub fn l2_access_range(
         &mut self,
         cache: CacheId,
+        first: LineAddr,
+        count: u64,
+        write: bool,
+    ) -> (AccessEffects, u64) {
+        self.l2_range(cache, first, count, write, /*fetch_on_miss=*/ true)
+    }
+
+    /// A burst of `count` streaming stores to consecutive lines
+    /// (bit-equivalent to per-line [`l2_store_streaming`](Self::l2_store_streaming)).
+    pub fn l2_store_streaming_range(
+        &mut self,
+        cache: CacheId,
+        first: LineAddr,
+        count: u64,
+    ) -> AccessEffects {
+        self.l2_range(cache, first, count, true, /*fetch_on_miss=*/ false).0
+    }
+
+    fn l2_range(
+        &mut self,
+        cache: CacheId,
+        first: LineAddr,
+        count: u64,
+        write: bool,
+        fetch_on_miss: bool,
+    ) -> (AccessEffects, u64) {
+        let mut fx = AccessEffects::new();
+        if count == 0 {
+            return (fx, 0);
+        }
+        let p = self.range_partition(first, count);
+        let l2_sets = self.l2s[cache.0 as usize].geometry().sets();
+        let llc_sets = self.llcs[p].geometry().sets();
+        let mut l2_set = self.l2s[cache.0 as usize].geometry().set_of(first);
+        let mut llc_set = self.llcs[p].geometry().set_of(first);
+        let mut hits = 0u64;
+        for i in 0..count {
+            let line = first.offset(i);
+            if self.l2_access_at(cache, l2_set, llc_set, p, line, write, fetch_on_miss, &mut fx) {
+                hits += 1;
+            }
+            l2_set += 1;
+            if l2_set == l2_sets {
+                l2_set = 0;
+            }
+            llc_set += 1;
+            if llc_set == llc_sets {
+                llc_set = 0;
+            }
+        }
+        (fx, hits)
+    }
+
+    /// One MESI access with all index math precomputed. Returns whether the
+    /// access was serviced locally by the private cache (a write to a
+    /// Shared line is resident but upgrades through the directory, so it
+    /// counts as a miss here, matching `AccessEffects::l2_hit` and the
+    /// timing model's serial-hit-prefix semantics).
+    #[allow(clippy::too_many_arguments)]
+    fn l2_access_at(
+        &mut self,
+        cache: CacheId,
+        l2_set: u64,
+        llc_set: u64,
+        p: usize,
         line: LineAddr,
         write: bool,
         fetch_on_miss: bool,
-    ) -> AccessEffects {
-        let mut fx = AccessEffects::new();
+        fx: &mut AccessEffects,
+    ) -> bool {
         let c = cache.0 as usize;
 
-        // 1. Private-cache lookup.
-        if let Some(state) = self.l2s[c].lookup(line) {
+        // 1. Private-cache lookup (single scan: hit way or fill slot).
+        let lp = self.l2s[c].probe_in_set(l2_set, line);
+        if lp.hit {
+            let state = self.l2s[c].state_at(lp.way);
             if !write || state.grants_write() {
                 if write {
-                    *state = MesiState::Modified;
+                    *self.l2s[c].state_at_mut(lp.way) = MesiState::Modified;
                 }
                 fx.l2_hit = true;
                 self.l2s[c].count_hit();
-                return fx;
+                return true;
             }
             // Write to a Shared line: upgrade through the directory.
             fx.reached_llc = true;
             fx.llc_hit = true;
-            let p = self.map.partition_of(line).0 as usize;
             self.llcs[p].count_hit();
             let entry = self.llcs[p]
                 .lookup(line)
                 .expect("inclusion: upgraded line resident in LLC");
-            let others: Vec<CacheId> =
-                entry.sharers.iter().filter(|s| *s != cache).collect();
+            let mut others = entry.sharers;
+            others.remove(cache);
             entry.sharers.drain();
             entry.owner = Some(cache);
-            for other in others {
+            for other in others.iter() {
                 self.l2s[other.0 as usize].invalidate(line);
                 fx.invalidations += 1;
             }
-            *self.l2s[c]
-                .lookup(line)
-                .expect("line still resident during upgrade") = MesiState::Modified;
-            return fx;
+            *self.l2s[c].state_at_mut(lp.way) = MesiState::Modified;
+            return false;
         }
         self.l2s[c].count_miss();
 
         // 2. Miss: go to the home LLC partition.
         fx.reached_llc = true;
-        let hit = self.ensure_llc_resident(line, /*needs_data=*/ fetch_on_miss, &mut fx);
-        fx.llc_hit = hit;
-        let p = self.map.partition_of(line).0 as usize;
+        let (hit, llc_way) =
+            self.ensure_llc_resident_at(p, llc_set, line, /*needs_data=*/ fetch_on_miss, fx);
         if hit {
+            fx.llc_hit = true;
             self.llcs[p].count_hit();
         } else {
             self.llcs[p].count_miss();
         }
 
         // 3. Directory actions at the LLC.
-        let entry = self.llcs[p].lookup(line).expect("just ensured resident");
+        let entry = self.llcs[p].entry_at_mut(llc_way);
         let owner = entry.owner.take();
-        let mut sharers_to_invalidate = Vec::new();
+        let mut sharers_to_invalidate = SharerSet::new();
         let new_state;
         if write {
             sharers_to_invalidate = entry.sharers.drain();
@@ -256,13 +336,10 @@ impl CoherenceController {
             };
             if owner_state == Some(MesiState::Modified) {
                 // Recalled dirty data lands in the LLC.
-                self.llcs[p]
-                    .lookup(line)
-                    .expect("line resident during recall")
-                    .dirty = true;
+                self.llcs[p].entry_at_mut(llc_way).dirty = true;
             }
         }
-        for sharer in sharers_to_invalidate {
+        for sharer in sharers_to_invalidate.iter() {
             if sharer != cache {
                 self.l2s[sharer.0 as usize].invalidate(line);
                 fx.invalidations += 1;
@@ -270,10 +347,29 @@ impl CoherenceController {
         }
 
         // 4. Fill into the requester's L2; handle its victim.
-        if let Some(victim) = self.l2s[c].insert(line, new_state) {
-            self.handle_l2_victim(cache, victim.line, victim.state, &mut fx);
+        if let Some(victim) = self.l2s[c].insert_at(lp, line, new_state) {
+            self.handle_l2_victim(cache, victim.line, victim.state, fx);
         }
-        fx
+        false
+    }
+
+    /// The (single) partition a `count`-line range starting at `first`
+    /// lives in; one bounds check for the whole range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a partition boundary — the batched
+    /// walks hoist the partition out of the loop, so a crossing range
+    /// would silently route lines to the wrong LLC partition (datasets
+    /// are single-partition by construction; this guards future callers).
+    fn range_partition(&self, first: LineAddr, count: u64) -> usize {
+        let p = self.map.partition_of(first);
+        assert_eq!(
+            self.map.partition_of(first.offset(count - 1)),
+            p,
+            "range of {count} lines at {first} crosses a partition boundary"
+        );
+        p.0 as usize
     }
 
     /// Processes an L2 victim: dirty victims write back into the LLC, clean
@@ -318,22 +414,63 @@ impl CoherenceController {
     /// and allocate without fetching.
     pub fn coh_dma_access(&mut self, line: LineAddr, write: bool) -> AccessEffects {
         let mut fx = AccessEffects::new();
-        fx.reached_llc = true;
-        let hit = self.ensure_llc_resident(line, /*needs_data=*/ !write, &mut fx);
-        fx.llc_hit = hit;
         let p = self.map.partition_of(line).0 as usize;
+        let llc_set = self.llcs[p].geometry().set_of(line);
+        self.coh_dma_access_at(p, llc_set, line, write, &mut fx);
+        fx
+    }
+
+    /// A burst of `count` coherent-DMA line accesses over the consecutive
+    /// lines starting at `first`, all within one partition. Bit-equivalent
+    /// to per-line [`coh_dma_access`](Self::coh_dma_access) with
+    /// accumulated effects; the partition is resolved once and set indices
+    /// step incrementally.
+    pub fn coh_dma_access_range(
+        &mut self,
+        first: LineAddr,
+        count: u64,
+        write: bool,
+    ) -> AccessEffects {
+        let mut fx = AccessEffects::new();
+        if count == 0 {
+            return fx;
+        }
+        let p = self.range_partition(first, count);
+        let sets = self.llcs[p].geometry().sets();
+        let mut set = self.llcs[p].geometry().set_of(first);
+        for i in 0..count {
+            self.coh_dma_access_at(p, set, first.offset(i), write, &mut fx);
+            set += 1;
+            if set == sets {
+                set = 0;
+            }
+        }
+        fx
+    }
+
+    fn coh_dma_access_at(
+        &mut self,
+        p: usize,
+        llc_set: u64,
+        line: LineAddr,
+        write: bool,
+        fx: &mut AccessEffects,
+    ) {
+        fx.reached_llc = true;
+        let (hit, way) = self.ensure_llc_resident_at(p, llc_set, line, /*needs_data=*/ !write, fx);
         if hit {
+            fx.llc_hit = true;
             self.llcs[p].count_hit();
         } else {
             self.llcs[p].count_miss();
         }
 
-        let entry = self.llcs[p].lookup(line).expect("just ensured resident");
+        let entry = self.llcs[p].entry_at_mut(way);
         let owner = entry.owner.take();
         let sharers = if write {
             entry.sharers.drain()
         } else {
-            Vec::new()
+            SharerSet::new()
         };
         if write {
             entry.dirty = true;
@@ -352,25 +489,17 @@ impl CoherenceController {
                 st
             };
             if owner_state == Some(MesiState::Modified) {
-                self.llcs[p]
-                    .lookup(line)
-                    .expect("resident during recall")
-                    .dirty = true;
+                self.llcs[p].entry_at_mut(way).dirty = true;
             }
             if !write {
                 // Owner stays resident as a sharer.
-                self.llcs[p]
-                    .lookup(line)
-                    .expect("resident during recall")
-                    .sharers
-                    .add(owner_cache);
+                self.llcs[p].entry_at_mut(way).sharers.add(owner_cache);
             }
         }
-        for sharer in sharers {
+        for sharer in sharers.iter() {
             self.l2s[sharer.0 as usize].invalidate(line);
             fx.invalidations += 1;
         }
-        fx
     }
 
     /// One line of an *LLC-coherent DMA* transaction: the LLC serves the
@@ -378,60 +507,103 @@ impl CoherenceController {
     /// private caches before the invocation).
     pub fn llc_coh_dma_access(&mut self, line: LineAddr, write: bool) -> AccessEffects {
         let mut fx = AccessEffects::new();
-        fx.reached_llc = true;
-        let hit = self.ensure_llc_resident(line, /*needs_data=*/ !write, &mut fx);
-        fx.llc_hit = hit;
         let p = self.map.partition_of(line).0 as usize;
+        let llc_set = self.llcs[p].geometry().set_of(line);
+        self.llc_coh_dma_access_at(p, llc_set, line, write, &mut fx);
+        fx
+    }
+
+    /// A burst of `count` LLC-coherent-DMA line accesses (bit-equivalent to
+    /// per-line [`llc_coh_dma_access`](Self::llc_coh_dma_access) with
+    /// accumulated effects).
+    pub fn llc_coh_dma_access_range(
+        &mut self,
+        first: LineAddr,
+        count: u64,
+        write: bool,
+    ) -> AccessEffects {
+        let mut fx = AccessEffects::new();
+        if count == 0 {
+            return fx;
+        }
+        let p = self.range_partition(first, count);
+        let sets = self.llcs[p].geometry().sets();
+        let mut set = self.llcs[p].geometry().set_of(first);
+        for i in 0..count {
+            self.llc_coh_dma_access_at(p, set, first.offset(i), write, &mut fx);
+            set += 1;
+            if set == sets {
+                set = 0;
+            }
+        }
+        fx
+    }
+
+    fn llc_coh_dma_access_at(
+        &mut self,
+        p: usize,
+        llc_set: u64,
+        line: LineAddr,
+        write: bool,
+        fx: &mut AccessEffects,
+    ) {
+        fx.reached_llc = true;
+        let (hit, way) = self.ensure_llc_resident_at(p, llc_set, line, /*needs_data=*/ !write, fx);
         if hit {
+            fx.llc_hit = true;
             self.llcs[p].count_hit();
         } else {
             self.llcs[p].count_miss();
         }
         if write {
-            self.llcs[p]
-                .lookup(line)
-                .expect("just ensured resident")
-                .dirty = true;
+            self.llcs[p].entry_at_mut(way).dirty = true;
         }
-        fx
     }
 
-    /// Makes `line` resident in its home LLC partition. Returns whether it
-    /// already was (hit). On a miss, charges a DRAM fetch if `needs_data`
-    /// (full-line DMA writes allocate without fetching) and back-invalidates
-    /// the LLC victim's private copies to preserve inclusion.
-    fn ensure_llc_resident(
+    /// Makes `line` resident in its home LLC partition (set index supplied
+    /// by the caller). Returns whether it already was (hit) and the way it
+    /// occupies. On a miss, charges a DRAM fetch if `needs_data` (full-line
+    /// DMA writes allocate without fetching) and back-invalidates the LLC
+    /// victim's private copies to preserve inclusion.
+    fn ensure_llc_resident_at(
         &mut self,
+        p: usize,
+        llc_set: u64,
         line: LineAddr,
         needs_data: bool,
         fx: &mut AccessEffects,
-    ) -> bool {
-        let p = self.map.partition_of(line).0 as usize;
-        if self.llcs[p].lookup(line).is_some() {
-            return true;
+    ) -> (bool, usize) {
+        let probe = self.llcs[p].probe_in_set(llc_set, line);
+        if probe.hit {
+            return (true, probe.way);
         }
         if needs_data {
             fx.dram_fetches += 1;
         }
-        if let Some(victim) = self.llcs[p].insert(line, LlcEntry::clean()) {
-            self.back_invalidate(victim.line, victim.state, fx);
+        if let Some(victim) = self.llcs[p].insert_at(probe, line, LlcEntry::clean()) {
+            Self::back_invalidate_into(&mut self.l2s, victim.line, victim.state, fx);
         }
-        false
+        (false, probe.way)
     }
 
     /// Evicting an LLC line under private copies: recall/invalidate them
     /// (inclusive hierarchy), then write dirty data back to DRAM.
-    fn back_invalidate(&mut self, line: LineAddr, entry: LlcEntry, fx: &mut AccessEffects) {
+    fn back_invalidate_into(
+        l2s: &mut [L2Cache],
+        line: LineAddr,
+        entry: LlcEntry,
+        fx: &mut AccessEffects,
+    ) {
         let mut dirty = entry.dirty;
         if let Some(owner) = entry.owner {
             fx.recalls += 1;
-            let owner_state = self.l2s[owner.0 as usize].invalidate(line);
+            let owner_state = l2s[owner.0 as usize].invalidate(line);
             if owner_state == Some(MesiState::Modified) {
                 dirty = true;
             }
         }
         for sharer in entry.sharers.iter() {
-            self.l2s[sharer.0 as usize].invalidate(line);
+            l2s[sharer.0 as usize].invalidate(line);
             fx.invalidations += 1;
         }
         if dirty {
@@ -446,16 +618,18 @@ impl CoherenceController {
     /// Flushes one private cache: dirty lines are written back into the LLC
     /// and everything is invalidated. Used before LLC-coherent and
     /// non-coherent DMA invocations.
+    ///
+    /// Walks only resident lines (the *modeled* flush-FSM walk over every
+    /// set and way is charged by the SoC layer from the cache geometry).
     pub fn flush_l2(&mut self, cache: CacheId) -> FlushEffects {
         let mut fx = FlushEffects::new();
         let c = cache.0 as usize;
-        let mut drained = Vec::new();
-        self.l2s[c].drain(|e| drained.push(e));
-        for e in drained {
-            let p = self.map.partition_of(e.line).0 as usize;
-            let Some(entry) = self.llcs[p].lookup(e.line) else {
+        let CoherenceController { map, l2s, llcs } = self;
+        l2s[c].drain(|e| {
+            let p = map.partition_of(e.line).0 as usize;
+            let Some(entry) = llcs[p].lookup(e.line) else {
                 debug_assert!(false, "inclusion violated during flush of {}", e.line);
-                continue;
+                return;
             };
             match e.state {
                 MesiState::Modified => {
@@ -472,7 +646,7 @@ impl CoherenceController {
                     fx.invalidations += 1;
                 }
             }
-        }
+        });
         fx
     }
 
@@ -490,21 +664,23 @@ impl CoherenceController {
     /// Flushes one LLC partition: private copies are recalled/invalidated
     /// (preserving inclusion), dirty lines written back to DRAM, everything
     /// invalidated. Used (after the L2 flush) before non-coherent DMA.
+    ///
+    /// Walks only resident lines; the modeled set×way FSM walk is charged
+    /// by the SoC layer from the geometry.
     pub fn flush_llc(&mut self, partition: PartitionId) -> FlushEffects {
         let mut fx = FlushEffects::new();
         let p = partition.0 as usize;
-        let mut drained = Vec::new();
-        self.llcs[p].drain(|e| drained.push(e));
-        for e in drained {
+        let CoherenceController { l2s, llcs, .. } = self;
+        llcs[p].drain(|e| {
             let mut dirty = e.state.dirty;
             if let Some(owner) = e.state.owner {
                 fx.recalls += 1;
-                if self.l2s[owner.0 as usize].invalidate(e.line) == Some(MesiState::Modified) {
+                if l2s[owner.0 as usize].invalidate(e.line) == Some(MesiState::Modified) {
                     dirty = true;
                 }
             }
             for sharer in e.state.sharers.iter() {
-                self.l2s[sharer.0 as usize].invalidate(e.line);
+                l2s[sharer.0 as usize].invalidate(e.line);
                 fx.recalls += 1;
             }
             if dirty {
@@ -512,7 +688,7 @@ impl CoherenceController {
             } else {
                 fx.invalidations += 1;
             }
-        }
+        });
         fx
     }
 

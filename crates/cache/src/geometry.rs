@@ -54,7 +54,7 @@ impl CacheGeometry {
             line_bytes,
         };
         assert!(
-            size_bytes % (u64::from(ways) * line_bytes) == 0 && g.sets() > 0,
+            size_bytes.is_multiple_of(u64::from(ways) * line_bytes) && g.sets() > 0,
             "capacity {size_bytes} not divisible into {ways}-way sets of {line_bytes}-byte lines"
         );
         g

@@ -5,7 +5,7 @@ use cohmeleon_sim::stats::Counter;
 
 use crate::geometry::{CacheGeometry, LineAddr};
 use crate::mesi::MesiState;
-use crate::tagarray::{Entry, TagArray};
+use crate::tagarray::{Entry, Probe, TagArray};
 
 /// A private L2 cache: a MESI tag array plus hit/miss counters (the
 /// tile-level performance monitors of Section 4.3).
@@ -34,6 +34,36 @@ impl L2Cache {
     /// Looks up `line`, updating LRU; returns its MESI state if present.
     pub fn lookup(&mut self, line: LineAddr) -> Option<&mut MesiState> {
         self.tags.lookup(line)
+    }
+
+    /// Single-scan lookup-or-victim-selection (see [`TagArray::probe`]).
+    pub fn probe(&mut self, line: LineAddr) -> Probe {
+        self.tags.probe(line)
+    }
+
+    /// [`probe`](Self::probe) with a caller-computed set index.
+    pub fn probe_in_set(&mut self, set: u64, line: LineAddr) -> Probe {
+        self.tags.probe_in_set(set, line)
+    }
+
+    /// The MESI state at a way returned by a hit probe.
+    pub fn state_at_mut(&mut self, way: usize) -> &mut MesiState {
+        self.tags.state_at_mut(way)
+    }
+
+    /// The MESI state at a way returned by a hit probe (read-only).
+    pub fn state_at(&self, way: usize) -> MesiState {
+        self.tags.entry_at(way).expect("way holds a line").state
+    }
+
+    /// Completes a fill at a miss probe's way, returning the victim.
+    pub fn insert_at(
+        &mut self,
+        probe: Probe,
+        line: LineAddr,
+        state: MesiState,
+    ) -> Option<Entry<MesiState>> {
+        self.tags.insert_at(probe, line, state)
     }
 
     /// Looks up `line` without perturbing LRU or counters.

@@ -9,7 +9,7 @@ use cohmeleon_sim::stats::Counter;
 
 use crate::controller::CacheId;
 use crate::geometry::{CacheGeometry, LineAddr};
-use crate::tagarray::{Entry, TagArray};
+use crate::tagarray::{Entry, Probe, TagArray};
 
 /// A set of private caches sharing a line (bitset over [`CacheId`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,15 +53,42 @@ impl SharerSet {
     }
 
     /// Iterates the member cache ids in increasing order.
-    pub fn iter(&self) -> impl Iterator<Item = CacheId> + '_ {
-        (0..64u16).filter(|i| self.0 & (1 << i) != 0).map(CacheId)
+    pub fn iter(&self) -> SharerIter {
+        SharerIter(self.0)
     }
 
-    /// Removes and returns all members.
-    pub fn drain(&mut self) -> Vec<CacheId> {
-        let members: Vec<CacheId> = self.iter().collect();
+    /// Removes and returns all members as a detached (allocation-free)
+    /// set; iterate it with [`SharerSet::iter`].
+    pub fn drain(&mut self) -> SharerSet {
+        let members = SharerSet(self.0);
         self.0 = 0;
         members
+    }
+}
+
+impl IntoIterator for SharerSet {
+    type Item = CacheId;
+    type IntoIter = SharerIter;
+
+    fn into_iter(self) -> SharerIter {
+        SharerIter(self.0)
+    }
+}
+
+/// Iterator over a [`SharerSet`]'s members in increasing id order.
+#[derive(Debug, Clone)]
+pub struct SharerIter(u64);
+
+impl Iterator for SharerIter {
+    type Item = CacheId;
+
+    fn next(&mut self) -> Option<CacheId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let id = self.0.trailing_zeros() as u16;
+        self.0 &= self.0 - 1;
+        Some(CacheId(id))
     }
 }
 
@@ -123,6 +150,31 @@ impl LlcPartition {
     /// Looks up a line (LRU-updating).
     pub fn lookup(&mut self, line: LineAddr) -> Option<&mut LlcEntry> {
         self.tags.lookup(line)
+    }
+
+    /// Single-scan lookup-or-victim-selection (see [`TagArray::probe`]).
+    pub fn probe(&mut self, line: LineAddr) -> Probe {
+        self.tags.probe(line)
+    }
+
+    /// [`probe`](Self::probe) with a caller-computed set index.
+    pub fn probe_in_set(&mut self, set: u64, line: LineAddr) -> Probe {
+        self.tags.probe_in_set(set, line)
+    }
+
+    /// The directory entry at a way returned by a hit probe.
+    pub fn entry_at_mut(&mut self, way: usize) -> &mut LlcEntry {
+        self.tags.state_at_mut(way)
+    }
+
+    /// Completes a fill at a miss probe's way, returning the victim.
+    pub fn insert_at(
+        &mut self,
+        probe: Probe,
+        line: LineAddr,
+        entry: LlcEntry,
+    ) -> Option<Entry<LlcEntry>> {
+        self.tags.insert_at(probe, line, entry)
     }
 
     /// Looks up a line without perturbing LRU.
@@ -215,7 +267,11 @@ mod tests {
         s.add(CacheId(0));
         s.add(CacheId(5));
         let drained = s.drain();
-        assert_eq!(drained.len(), 2);
+        assert_eq!(drained.count(), 2);
+        assert_eq!(
+            drained.into_iter().collect::<Vec<_>>(),
+            vec![CacheId(0), CacheId(5)]
+        );
         assert!(s.is_empty());
     }
 

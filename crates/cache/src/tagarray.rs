@@ -23,6 +23,18 @@ struct Way<S> {
     lru: u64,
 }
 
+/// The outcome of a single-scan [`TagArray::probe`]: either the way holding
+/// the line (hit) or the way a fill should use (first invalid way if any,
+/// else the LRU victim). Way indices are global (`set × ways + way`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Whether the line is resident.
+    pub hit: bool,
+    /// Global way index: the resident way on a hit, the fill target on a
+    /// miss.
+    pub way: usize,
+}
+
 /// A set-associative array of [`Entry`]s with true-LRU replacement.
 #[derive(Debug, Clone)]
 pub struct TagArray<S> {
@@ -30,6 +42,9 @@ pub struct TagArray<S> {
     ways: Vec<Way<S>>,
     clock: u64,
     valid: u64,
+    /// Valid-way count per set; lets flushes and iteration skip empty sets
+    /// and lets fills detect a free way in O(1).
+    set_valid: Vec<u32>,
 }
 
 impl<S> TagArray<S> {
@@ -48,6 +63,7 @@ impl<S> TagArray<S> {
             ways,
             clock: 0,
             valid: 0,
+            set_valid: vec![0; geometry.sets() as usize],
         }
     }
 
@@ -78,16 +94,115 @@ impl<S> TagArray<S> {
     /// Looks up a line, updating LRU on hit, and returns a mutable reference
     /// to its state.
     pub fn lookup(&mut self, line: LineAddr) -> Option<&mut S> {
+        let set = self.geometry.set_of(line);
+        let probe = self.probe_in_set(set, line);
+        if probe.hit {
+            Some(self.state_at_mut(probe.way))
+        } else {
+            None
+        }
+    }
+
+    /// Single-scan lookup-or-victim-selection for the set `line` maps to.
+    ///
+    /// On a hit, updates the line's LRU stamp and returns its way. On a
+    /// miss, returns the way a fill should use — the first invalid way if
+    /// the set has one, otherwise the LRU victim — without mutating
+    /// anything. Pair with [`insert_at`](Self::insert_at) to complete a
+    /// fill without rescanning the set.
+    pub fn probe(&mut self, line: LineAddr) -> Probe {
+        let set = self.geometry.set_of(line);
+        self.probe_in_set(set, line)
+    }
+
+    /// [`probe`](Self::probe) with the set index supplied by the caller.
+    ///
+    /// Batched range walks compute set indices incrementally (consecutive
+    /// lines map to consecutive sets) instead of dividing per line.
+    pub fn probe_in_set(&mut self, set: u64, line: LineAddr) -> Probe {
+        debug_assert_eq!(set, self.geometry.set_of(line), "set index mismatch");
         self.clock += 1;
         let clock = self.clock;
-        let range = self.set_range(line);
-        self.ways[range]
-            .iter_mut()
-            .find(|w| w.entry.as_ref().is_some_and(|e| e.line == line))
-            .map(|w| {
-                w.lru = clock;
-                &mut w.entry.as_mut().expect("checked above").state
-            })
+        let ways = self.geometry.ways as usize;
+        let base = set as usize * ways;
+        let mut free: Option<usize> = None;
+        let mut victim = base;
+        let mut victim_lru = u64::MAX;
+        for (i, w) in self.ways[base..base + ways].iter_mut().enumerate() {
+            match &w.entry {
+                Some(e) if e.line == line => {
+                    w.lru = clock;
+                    return Probe {
+                        hit: true,
+                        way: base + i,
+                    };
+                }
+                Some(_) => {
+                    if free.is_none() && w.lru < victim_lru {
+                        victim_lru = w.lru;
+                        victim = base + i;
+                    }
+                }
+                None => {
+                    if free.is_none() {
+                        free = Some(base + i);
+                    }
+                }
+            }
+        }
+        Probe {
+            hit: false,
+            way: free.unwrap_or(victim),
+        }
+    }
+
+    /// The state at a way returned by a hit probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way is invalid.
+    pub fn state_at_mut(&mut self, way: usize) -> &mut S {
+        &mut self.ways[way].entry.as_mut().expect("way holds a line").state
+    }
+
+    /// The entry at a way, if any (no LRU update).
+    pub fn entry_at(&self, way: usize) -> Option<&Entry<S>> {
+        self.ways[way].entry.as_ref()
+    }
+
+    /// Completes a fill at the way a miss probe returned, evicting its
+    /// occupant if the set is still full. Returns the evicted entry.
+    ///
+    /// Directory actions between the probe and the fill may have
+    /// invalidated lines in this set; if so, the fill diverts to a free way
+    /// (detected in O(1) via the per-set valid count) exactly as a fresh
+    /// [`insert`](Self::insert) would, so no spurious eviction occurs.
+    pub fn insert_at(&mut self, probe: Probe, line: LineAddr, state: S) -> Option<Entry<S>> {
+        debug_assert!(!probe.hit, "insert_at requires a miss probe");
+        debug_assert!(self.peek(line).is_none(), "inserting resident line {line}");
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.geometry.set_of(line) as usize;
+        let ways = self.geometry.ways as usize;
+        let mut way = probe.way;
+        if self.ways[way].entry.is_some() && self.set_valid[set] < ways as u32 {
+            // An interleaved invalidation freed a way after the probe chose
+            // an eviction victim: take the free way instead.
+            let base = set * ways;
+            way = base
+                + self.ways[base..base + ways]
+                    .iter()
+                    .position(|w| w.entry.is_none())
+                    .expect("set_valid promised a free way");
+        }
+        let slot = &mut self.ways[way];
+        let victim = slot.entry.replace(Entry { line, state });
+        slot.lru = clock;
+        if victim.is_none() {
+            self.valid += 1;
+            self.set_valid[set] += 1;
+        }
+        victim
     }
 
     /// Inserts a line (which must not already be present), evicting the LRU
@@ -98,53 +213,64 @@ impl<S> TagArray<S> {
     /// Panics in debug builds if the line is already present; callers must
     /// use [`lookup`](Self::lookup) first.
     pub fn insert(&mut self, line: LineAddr, state: S) -> Option<Entry<S>> {
-        debug_assert!(self.peek(line).is_none(), "inserting resident line {line}");
-        self.clock += 1;
-        let clock = self.clock;
-        let range = self.set_range(line);
-        let set = &mut self.ways[range];
-
-        // Prefer an invalid way.
-        if let Some(way) = set.iter_mut().find(|w| w.entry.is_none()) {
-            way.entry = Some(Entry { line, state });
-            way.lru = clock;
-            self.valid += 1;
-            return None;
-        }
-        // Evict the least recently used way.
-        let victim_way = set
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            .expect("sets have at least one way");
-        let victim = victim_way.entry.replace(Entry { line, state });
-        victim_way.lru = clock;
-        victim
+        let set = self.geometry.set_of(line);
+        let probe = self.probe_in_set(set, line);
+        debug_assert!(!probe.hit, "inserting resident line {line}");
+        self.insert_at(probe, line, state)
     }
 
     /// Removes a line if present, returning its entry.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Entry<S>> {
+        let set = self.geometry.set_of(line) as usize;
+        if self.set_valid[set] == 0 {
+            return None;
+        }
         let range = self.set_range(line);
         let way = self.ways[range]
             .iter_mut()
             .find(|w| w.entry.as_ref().is_some_and(|e| e.line == line))?;
         self.valid -= 1;
+        self.set_valid[set] -= 1;
         way.entry.take()
     }
 
     /// Removes every line, invoking `f` on each removed entry (e.g. to count
-    /// dirty writebacks during a flush).
+    /// dirty writebacks during a flush). Skips empty sets, so a flush costs
+    /// O(resident + sets), not O(sets × ways).
     pub fn drain<F: FnMut(Entry<S>)>(&mut self, mut f: F) {
-        for way in &mut self.ways {
-            if let Some(entry) = way.entry.take() {
-                f(entry);
+        let ways = self.geometry.ways as usize;
+        for (set, count) in self.set_valid.iter_mut().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            let mut remaining = *count;
+            *count = 0;
+            for w in &mut self.ways[set * ways..(set + 1) * ways] {
+                if let Some(entry) = w.entry.take() {
+                    f(entry);
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
             }
         }
         self.valid = 0;
     }
 
-    /// Iterates over all resident entries (no LRU update).
+    /// Iterates over all resident entries (no LRU update), skipping empty
+    /// sets.
     pub fn iter(&self) -> impl Iterator<Item = &Entry<S>> {
-        self.ways.iter().filter_map(|w| w.entry.as_ref())
+        let ways = self.geometry.ways as usize;
+        self.set_valid
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .flat_map(move |(set, _)| {
+                self.ways[set * ways..(set + 1) * ways]
+                    .iter()
+                    .filter_map(|w| w.entry.as_ref())
+            })
     }
 
     /// Iterates mutably over all resident entries (no LRU update).

@@ -1,0 +1,170 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the same call surface (`Criterion`, benchmark groups,
+//! `Bencher::iter`, `black_box`, `criterion_group!` / `criterion_main!`).
+//!
+//! Each benchmark runs a short calibration pass, then a timed pass, and
+//! prints mean time per iteration. There is no statistical analysis —
+//! the numbers are indicative, not publication-grade.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Target wall time per measured benchmark.
+const TARGET: Duration = Duration::from_millis(250);
+
+/// Opaque value barrier, re-exported like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    /// (iterations, elapsed) recorded by `iter`.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Like `iter`, but runs `setup` before each timed call and passes its
+    /// value to `routine` (mirrors `criterion::Bencher::iter_with_setup`).
+    /// Setup time is excluded by timing each routine call individually.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+    ) {
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < TARGET && iters < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            hint::black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), elapsed));
+    }
+
+    /// Times `f`, choosing an iteration count that fills the target
+    /// wall-time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find a count that takes a measurable time.
+        let mut n = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_millis(10) || n >= 1 << 24 {
+                break elapsed / n.max(1) as u32;
+            }
+            n *= 8;
+        };
+        let iters = if per_iter.is_zero() {
+            1 << 20
+        } else {
+            (TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 28) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            hint::black_box(f());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group. `id` takes anything string-like
+    /// (criterion accepts `impl Into<String>` here).
+    pub fn bench_function<I: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), b.result);
+        self
+    }
+
+    /// Accepted for API compatibility; this stub sizes runs by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (no-op; matches the criterion API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        report(id, b.result);
+        self
+    }
+}
+
+fn report(id: &str, result: Option<(u64, Duration)>) {
+    match result {
+        Some((iters, elapsed)) => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {id:<40} {ns:>12.1} ns/iter ({iters} iters)");
+        }
+        None => println!("bench {id:<40} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = <$crate::Criterion as ::core::default::Default>::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut b = Bencher { result: None };
+        b.iter(|| black_box(1u64 + 1));
+        let (iters, elapsed) = b.result.expect("measured");
+        assert!(iters > 0);
+        assert!(elapsed > Duration::ZERO);
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for `crossbeam`: only the unbounded MPSC channel the
+//! benchmark harness uses, delegating to `std::sync::mpsc`.
+
+pub mod channel {
+    //! `crossbeam::channel`-shaped API over `std::sync::mpsc`.
+
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_channel_roundtrips() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1).expect("receiver alive"));
+        tx.send(2).expect("receiver alive");
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

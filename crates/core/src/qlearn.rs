@@ -59,7 +59,7 @@ impl QTable {
         for mode in available.iter() {
             let q = self.get(state, mode);
             // Strict comparison: ties resolve to the first (lowest-index) mode.
-            if best.map_or(true, |(_, bq)| q > bq) {
+            if best.is_none_or(|(_, bq)| q > bq) {
                 best = Some((mode, q));
             }
         }

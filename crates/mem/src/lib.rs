@@ -112,10 +112,41 @@ impl DramController {
     /// Performs a burst of `count` consecutive lines starting at `start`.
     /// Returns the completion time of the last line. Sequential lines enjoy
     /// row-buffer hits, so long bursts approach full channel bandwidth.
+    ///
+    /// Bit-identical to per-line [`access`](Self::access) calls at the same
+    /// arrival time, but reserves the channel one row *segment* at a time
+    /// (a row miss followed by row hits), so the work is O(rows touched)
+    /// instead of O(lines).
     pub fn burst_access(&mut self, at: Cycle, start: Line, count: u64, write: bool) -> Cycle {
         let mut done = at;
-        for i in 0..count {
-            done = self.access(at, start + i, write);
+        let rl = self.config.row_lines;
+        let nbanks = self.open_rows.len() as u64;
+        let mut i = 0u64;
+        while i < count {
+            let line = start + i;
+            let row = line / rl;
+            let segment = (rl - line % rl).min(count - i);
+            let bank = (row % nbanks) as usize;
+            let mut first = self.config.line_transfer_cycles;
+            if self.open_rows[bank] != Some(row) {
+                first += self.config.row_miss_penalty;
+                self.open_rows[bank] = Some(row);
+            }
+            let grant = self.channel.acquire_series(
+                at,
+                Cycle(first),
+                Cycle(self.config.line_transfer_cycles),
+                segment,
+            );
+            done = grant.end + Cycle(self.config.base_latency);
+            i += segment;
+        }
+        if count > 0 {
+            if write {
+                self.writes.add(count);
+            } else {
+                self.reads.add(count);
+            }
         }
         done
     }
@@ -124,16 +155,34 @@ impl DramController {
     /// flush traffic): every access opens a fresh row, and the open row is
     /// lost afterwards — scattered traffic both pays row misses and breaks
     /// the locality of interleaved streams.
+    ///
+    /// Bit-identical to the per-line loop it replaces (each access pays the
+    /// row-miss penalty), with one channel reservation for the whole batch.
     pub fn scattered_access(&mut self, at: Cycle, count: u64, write: bool) -> Cycle {
-        let mut done = at;
-        for _ in 0..count {
-            // A synthetic distinct row per access; closing it afterwards
-            // forces the row-miss penalty on every scattered line.
-            done = self.access(at, u64::MAX, write);
-            let bank = ((u64::MAX / self.config.row_lines) % self.open_rows.len() as u64) as usize;
-            self.open_rows[bank] = None;
+        if count == 0 {
+            return at;
         }
-        done
+        let row = u64::MAX / self.config.row_lines;
+        let bank = (row % self.open_rows.len() as u64) as usize;
+        // The synthetic row is never resident (every scattered access closes
+        // it), so each access pays the row-miss penalty — including the
+        // first, unless a pathological prior state left the row open.
+        let miss_service = self.config.line_transfer_cycles + self.config.row_miss_penalty;
+        let first = if self.open_rows[bank] == Some(row) {
+            self.config.line_transfer_cycles
+        } else {
+            miss_service
+        };
+        let grant = self
+            .channel
+            .acquire_series(at, Cycle(first), Cycle(miss_service), count);
+        self.open_rows[bank] = None;
+        if write {
+            self.writes.add(count);
+        } else {
+            self.reads.add(count);
+        }
+        grant.end + Cycle(self.config.base_latency)
     }
 
     /// Monitor: total off-chip accesses (reads + writes).
@@ -199,12 +248,51 @@ pub fn proportional_attribution(total: u64, footprints: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// The single share `idx` would receive from
+/// [`proportional_attribution`], computed without materialising the other
+/// shares (the engine's per-invocation hot path). Returns 0.0 when the
+/// footprints sum to zero or `idx` is out of range, matching the vector
+/// form.
+pub fn proportional_share<I: IntoIterator<Item = f64>>(
+    total: u64,
+    footprints: I,
+    idx: usize,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut f_self = 0.0;
+    for (i, f) in footprints.into_iter().enumerate() {
+        sum += f;
+        if i == idx {
+            f_self = f;
+        }
+    }
+    if sum <= 0.0 {
+        0.0
+    } else {
+        total as f64 * f_self / sum
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn dram() -> DramController {
         DramController::new(DramConfig::default())
+    }
+
+    #[test]
+    fn proportional_share_matches_vector_form() {
+        let footprints = [1024.0, 0.0, 2048.0, 512.0];
+        let shares = proportional_attribution(300, &footprints);
+        for (i, share) in shares.iter().enumerate() {
+            assert_eq!(
+                proportional_share(300, footprints.iter().copied(), i),
+                *share
+            );
+        }
+        assert_eq!(proportional_share(300, [0.0, 0.0].into_iter(), 1), 0.0);
+        assert_eq!(proportional_share(300, footprints.iter().copied(), 99), 0.0);
     }
 
     #[test]

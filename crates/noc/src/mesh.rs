@@ -131,29 +131,59 @@ impl Mesh {
     ///
     /// Panics if either endpoint is outside the mesh.
     pub fn route(&self, src: Coord, dst: Coord) -> Vec<LinkId> {
+        self.route_iter(src, dst).collect()
+    }
+
+    /// Allocation-free form of [`route`](Self::route): yields the directed
+    /// links of the XY route one at a time. The NoC's transfer hot path
+    /// walks this instead of materialising a `Vec` per transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the mesh.
+    pub fn route_iter(&self, src: Coord, dst: Coord) -> RouteIter {
         assert!(self.contains(src), "source {src} outside mesh");
         assert!(self.contains(dst), "destination {dst} outside mesh");
-        let mut links = Vec::with_capacity(src.manhattan(dst) as usize);
-        let mut cur = src;
-        while cur.x != dst.x {
+        RouteIter { cur: src, dst }
+    }
+}
+
+/// Iterator over the links of an XY route (see [`Mesh::route_iter`]).
+#[derive(Debug, Clone)]
+pub struct RouteIter {
+    cur: Coord,
+    dst: Coord,
+}
+
+impl Iterator for RouteIter {
+    type Item = LinkId;
+
+    fn next(&mut self) -> Option<LinkId> {
+        let (cur, dst) = (self.cur, self.dst);
+        if cur.x != dst.x {
             let dir = if dst.x > cur.x {
                 Direction::East
             } else {
                 Direction::West
             };
-            links.push(LinkId { from: cur, dir });
-            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
-        }
-        while cur.y != dst.y {
+            self.cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            Some(LinkId { from: cur, dir })
+        } else if cur.y != dst.y {
             let dir = if dst.y > cur.y {
                 Direction::South
             } else {
                 Direction::North
             };
-            links.push(LinkId { from: cur, dir });
-            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            self.cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            Some(LinkId { from: cur, dir })
+        } else {
+            None
         }
-        links
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.cur.manhattan(self.dst) as usize;
+        (n, Some(n))
     }
 }
 

@@ -140,19 +140,21 @@ impl Noc {
     pub fn transfer(&mut self, plane: Plane, src: Coord, dst: Coord, bytes: u64, at: Cycle) -> Cycle {
         let flits = self.flits_for(bytes);
         let service = Cycle(flits);
-        let route = self.mesh.route(src, dst);
         let stats = &mut self.stats[plane.index()];
         stats.transfers += 1;
         stats.flits += flits;
 
-        if route.is_empty() {
+        if src == dst {
+            // route_iter would validate these on the multi-hop path; keep
+            // the same containment guarantee for tile-local transfers.
+            assert!(self.mesh.contains(src), "source {src} outside mesh");
             return at + Cycle(self.config.router_latency) + service;
         }
 
         let plane_links = &mut self.links[plane.index()];
         let mut head = at;
-        for link in &route {
-            let idx = self.mesh.link_index(*link);
+        for link in self.mesh.route_iter(src, dst) {
+            let idx = self.mesh.link_index(link);
             let grant = plane_links[idx].acquire(head, service);
             stats.queued_cycles += grant.queueing_delay(head).raw();
             // The head flit reaches the next router one router-latency after

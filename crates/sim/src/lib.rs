@@ -44,5 +44,5 @@ pub mod time;
 
 pub use events::EventQueue;
 pub use resource::{Grant, Resource};
-pub use rng::SeedStream;
+pub use rng::{SeedStream, TaggedStream};
 pub use time::Cycle;

@@ -11,7 +11,10 @@ use cohmeleon_core::PartitionId;
 
 /// One allocated dataset: a contiguous range of cache lines in a single
 /// memory partition.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy`: the engine passes datasets around on every simulation event, so
+/// they must stay plain values (no heap state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Dataset {
     /// Allocation id (diagnostics).
     pub id: u64,
@@ -31,6 +34,22 @@ impl Dataset {
     /// Panics if `offset` is out of range.
     pub fn line(&self, offset: u64) -> LineAddr {
         assert!(offset < self.lines, "offset {offset} beyond dataset of {} lines", self.lines);
+        self.base.offset(offset)
+    }
+
+    /// The first absolute line of a `count`-line range starting at
+    /// `offset`, bounds-checking the whole range at once (the batched
+    /// equivalent of per-line [`line`](Self::line) calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond the dataset.
+    pub fn line_range(&self, offset: u64, count: u64) -> LineAddr {
+        assert!(
+            offset + count <= self.lines,
+            "range [{offset}, {offset}+{count}) beyond dataset of {} lines",
+            self.lines
+        );
         self.base.offset(offset)
     }
 

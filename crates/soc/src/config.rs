@@ -121,8 +121,8 @@ impl SocConfig {
         let mut taken: Vec<Coord> = Vec::new();
         let mut mems = Vec::new();
         for i in 0..self.mem_tiles {
-            let c = if i < 4 {
-                corners[i]
+            let c = if let Some(corner) = corners.get(i) {
+                *corner
             } else {
                 // More than four memory tiles: continue along the top edge.
                 Coord::new((1 + i as u8 - 4).min(w - 2), 0)

@@ -22,12 +22,11 @@ use cohmeleon_core::policy::PolicyComplexity;
 use cohmeleon_core::reward::InvocationMeasurement;
 use cohmeleon_core::status::StatusTracker;
 use cohmeleon_core::{AccelInstanceId, AccelKindId, CoherenceMode, Decision, Policy, State};
-use cohmeleon_mem::proportional_attribution;
-use cohmeleon_sim::{Cycle, EventQueue, SeedStream};
+use cohmeleon_sim::{Cycle, EventQueue, SeedStream, TaggedStream};
 use rand::RngCore;
 
 use crate::alloc::Dataset;
-use crate::machine::Soc;
+use crate::machine::{AccelInfo, Soc};
 
 /// Lines a CPU initialises per simulation event.
 const INIT_CHUNK_LINES: u64 = 64;
@@ -105,6 +104,9 @@ pub struct PhaseResult {
     pub duration: u64,
     /// Off-chip accesses counted at the memory controllers over the phase.
     pub offchip: u64,
+    /// Simulation events processed for this phase (throughput metric for
+    /// the perf harness; deterministic for a fixed seed).
+    pub events: u64,
     /// Per-invocation records, in completion order.
     pub invocations: Vec<InvocationRecord>,
 }
@@ -131,9 +133,44 @@ impl AppResult {
         self.phases.iter().map(|p| p.offchip).sum()
     }
 
+    /// Total simulation events processed over all phases.
+    pub fn total_events(&self) -> u64 {
+        self.phases.iter().map(|p| p.events).sum()
+    }
+
     /// All invocation records across phases.
     pub fn invocations(&self) -> impl Iterator<Item = &InvocationRecord> {
         self.phases.iter().flat_map(|p| p.invocations.iter())
+    }
+
+    /// A structural hash of the *modeled* outcome: per-phase duration and
+    /// off-chip count, and per-invocation mode, ground-truth DRAM accesses
+    /// and start/end times. Hot-path refactors must keep this bit-identical
+    /// for a fixed seed; the golden determinism test pins it.
+    ///
+    /// Engine mechanics (event counts, attribution floats) are deliberately
+    /// excluded — only modeled timing and ground-truth counts are pinned.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            // FNV-1a over the value's bytes.
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for phase in &self.phases {
+            mix(phase.duration);
+            mix(phase.offchip);
+            mix(phase.invocations.len() as u64);
+            for inv in &phase.invocations {
+                mix(inv.mode.index() as u64);
+                mix(inv.true_dram);
+                mix(inv.start.raw());
+                mix(inv.end.raw());
+            }
+        }
+        h
     }
 }
 
@@ -240,8 +277,17 @@ struct Engine<'a> {
     records: Vec<InvocationRecord>,
     remaining: usize,
     invocation_counter: u64,
-    seeds: SeedStream,
+    /// Burst-schedule seed family (tag hash precomputed once per run).
+    sched_seeds: TaggedStream,
     options: EngineOptions,
+    /// Events processed in the current phase.
+    events: u64,
+    /// Scratch: busy private caches, rebuilt before each flush.
+    busy_scratch: Vec<CacheId>,
+    /// Scratch: monitor totals sampled at invocation end.
+    totals_scratch: Vec<u64>,
+    /// Pool of monitor-sample buffers for in-flight invocations.
+    totals_pool: Vec<Vec<u64>>,
 }
 
 impl<'a> Engine<'a> {
@@ -259,8 +305,12 @@ impl<'a> Engine<'a> {
             records: Vec::new(),
             remaining: 0,
             invocation_counter: 0,
-            seeds: SeedStream::new(seed),
+            sched_seeds: SeedStream::new(seed).tagged("sched"),
             options: EngineOptions::default(),
+            events: 0,
+            busy_scratch: Vec::new(),
+            totals_scratch: Vec::new(),
+            totals_pool: Vec::new(),
         }
     }
 
@@ -285,6 +335,7 @@ impl<'a> Engine<'a> {
             self.queue.schedule(phase_start, i);
         }
         self.remaining = self.threads.len();
+        self.events = 0;
 
         let mut phase_end = phase_start;
         while self.remaining > 0 {
@@ -292,6 +343,7 @@ impl<'a> Engine<'a> {
                 .queue
                 .pop()
                 .expect("deadlock: threads pending but no events queued");
+            self.events += 1;
             self.step_thread(thread, t);
             phase_end = phase_end.max(self.queue.now());
         }
@@ -301,6 +353,7 @@ impl<'a> Engine<'a> {
             name: phase.name.clone(),
             duration: (phase_end - phase_start).raw(),
             offchip: dram_after - dram_before,
+            events: self.events,
             invocations: std::mem::take(&mut self.records),
         }
     }
@@ -318,7 +371,7 @@ impl<'a> Engine<'a> {
     }
 
     fn step_init(&mut self, i: usize, t: Cycle, next: u64) {
-        let (cpu, dataset) = (self.threads[i].cpu, self.threads[i].dataset.clone());
+        let (cpu, dataset) = (self.threads[i].cpu, self.threads[i].dataset);
         let chunk = INIT_CHUNK_LINES.min(dataset.lines - next);
         let done = self.soc.cpu_write_lines(cpu, &dataset, next, chunk, t);
         if next + chunk >= dataset.lines {
@@ -341,10 +394,11 @@ impl<'a> Engine<'a> {
         self.accel_busy[a] = true;
 
         let cpu = self.threads[i].cpu;
-        let dataset = self.threads[i].dataset.clone();
-        let info = self.soc.accel(instance).clone();
+        let dataset = self.threads[i].dataset;
+        let info = *self.soc.accel(instance);
         let invoke_start = t;
-        let dram_before = self.soc.dram_totals();
+        let mut dram_before = self.totals_pool.pop().unwrap_or_default();
+        self.soc.dram_totals_into(&mut dram_before);
 
         // Sense + decide.
         let snapshot = self
@@ -363,8 +417,10 @@ impl<'a> Engine<'a> {
         let t1 = self
             .soc
             .cpu_work(cpu, decision_cycles + params.driver_base_cycles, t);
-        let busy_caches = self.busy_private_caches();
-        let (t2, flush_dram) = self.soc.flush_for_mode(cpu, decision.mode, &busy_caches, t1);
+        Self::collect_busy_caches(&self.accel_busy, self.soc.accel_infos(), &mut self.busy_scratch);
+        let (t2, flush_dram) =
+            self.soc
+                .flush_for_mode(cpu, decision.mode, &self.busy_scratch, t1);
         let t3 = self.soc.cpu_work(cpu, params.tlb_cycles(footprint), t2);
 
         self.tracker.begin(
@@ -374,11 +430,11 @@ impl<'a> Engine<'a> {
             dataset.partitions(),
         );
 
-        let profile = self.soc.config().accels[a].spec.profile.clone();
+        let sched_seed = self.sched_seeds.nth(self.invocation_counter).next_u64();
         let sched = BurstSchedule::generate(
-            &profile,
+            &self.soc.config().accels[a].spec.profile,
             dataset.lines,
-            self.seeds.stream_n("sched", self.invocation_counter).next_u64(),
+            sched_seed,
         );
         self.invocation_counter += 1;
 
@@ -417,7 +473,7 @@ impl<'a> Engine<'a> {
                 return;
             }
             let op = ctx.sched.ops()[ctx.op];
-            let dataset = self.threads[i].dataset.clone();
+            let dataset = self.threads[i].dataset;
             let out = self
                 .soc
                 .accel_burst(ctx.instance, &dataset, &op, ctx.decision.mode, t);
@@ -442,24 +498,27 @@ impl<'a> Engine<'a> {
                 self.threads[i].state = TState::Running(ctx);
                 self.queue.schedule(done, i);
             } else {
-                self.finish_invocation(i, t, ctx);
+                self.finish_invocation(i, t, *ctx);
             }
         }
     }
 
-    fn finish_invocation(&mut self, i: usize, t: Cycle, ctx: Box<RunCtx>) {
-        let dataset = self.threads[i].dataset.clone();
+    fn finish_invocation(&mut self, i: usize, t: Cycle, mut ctx: RunCtx) {
+        let dataset = self.threads[i].dataset;
         let footprint = dataset.bytes(self.soc.line_bytes());
 
         // Evaluate: monitor deltas + the paper's proportional attribution
         // (or the oracle count, for the attribution ablation).
-        let dram_after = self.soc.dram_totals();
+        let mut dram_after = std::mem::take(&mut self.totals_scratch);
+        self.soc.dram_totals_into(&mut dram_after);
         let attributed = match self.options.attribution {
             Attribution::PaperApprox => {
                 self.attribute_offchip(&dataset, &ctx.dram_before, &dram_after)
             }
             Attribution::GroundTruth => ctx.true_dram as f64,
         };
+        self.totals_scratch = dram_after;
+        self.totals_pool.push(std::mem::take(&mut ctx.dram_before));
 
         let measurement = InvocationMeasurement {
             total_cycles: (t - ctx.invoke_start).raw(),
@@ -517,18 +576,18 @@ impl<'a> Engine<'a> {
     }
 
     fn step_check(&mut self, i: usize, t: Cycle, next: u64) {
-        let (cpu, dataset) = (self.threads[i].cpu, self.threads[i].dataset.clone());
+        let (cpu, dataset) = (self.threads[i].cpu, self.threads[i].dataset);
         let check_lines = (dataset.lines * self.soc.params().check_fraction_per_mille / 1000).max(1);
+        if next >= check_lines {
+            // The final chunk's read-back completed at `t`: the thread (and
+            // therefore the phase) ends now, not at the chunk's issue time.
+            self.finish_thread(i);
+            return;
+        }
         let chunk = INIT_CHUNK_LINES.min(check_lines - next);
         let done = self.soc.cpu_read_lines(cpu, &dataset, next, chunk, t);
-        if next + chunk >= check_lines {
-            self.finish_thread(i);
-            // finish_thread sets Done; nothing further scheduled.
-            let _ = done;
-        } else {
-            self.threads[i].state = TState::Check { next: next + chunk };
-            self.queue.schedule(done, i);
-        }
+        self.threads[i].state = TState::Check { next: next + chunk };
+        self.queue.schedule(done, i);
     }
 
     fn finish_thread(&mut self, i: usize) {
@@ -537,14 +596,17 @@ impl<'a> Engine<'a> {
     }
 
     /// Private caches of accelerators currently running (skipped by software
-    /// flushes: their contents are live).
-    fn busy_private_caches(&self) -> Vec<CacheId> {
-        self.accel_busy
-            .iter()
-            .enumerate()
-            .filter(|(_, busy)| **busy)
-            .filter_map(|(a, _)| self.soc.accel_infos()[a].cache)
-            .collect()
+    /// flushes: their contents are live). Rebuilt into a reusable scratch
+    /// buffer — no allocation after the first invocation.
+    fn collect_busy_caches(accel_busy: &[bool], infos: &[AccelInfo], out: &mut Vec<CacheId>) {
+        out.clear();
+        out.extend(
+            accel_busy
+                .iter()
+                .enumerate()
+                .filter(|(_, busy)| **busy)
+                .filter_map(|(a, _)| infos[a].cache),
+        );
     }
 
     /// The paper's attribution: split each controller's observed delta among
@@ -554,6 +616,16 @@ impl<'a> Engine<'a> {
         let line_bytes = self.soc.line_bytes();
         // Active set: the tracker still contains self at this point.
         let snapshot = self.tracker.snapshot(0, dataset.partitions());
+        // Which active entry is this invocation (loop-invariant over the
+        // memory controllers, so computed once).
+        let self_idx = snapshot
+            .active
+            .iter()
+            .position(|acc| {
+                acc.footprint_bytes == dataset.bytes(line_bytes)
+                    && acc.partitions.contains(&dataset.partition)
+            })
+            .unwrap_or(usize::MAX);
         let mut total = 0.0;
         for (m, (b, a)) in before.iter().zip(after).enumerate() {
             let delta = a - b;
@@ -561,27 +633,20 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let partition = cohmeleon_core::PartitionId(m as u16);
-            let footprints: Vec<f64> = snapshot
-                .active
-                .iter()
-                .map(|acc| acc.footprint_on(partition))
-                .collect();
-            let self_idx = snapshot
-                .active
-                .iter()
-                .position(|acc| {
-                    acc.footprint_bytes == dataset.bytes(line_bytes)
-                        && acc.partitions.contains(&dataset.partition)
-                })
-                .unwrap_or(usize::MAX);
-            let shares = proportional_attribution(delta, &footprints);
-            if self_idx != usize::MAX && dataset.partition == partition {
-                total += shares[self_idx];
-            } else if dataset.partition == partition {
+            if dataset.partition != partition {
+                continue;
+            }
+            if self_idx == usize::MAX {
                 // Self not found (should not happen): fall back to the
                 // whole delta.
                 total += delta as f64;
+                continue;
             }
+            total += cohmeleon_mem::proportional_share(
+                delta,
+                snapshot.active.iter().map(|acc| acc.footprint_on(partition)),
+                self_idx,
+            );
         }
         total
     }

@@ -24,7 +24,7 @@ use crate::config::SocConfig;
 use crate::params::TimingParams;
 
 /// Static description of one accelerator tile after elaboration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct AccelInfo {
     /// The instance id (index into the SoC's accelerator list).
     pub instance: AccelInstanceId,
@@ -181,6 +181,14 @@ impl Soc {
         self.drams.iter().map(|d| d.total_accesses()).collect()
     }
 
+    /// [`dram_totals`](Self::dram_totals) into a caller-owned buffer
+    /// (cleared first), so per-invocation monitor sampling allocates
+    /// nothing.
+    pub fn dram_totals_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.drams.iter().map(|d| d.total_accesses()));
+    }
+
     /// CPU processor-cache ids.
     pub fn cpu_caches(&self) -> &[CacheId] {
         &self.cpu_caches
@@ -225,17 +233,14 @@ impl Soc {
         write: bool,
     ) -> Cycle {
         let cache = self.cpu_caches[cpu];
-        let mut fx = AccessEffects::new();
-        for i in 0..count {
-            // Initialisation uses full-line streaming stores: no fetch of
-            // stale data on a write miss.
-            let sub = if write {
-                self.caches.l2_store_streaming(cache, dataset.line(from + i))
-            } else {
-                self.caches.l2_access(cache, dataset.line(from + i), false)
-            };
-            fx.accumulate(&sub);
-        }
+        let first = dataset.line_range(from, count);
+        // Initialisation uses full-line streaming stores: no fetch of
+        // stale data on a write miss.
+        let fx = if write {
+            self.caches.l2_store_streaming_range(cache, first, count)
+        } else {
+            self.caches.l2_access_range(cache, first, count, false).0
+        };
         let per_line = if write {
             self.params.cpu_init_line_cycles
         } else {
@@ -389,17 +394,14 @@ impl Soc {
         let req_bytes = self.params.header_bytes + if op.write { bytes } else { 0 };
         let t1 = self.noc.transfer(Plane::DmaReq, src, dst, req_bytes, at);
 
-        // Protocol state changes + effect counting (time-free).
-        let mut fx = AccessEffects::new();
-        for i in 0..op.lines {
-            let line = dataset.line(op.line_offset + i);
-            let sub = if coherent {
-                self.caches.coh_dma_access(line, op.write)
-            } else {
-                self.caches.llc_coh_dma_access(line, op.write)
-            };
-            fx.accumulate(&sub);
-        }
+        // Protocol state changes + effect counting (time-free), one batched
+        // walk over the burst's consecutive lines.
+        let first = dataset.line_range(op.line_offset, op.lines);
+        let fx = if coherent {
+            self.caches.coh_dma_access_range(first, op.lines, op.write)
+        } else {
+            self.caches.llc_coh_dma_access_range(first, op.lines, op.write)
+        };
 
         // Directory/port reservation. Coherent DMA *occupies* the
         // directory pipeline longer (recall bookkeeping) without adding
@@ -480,26 +482,16 @@ impl Soc {
         op: &BurstOp,
         at: Cycle,
     ) -> BurstOutcome {
-        let info = self.accel(instance).clone();
+        let info = *self.accel(instance);
         let cache = info
             .cache
             .expect("fully-coherent mode requires a private cache");
         let p = dataset.partition.0 as usize;
         let dst = self.mem_coords[p];
 
-        let mut fx = AccessEffects::new();
-        let mut hits = 0u64;
-        let mut misses = 0u64;
-        for i in 0..op.lines {
-            let line = dataset.line(op.line_offset + i);
-            let sub = self.caches.l2_access(cache, line, op.write);
-            if sub.l2_hit {
-                hits += 1;
-            } else {
-                misses += 1;
-            }
-            fx.accumulate(&sub);
-        }
+        let first = dataset.line_range(op.line_offset, op.lines);
+        let (fx, hits) = self.caches.l2_access_range(cache, first, op.lines, op.write);
+        let misses = op.lines - hits;
 
         // Hits are a serial prefix of local pipelined accesses.
         let t0 = at + Cycle(hits * self.params.l2_hit_cycles);

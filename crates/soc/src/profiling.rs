@@ -66,7 +66,7 @@ pub fn profile_heterogeneous(
                 norm_sum += rec.measurement.total_cycles as f64 / bytes as f64;
             }
             let mean = norm_sum / sweep.len() as f64;
-            if best.map_or(true, |(_, b)| mean < b) {
+            if best.is_none_or(|(_, b)| mean < b) {
                 best = Some((mode, mean));
             }
         }

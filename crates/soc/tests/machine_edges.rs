@@ -1,7 +1,7 @@
 //! Edge-case tests for the SoC machine and engine that the figure
 //! experiments do not exercise directly.
 
-use cohmeleon_core::policy::{FixedPolicy, Policy, RandomPolicy};
+use cohmeleon_core::policy::{FixedPolicy, RandomPolicy};
 use cohmeleon_core::{AccelInstanceId, CoherenceMode};
 use cohmeleon_soc::config::{soc2, soc3, soc5, SocConfig};
 use cohmeleon_soc::{

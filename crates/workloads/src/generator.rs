@@ -145,7 +145,7 @@ mod tests {
             assert!(phase.threads.len() >= params.threads.0);
             assert!(phase.threads.len() <= params.threads.1);
             for t in &phase.threads {
-                assert!(t.chain.len() >= 1 && t.chain.len() <= params.chain_len.1);
+                assert!(!t.chain.is_empty() && t.chain.len() <= params.chain_len.1);
                 assert!(t.loops >= params.loops.0 && t.loops <= params.loops.1);
             }
         }

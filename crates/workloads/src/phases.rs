@@ -63,7 +63,7 @@ fn thread(config: &SocConfig, class: SizeClass, index: usize, rng: &mut SmallRng
         dataset_bytes: class.sample_bytes(config, rng),
         chain,
         loops: rng.gen_range(2..=3),
-        check_output: index % 2 == 0,
+        check_output: index.is_multiple_of(2),
     }
 }
 

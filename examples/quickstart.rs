@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cohmeleon_repro::core::policy::{CohmeleonPolicy, FixedPolicy, ManualPolicy, Policy};
+use cohmeleon_repro::core::policy::{CohmeleonPolicy, FixedPolicy, ManualPolicy};
 use cohmeleon_repro::core::manual::ManualThresholds;
 use cohmeleon_repro::core::qlearn::LearningSchedule;
 use cohmeleon_repro::core::reward::RewardWeights;

@@ -107,8 +107,8 @@ proptest! {
                 3 => { ctrl.flush_l2(CacheId(cache)); }
                 4 => { ctrl.l2_store_streaming(CacheId(cache), line); }
                 _ => {
-                    if line.0 % 31 == 0 {
-                        ctrl.flush_llc(cohmeleon_repro::core::PartitionId((cache % 2) as u16));
+                    if line.0.is_multiple_of(31) {
+                        ctrl.flush_llc(cohmeleon_repro::core::PartitionId(cache % 2));
                     } else {
                         ctrl.l2_access(CacheId(cache), line, write);
                     }

@@ -1,6 +1,6 @@
 //! Reproducibility: the whole stack is deterministic given a seed.
 
-use cohmeleon_repro::core::policy::{CohmeleonPolicy, Policy, RandomPolicy};
+use cohmeleon_repro::core::policy::{CohmeleonPolicy, RandomPolicy};
 use cohmeleon_repro::core::qlearn::LearningSchedule;
 use cohmeleon_repro::core::reward::RewardWeights;
 use cohmeleon_repro::soc::config::{soc1, soc2};
@@ -57,4 +57,35 @@ fn different_app_seeds_generate_different_work() {
     let a = generate_app(&config, &GeneratorParams::quick(), 1);
     let b = generate_app(&config, &GeneratorParams::quick(), 2);
     assert_ne!(a, b);
+}
+
+/// Golden snapshots: the structural hash of fixed runs on soc1 (per-phase
+/// duration/off-chip, per-invocation mode/true_dram/start/end), pinned so
+/// hot-path refactors that change *modeled* behaviour fail loudly. The
+/// constants were recorded from the per-line reference implementation and
+/// verified bit-identical against the batched hot paths (see
+/// `crates/bench/src/bin/hashdump.rs` for regenerating them).
+#[test]
+fn golden_structural_hashes_on_soc1() {
+    use cohmeleon_repro::core::CoherenceMode;
+    use cohmeleon_repro::core::policy::FixedPolicy;
+
+    let config = soc1();
+    let app = generate_app(&config, &GeneratorParams::quick(), 5);
+    let golden = [
+        (CoherenceMode::NonCohDma, 0xd933_7e08_3140_3e13_u64),
+        (CoherenceMode::LlcCohDma, 0x6cc0_e50e_50d0_196b),
+        (CoherenceMode::CohDma, 0x5cbf_ddee_f921_6537),
+        (CoherenceMode::FullCoh, 0x328c_ec1e_5e06_3699),
+    ];
+    for (mode, expected) in golden {
+        let mut policy = FixedPolicy::new(mode);
+        let result = evaluate_policy(&config, &app, &mut policy, 5);
+        assert_eq!(
+            result.structural_hash(),
+            expected,
+            "modeled behaviour changed for {mode:?} (regenerate goldens only \
+             for *intentional* model changes)"
+        );
+    }
 }

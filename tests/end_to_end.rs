@@ -3,7 +3,7 @@
 
 use cohmeleon_repro::core::manual::ManualThresholds;
 use cohmeleon_repro::core::policy::{
-    CohmeleonPolicy, FixedPolicy, ManualPolicy, Policy, RandomPolicy,
+    CohmeleonPolicy, FixedPolicy, ManualPolicy, RandomPolicy,
 };
 use cohmeleon_repro::core::qlearn::LearningSchedule;
 use cohmeleon_repro::core::reward::RewardWeights;

@@ -1,7 +1,7 @@
 //! Learning-behaviour integration tests: the RL module interacting with
 //! the full simulated system.
 
-use cohmeleon_repro::core::policy::{CohmeleonPolicy, Policy};
+use cohmeleon_repro::core::policy::CohmeleonPolicy;
 use cohmeleon_repro::core::qlearn::LearningSchedule;
 use cohmeleon_repro::core::reward::RewardWeights;
 use cohmeleon_repro::core::{CoherenceMode, State};
@@ -13,8 +13,15 @@ use cohmeleon_repro::workloads::runner::run_protocol;
 #[test]
 fn training_populates_the_q_table() {
     let config = soc1();
-    let train = generate_app(&config, &GeneratorParams::quick(), 1);
-    let test = generate_app(&config, &GeneratorParams::quick(), 2);
+    // A few more phases/threads than `quick()` so training reliably visits
+    // a diverse state set regardless of RNG stream details.
+    let params = GeneratorParams {
+        phases: 4,
+        threads: (2, 8),
+        ..GeneratorParams::quick()
+    };
+    let train = generate_app(&config, &params, 1);
+    let test = generate_app(&config, &params, 2);
     let mut policy = CohmeleonPolicy::new(
         RewardWeights::paper_default(),
         LearningSchedule::paper_default(3),
