@@ -140,18 +140,22 @@ fn bench_fig9_suite(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("policy-suite-soc1", |b| {
         b.iter(|| {
-            cohmeleon_bench::suite::run_suite(
-                &config,
-                &app,
-                &app,
-                &[
-                    cohmeleon_bench::PolicyKind::FixedNonCoh,
-                    cohmeleon_bench::PolicyKind::Manual,
-                    cohmeleon_bench::PolicyKind::Cohmeleon,
-                ],
-                1,
-                3,
+            let grid = cohmeleon_exp::Experiment::train_test(
+                config.clone(),
+                app.clone(),
+                app.clone(),
             )
+            .policy_kinds([
+                cohmeleon_bench::PolicyKind::FixedNonCoh,
+                cohmeleon_bench::PolicyKind::Manual,
+                cohmeleon_bench::PolicyKind::Cohmeleon,
+            ])
+            .seed(3)
+            .train_iterations(1)
+            .build()
+            .expect("non-empty suite");
+            grid.collect(&cohmeleon_exp::WorkStealing::new())
+                .into_outcomes_against(0)
         })
     });
     group.finish();

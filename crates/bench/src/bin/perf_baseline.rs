@@ -1,23 +1,33 @@
 //! `perf_baseline` — the tracked simulator-throughput benchmark.
 //!
-//! Runs a fixed, fully deterministic suite (soc1 × the quick generator ×
-//! three policies: fixed-non-coh-dma, manual, cohmeleon) through the
-//! train/test protocol, reports wall time and simulation throughput, and
-//! records the numbers in `BENCH_hotpath.json` so every later PR is
-//! measured against the recorded baseline.
+//! Runs fixed, fully deterministic suites through the experiment grid,
+//! reports wall time and simulation throughput, and records the numbers in
+//! `BENCH_hotpath.json` so every later PR is measured against the recorded
+//! baseline. Two regimes are tracked:
+//!
+//! * `soc1 × quick` — small datasets, cache-resident (the original suite;
+//!   its recorded baseline predates the experiment grid and is preserved).
+//! * `soc6 × large` — the computer-vision SoC under Large/Extra-Large
+//!   workloads, cache-thrashing (recorded as `soc6_scale`).
+//!
+//! Both tracked suites run on the [`Serial`] executor so wall times stay
+//! comparable across machines and checkouts; a third measurement runs one
+//! multi-seed grid under `Serial` and `WorkStealing`, asserts the per-cell
+//! results are bit-identical, and records the parallel speedup
+//! (`sweep_executor`).
 //!
 //! ```text
 //! perf_baseline [--smoke] [--out FILE] [--reps N]
 //!
-//!   --smoke   correctness-only: run a reduced suite once, assert the
-//!             simulation completed and was deterministic, write nothing
+//!   --smoke   correctness-only: run a reduced suite, assert determinism
+//!             and Serial/WorkStealing bit-equality, write nothing
 //!             (unless --out is given). For CI.
 //!   --out     output JSON path (default BENCH_hotpath.json)
 //!   --reps    timed repetitions; the best (fastest) rep is recorded
 //!             (default 3)
 //! ```
 //!
-//! The JSON keeps two entries: `baseline` (the first measurement ever
+//! Each tracked entry keeps `baseline` (the first measurement ever
 //! recorded on this machine/checkout — preserved across runs) and
 //! `current` (the latest measurement). The speedup quoted is
 //! `baseline.wall_s / current.wall_s`.
@@ -26,15 +36,19 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use cohmeleon_bench::policies::{build_policy, PolicyKind};
-use cohmeleon_soc::config::soc1;
+use cohmeleon_bench::policies::PolicyKind;
+use cohmeleon_exp::{CellResult, Executor, Experiment, Serial, SweepGrid, WorkStealing};
+use cohmeleon_soc::config::{soc1, soc6};
+use cohmeleon_soc::SocConfig;
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
-use cohmeleon_workloads::runner::run_protocol;
+use cohmeleon_workloads::sizes::SizeClass;
 
-/// Policies in the fixed suite, in run order.
+/// Policies in the fixed suites, in run order.
 const SUITE: [PolicyKind; 3] = [PolicyKind::FixedNonCoh, PolicyKind::Manual, PolicyKind::Cohmeleon];
 const TRAIN_ITERATIONS: usize = 2;
 const SEED: u64 = 7;
+/// Seeds of the executor-speedup grid (cells = seeds × policies).
+const SWEEP_SEEDS: [u64; 4] = [1, 2, 3, 4];
 
 struct Args {
     smoke: bool,
@@ -76,25 +90,55 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// One measured run of the full suite. Returns (wall seconds, simulation
-/// events, invocations, total simulated cycles) — everything but the wall
-/// time is deterministic.
-fn run_suite(train_iterations: usize, params: &GeneratorParams) -> (f64, u64, u64, u64) {
-    let config = soc1();
+/// The generator preset of the soc6-scale suite: Large/Extra-Large
+/// datasets against soc6's LLC, so recalls, evictions and DRAM bursts
+/// dominate (the cache-thrashing regime the quick suite never enters).
+fn soc6_params() -> GeneratorParams {
+    GeneratorParams {
+        phases: 2,
+        threads: (2, 4),
+        chain_len: (1, 2),
+        loops: (1, 2),
+        size_mix: vec![SizeClass::Large, SizeClass::ExtraLarge],
+        check_per_mille: 250,
+    }
+}
+
+/// Builds the tracked single-seed suite grid for one SoC.
+fn suite_grid(config: SocConfig, params: &GeneratorParams, train_iterations: usize) -> SweepGrid {
     let train = generate_app(&config, params, 1);
     let test = generate_app(&config, params, 2);
+    Experiment::train_test(config, train, test)
+        .policy_kinds(SUITE)
+        .seed(SEED)
+        .train_iterations(train_iterations)
+        .build()
+        .expect("tracked suite is non-empty")
+}
+
+/// One measured run of `grid` under `executor`. Returns (wall seconds,
+/// simulation events, invocations, total simulated cycles) — everything
+/// but the wall time is deterministic.
+fn run_grid<E: Executor>(grid: &SweepGrid, executor: &E) -> (f64, u64, u64, u64) {
     let start = Instant::now();
     let mut events = 0u64;
     let mut invocations = 0u64;
     let mut sim_cycles = 0u64;
-    for kind in SUITE {
-        let mut policy = build_policy(kind, &config, train_iterations, SEED);
-        let result = run_protocol(&config, &train, &test, policy.as_mut(), train_iterations, SEED);
-        events += result.total_events();
-        invocations += result.invocations().count() as u64;
-        sim_cycles += result.total_duration();
-    }
+    grid.execute(executor, &mut |result: CellResult| {
+        events += result.result.total_events();
+        invocations += result.result.invocations().count() as u64;
+        sim_cycles += result.result.total_duration();
+    });
     (start.elapsed().as_secs_f64(), events, invocations, sim_cycles)
+}
+
+/// Per-cell structural hashes of a grid run, indexed densely.
+fn cell_hashes<E: Executor>(grid: &SweepGrid, executor: &E) -> Vec<u64> {
+    let mut hashes = vec![0u64; grid.num_cells()];
+    grid.execute(executor, &mut |result: CellResult| {
+        hashes[grid.cell_index(result.cell)] = result.result.structural_hash();
+    });
+    hashes
 }
 
 fn measurement_json(wall_s: f64, events: u64, invocations: u64, sim_cycles: u64) -> String {
@@ -112,12 +156,30 @@ fn measurement_json(wall_s: f64, events: u64, invocations: u64, sim_cycles: u64)
     s
 }
 
-/// Extracts the value of a top-level `"baseline": {...}` key from a
-/// previously written report (brace matching; no JSON library available
-/// offline).
-fn extract_baseline(json: &str) -> Option<String> {
-    let key = "\"baseline\":";
-    let at = json.find(key)? + key.len();
+/// Times `reps` serial runs of `grid` and returns the fastest.
+fn best_of(grid: &SweepGrid, reps: usize, label: &str) -> (f64, u64, u64, u64) {
+    let mut best: Option<(f64, u64, u64, u64)> = None;
+    for rep in 0..reps {
+        let m = run_grid(grid, &Serial);
+        println!(
+            "  {label} rep {}: {:.3} s wall, {} events, {:.0} events/s",
+            rep + 1,
+            m.0,
+            m.1,
+            m.1 as f64 / m.0
+        );
+        if best.is_none_or(|b| m.0 < b.0) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// Extracts the `{...}` value of a `"key":` from a JSON report (brace
+/// matching; no JSON library available offline).
+fn extract_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
     let open = json[at..].find('{')? + at;
     let mut depth = 0usize;
     for (i, c) in json[open..].char_indices() {
@@ -126,13 +188,63 @@ fn extract_baseline(json: &str) -> Option<String> {
             '}' => {
                 depth -= 1;
                 if depth == 0 {
-                    return Some(json[open..=open + i].to_string());
+                    return Some(&json[open..=open + i]);
                 }
             }
             _ => {}
         }
     }
     None
+}
+
+/// Pulls a numeric field out of a flat JSON object.
+fn extract_field(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let at = json.find(&key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn smoke(args: &Args) -> ExitCode {
+    // Correctness only: a reduced suite, run twice, must be deterministic,
+    // complete, and bit-identical between Serial and WorkStealing. No
+    // timing assertions (CI machines vary); the point is that the harness
+    // can never bit-rot.
+    let params = GeneratorParams {
+        phases: 1,
+        ..GeneratorParams::quick()
+    };
+    let grid = suite_grid(soc1(), &params, 1);
+    let (_, e1, i1, c1) = run_grid(&grid, &Serial);
+    let (_, e2, i2, c2) = run_grid(&grid, &Serial);
+    if (e1, i1, c1) != (e2, i2, c2) {
+        eprintln!(
+            "perf_baseline --smoke: nondeterministic suite: {e1}/{i1}/{c1} vs {e2}/{i2}/{c2}"
+        );
+        return ExitCode::FAILURE;
+    }
+    if i1 == 0 || e1 == 0 {
+        eprintln!("perf_baseline --smoke: suite ran no work (events={e1}, invocations={i1})");
+        return ExitCode::FAILURE;
+    }
+    if cell_hashes(&grid, &Serial) != cell_hashes(&grid, &WorkStealing::new()) {
+        eprintln!("perf_baseline --smoke: WorkStealing results differ from Serial");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf_baseline --smoke: ok ({e1} events, {i1} invocations, {c1} simulated cycles; \
+         executors bit-identical)"
+    );
+    if let Some(out) = &args.out_flag {
+        // Smoke runs make no timing claims, so no wall-time fields.
+        let body = format!("{{\"sim_events\": {e1}, \"invocations\": {i1}, \"sim_cycles\": {c1}}}");
+        if let Err(e) = std::fs::write(out, format!("{{\"smoke\": {body}}}\n")) {
+            eprintln!("perf_baseline --smoke: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -143,95 +255,100 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-
     if args.smoke {
-        // Correctness only: a reduced suite, run twice, must be
-        // deterministic and complete. No timing assertions (CI machines
-        // vary); the point is that the harness can never bit-rot.
-        let params = GeneratorParams {
-            phases: 1,
-            ..GeneratorParams::quick()
-        };
-        let (_, e1, i1, c1) = run_suite(1, &params);
-        let (_, e2, i2, c2) = run_suite(1, &params);
-        if (e1, i1, c1) != (e2, i2, c2) {
-            eprintln!("perf_baseline --smoke: nondeterministic suite: {e1}/{i1}/{c1} vs {e2}/{i2}/{c2}");
-            return ExitCode::FAILURE;
-        }
-        if i1 == 0 || e1 == 0 {
-            eprintln!("perf_baseline --smoke: suite ran no work (events={e1}, invocations={i1})");
-            return ExitCode::FAILURE;
-        }
-        println!("perf_baseline --smoke: ok ({e1} events, {i1} invocations, {c1} simulated cycles)");
-        if let Some(out) = &args.out_flag {
-            // Smoke runs make no timing claims, so no wall-time fields.
-            let body = format!(
-                "{{\"sim_events\": {e1}, \"invocations\": {i1}, \"sim_cycles\": {c1}}}"
-            );
-            if let Err(e) = std::fs::write(out, format!("{{\"smoke\": {body}}}\n")) {
-                eprintln!("perf_baseline --smoke: cannot write {out}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        return ExitCode::SUCCESS;
+        return smoke(&args);
     }
 
-    let params = GeneratorParams::quick();
     println!(
-        "perf_baseline: soc1 × quick generator × {:?}, {} train iteration(s), {} rep(s)",
+        "perf_baseline: {:?} suites, {} train iteration(s), {} rep(s)",
         SUITE, TRAIN_ITERATIONS, args.reps
     );
-    let mut best: Option<(f64, u64, u64, u64)> = None;
-    for rep in 0..args.reps {
-        let m = run_suite(TRAIN_ITERATIONS, &params);
-        println!(
-            "  rep {}: {:.3} s wall, {} events, {:.0} events/s",
-            rep + 1,
-            m.0,
-            m.1,
-            m.1 as f64 / m.0
-        );
-        if best.is_none_or(|b| m.0 < b.0) {
-            best = Some(m);
-        }
-    }
-    let (wall_s, events, invocations, sim_cycles) = best.expect("at least one rep");
+
+    // Tracked suite 1: soc1 × quick (cache-resident).
+    let grid1 = suite_grid(soc1(), &GeneratorParams::quick(), TRAIN_ITERATIONS);
+    let (wall_s, events, invocations, sim_cycles) = best_of(&grid1, args.reps, "soc1×quick");
     let current = measurement_json(wall_s, events, invocations, sim_cycles);
 
+    // Tracked suite 2: soc6 × large (cache-thrashing).
+    let grid6 = suite_grid(soc6(), &soc6_params(), TRAIN_ITERATIONS);
+    let (wall6, events6, invocations6, cycles6) = best_of(&grid6, args.reps, "soc6×large");
+    let current6 = measurement_json(wall6, events6, invocations6, cycles6);
+
+    // Executor speedup: one multi-seed grid, Serial vs WorkStealing,
+    // verified bit-identical per cell before any number is recorded.
+    let sweep_grid = {
+        let config = soc1();
+        let train = generate_app(&config, &GeneratorParams::quick(), 1);
+        let test = generate_app(&config, &GeneratorParams::quick(), 2);
+        Experiment::train_test(config, train, test)
+            .policy_kinds(SUITE)
+            .seeds(SWEEP_SEEDS)
+            .train_iterations(TRAIN_ITERATIONS)
+            .build()
+            .expect("sweep grid is non-empty")
+    };
+    if cell_hashes(&sweep_grid, &Serial) != cell_hashes(&sweep_grid, &WorkStealing::new()) {
+        eprintln!("perf_baseline: WorkStealing results differ from Serial — refusing to record");
+        return ExitCode::FAILURE;
+    }
+    let mut serial_wall = f64::MAX;
+    let mut steal_wall = f64::MAX;
+    for _ in 0..args.reps {
+        serial_wall = serial_wall.min(run_grid(&sweep_grid, &Serial).0);
+        steal_wall = steal_wall.min(run_grid(&sweep_grid, &WorkStealing::new()).0);
+    }
+    let threads = WorkStealing::new().thread_count(sweep_grid.num_cells());
+    let sweep_speedup = serial_wall / steal_wall;
+    println!(
+        "  sweep: {} cells, {threads} threads: serial {serial_wall:.3} s, \
+         work-stealing {steal_wall:.3} s → {sweep_speedup:.2}x (bit-identical)",
+        sweep_grid.num_cells()
+    );
+
     let previous = std::fs::read_to_string(args.out()).ok();
+    // The first "baseline" object in the file is the top-level soc1 one
+    // (soc6_scale is written after it).
     let baseline = previous
         .as_deref()
-        .and_then(extract_baseline)
+        .and_then(|json| extract_object(json, "baseline"))
+        .map(str::to_owned)
         .unwrap_or_else(|| current.clone());
+    let baseline6 = previous
+        .as_deref()
+        .and_then(|json| extract_object(json, "soc6_scale"))
+        .and_then(|sect| extract_object(sect, "baseline"))
+        .map(str::to_owned)
+        .unwrap_or_else(|| current6.clone());
 
     let report = format!(
         "{{\n  \"suite\": \"soc1 x quick x [fixed-non-coh-dma, manual, cohmeleon]\",\n  \
-         \"baseline\": {baseline},\n  \"current\": {current}\n}}\n"
+         \"baseline\": {baseline},\n  \"current\": {current},\n  \
+         \"soc6_scale\": {{\n    \
+         \"suite\": \"soc6 x large/extra-large x [fixed-non-coh-dma, manual, cohmeleon]\",\n    \
+         \"baseline\": {baseline6},\n    \"current\": {current6}\n  }},\n  \
+         \"sweep_executor\": {{\"cells\": {}, \"threads\": {threads}, \
+         \"serial_wall_s\": {serial_wall:.6}, \"worksteal_wall_s\": {steal_wall:.6}, \
+         \"speedup\": {sweep_speedup:.2}}}\n}}\n",
+        sweep_grid.num_cells()
     );
     if let Err(e) = std::fs::write(args.out(), &report) {
         eprintln!("perf_baseline: cannot write {}: {e}", args.out());
         return ExitCode::FAILURE;
     }
 
-    let baseline_wall = extract_field(&baseline, "wall_s");
-    if let Some(b) = baseline_wall {
-        println!(
-            "perf_baseline: {wall_s:.3} s wall ({:.0} events/s); baseline {b:.3} s → speedup {:.2}x",
-            events as f64 / wall_s,
-            b / wall_s
-        );
+    for (label, baseline_json, wall, evs) in [
+        ("soc1×quick", baseline.as_str(), wall_s, events),
+        ("soc6×large", baseline6.as_str(), wall6, events6),
+    ] {
+        if let Some(b) = extract_field(baseline_json, "wall_s") {
+            println!(
+                "perf_baseline: {label} {wall:.3} s wall ({:.0} events/s); \
+                 baseline {b:.3} s → speedup {:.2}x",
+                evs as f64 / wall,
+                b / wall
+            );
+        }
     }
     println!("perf_baseline: wrote {}", args.out());
     ExitCode::SUCCESS
-}
-
-/// Pulls a numeric field out of a flat JSON object.
-fn extract_field(json: &str, field: &str) -> Option<f64> {
-    let key = format!("\"{field}\":");
-    let at = json.find(&key)? + key.len();
-    let rest = json[at..].trim_start();
-    let end = rest
-        .find([',', '}'])
-        .unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
 }

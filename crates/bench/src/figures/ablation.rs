@@ -10,14 +10,14 @@
 //!    available only in simulation) learn a better policy?
 //! 3. **Exploration** — ε₀ = 0.5 versus purely greedy training (ε₀ = 0).
 
-use cohmeleon_core::policy::{CohmeleonPolicy, Policy, RestrictedPolicy};
+use cohmeleon_core::policy::{CohmeleonPolicy, RestrictedPolicy};
 use cohmeleon_core::qlearn::LearningSchedule;
 use cohmeleon_core::reward::RewardWeights;
 use cohmeleon_core::{CoherenceMode, ModeSet};
+use cohmeleon_exp::{Experiment, PolicySpec, WorkStealing};
 use cohmeleon_soc::config::soc0;
-use cohmeleon_soc::{run_app_with_options, Attribution, EngineOptions, Soc};
+use cohmeleon_soc::{Attribution, EngineOptions};
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
-use cohmeleon_workloads::runner::summarize;
 
 use crate::scale::Scale;
 use crate::table;
@@ -40,32 +40,11 @@ pub struct Data {
     pub arms: Vec<Arm>,
 }
 
-fn train_and_test(
-    config: &cohmeleon_soc::SocConfig,
-    train_app: &cohmeleon_soc::AppSpec,
-    test_app: &cohmeleon_soc::AppSpec,
-    policy: &mut dyn Policy,
-    iterations: usize,
-    options: EngineOptions,
-    seed: u64,
-) -> cohmeleon_soc::AppResult {
-    for i in 0..iterations {
-        policy.begin_iteration(i);
-        let mut soc = Soc::new(config.clone());
-        run_app_with_options(
-            &mut soc,
-            train_app,
-            policy,
-            seed.wrapping_add(i as u64 * 7919),
-            options,
-        );
-    }
-    policy.freeze();
-    let mut soc = Soc::new(config.clone());
-    run_app_with_options(&mut soc, test_app, policy, seed ^ 0x5eed_7e57, options)
-}
-
-/// Runs the three ablations on SoC0.
+/// Runs the three ablations on SoC0: one grid of four custom policy arms
+/// (the full system plus three ablated variants), normalized against the
+/// full-system cell. The oracle arm overrides the engine's attribution
+/// mode through its [`PolicySpec`] — every arm otherwise runs the exact
+/// train/test protocol of the grid.
 pub fn run(scale: Scale) -> Data {
     let config = soc0();
     let iterations = scale.pick(20, 2);
@@ -73,102 +52,82 @@ pub fn run(scale: Scale) -> Data {
     let train_app = generate_app(&config, &gen_params, 6001);
     let test_app = generate_app(&config, &gen_params, 6002);
     let weights = RewardWeights::paper_default();
-    let seed = 7;
 
-    let baseline = {
-        let mut policy =
-            CohmeleonPolicy::new(weights, LearningSchedule::paper_default(iterations), seed);
-        train_and_test(
-            &config,
-            &train_app,
-            &test_app,
-            &mut policy,
-            iterations,
-            EngineOptions::default(),
+    fn full_system(
+        _: &cohmeleon_soc::SocConfig,
+        iters: usize,
+        seed: u64,
+    ) -> Box<dyn cohmeleon_core::Policy> {
+        Box::new(CohmeleonPolicy::new(
+            RewardWeights::paper_default(),
+            LearningSchedule::paper_default(iters),
             seed,
+        ))
+    }
+    let grid = Experiment::train_test(config, train_app, test_app)
+        .policy(PolicySpec::custom(
+            "full system (4 modes, approx attribution, ε₀=0.5)",
+            full_system,
+        ))
+        .policy(PolicySpec::custom(
+            "no coherent-DMA support",
+            move |_, iters, seed| {
+                let inner =
+                    CohmeleonPolicy::new(weights, LearningSchedule::paper_default(iters), seed);
+                Box::new(RestrictedPolicy::new(
+                    inner,
+                    ModeSet::all().without(CoherenceMode::CohDma),
+                ))
+            },
+        ))
+        .policy(
+            PolicySpec::custom("oracle off-chip attribution", full_system).with_options(
+                EngineOptions {
+                    attribution: Attribution::GroundTruth,
+                },
+            ),
         )
-    };
-
-    let mut arms = vec![Arm {
-        label: "full system (4 modes, approx attribution, ε₀=0.5)".into(),
-        norm_time: 1.0,
-        norm_mem: 1.0,
-    }];
-
-    // 1. No coherent-DMA hardware (unmodified ESP).
-    {
-        let inner =
-            CohmeleonPolicy::new(weights, LearningSchedule::paper_default(iterations), seed);
-        let mut policy =
-            RestrictedPolicy::new(inner, ModeSet::all().without(CoherenceMode::CohDma));
-        let result = train_and_test(
-            &config,
-            &train_app,
-            &test_app,
-            &mut policy,
-            iterations,
-            EngineOptions::default(),
-            seed,
-        );
-        let o = summarize(result, &baseline);
-        arms.push(Arm {
-            label: "no coherent-DMA support".into(),
-            norm_time: o.geo_time,
-            norm_mem: o.geo_mem,
-        });
-    }
-
-    // 2. Oracle attribution.
-    {
-        let mut policy =
-            CohmeleonPolicy::new(weights, LearningSchedule::paper_default(iterations), seed);
-        let result = train_and_test(
-            &config,
-            &train_app,
-            &test_app,
-            &mut policy,
-            iterations,
-            EngineOptions {
-                attribution: Attribution::GroundTruth,
+        .policy(PolicySpec::custom(
+            "greedy training (ε₀=0)",
+            move |_, iters, seed| {
+                Box::new(CohmeleonPolicy::new(
+                    weights,
+                    LearningSchedule {
+                        epsilon0: 0.0,
+                        alpha0: 0.25,
+                        train_iterations: iters,
+                    },
+                    seed,
+                ))
             },
-            seed,
-        );
-        let o = summarize(result, &baseline);
-        arms.push(Arm {
-            label: "oracle off-chip attribution".into(),
-            norm_time: o.geo_time,
-            norm_mem: o.geo_mem,
-        });
-    }
+        ))
+        .seed(7)
+        .train_iterations(iterations)
+        .build()
+        .expect("ablation grid is non-empty");
+    let results = grid.collect(&WorkStealing::new());
 
-    // 3. Greedy training (no exploration).
-    {
-        let mut policy = CohmeleonPolicy::new(
-            weights,
-            LearningSchedule {
-                epsilon0: 0.0,
-                alpha0: 0.25,
-                train_iterations: iterations,
-            },
-            seed,
-        );
-        let result = train_and_test(
-            &config,
-            &train_app,
-            &test_app,
-            &mut policy,
-            iterations,
-            EngineOptions::default(),
-            seed,
-        );
-        let o = summarize(result, &baseline);
-        arms.push(Arm {
-            label: "greedy training (ε₀=0)".into(),
-            norm_time: o.geo_time,
-            norm_mem: o.geo_mem,
-        });
-    }
-
+    let arms = results
+        .into_outcomes_against(0)
+        .into_iter()
+        .map(|(cell, o)| {
+            if cell.policy == 0 {
+                // The full system is the normalization baseline by
+                // definition.
+                Arm {
+                    label: grid.policies()[0].policy_label().to_owned(),
+                    norm_time: 1.0,
+                    norm_mem: 1.0,
+                }
+            } else {
+                Arm {
+                    label: grid.policies()[cell.policy].policy_label().to_owned(),
+                    norm_time: o.geo_time,
+                    norm_mem: o.geo_mem,
+                }
+            }
+        })
+        .collect();
     Data { arms }
 }
 

@@ -5,10 +5,10 @@
 //! execution time and off-chip memory accesses, normalized to non-coherent
 //! DMA for the same accelerator and size.
 
-use cohmeleon_core::policy::FixedPolicy;
 use cohmeleon_core::{AccelInstanceId, CoherenceMode};
+use cohmeleon_exp::{Experiment, PolicyKind, Protocol, Scenario, WorkStealing};
 use cohmeleon_soc::config::motivation_isolation_soc;
-use cohmeleon_soc::{run_app, AppSpec, PhaseSpec, Soc, ThreadSpec};
+use cohmeleon_soc::{AppSpec, PhaseSpec, ThreadSpec};
 
 use crate::scale::Scale;
 use crate::table;
@@ -78,57 +78,78 @@ pub fn executions(scale: Scale) -> u32 {
     scale.pick(10, 3)
 }
 
-/// Runs the isolation experiment.
+/// Runs the isolation experiment: an evaluation-only grid of one scenario
+/// per (accelerator, size) against the four fixed policies, in parallel on
+/// the work-stealing executor (the results are bit-identical to a serial
+/// sweep — every cell runs on a fresh SoC).
 pub fn run(scale: Scale) -> Data {
     let config = motivation_isolation_soc();
     let loops = executions(scale);
-    let mut entries = Vec::new();
+    let size_table = sizes(scale);
+
+    // One scenario per (accelerator, size); `meta` carries the figure
+    // coordinates for each scenario index.
+    let mut scenarios = Vec::new();
+    let mut meta: Vec<(String, &'static str)> = Vec::new();
     for (i, tile) in config.accels.iter().enumerate() {
-        for (size_label, bytes) in sizes(scale) {
-            let mut group = Vec::new();
-            for mode in CoherenceMode::ALL {
-                let app = AppSpec {
-                    name: "fig2".into(),
-                    phases: vec![PhaseSpec {
-                        name: size_label.into(),
-                        threads: vec![ThreadSpec {
-                            dataset_bytes: bytes,
-                            chain: vec![AccelInstanceId(i as u16)],
-                            loops,
-                            check_output: true,
-                        }],
+        for (size_label, bytes) in size_table {
+            let app = AppSpec {
+                name: "fig2".into(),
+                phases: vec![PhaseSpec {
+                    name: size_label.into(),
+                    threads: vec![ThreadSpec {
+                        dataset_bytes: bytes,
+                        chain: vec![AccelInstanceId(i as u16)],
+                        loops,
+                        check_output: true,
                     }],
-                };
-                let mut soc = Soc::new(config.clone());
-                let mut policy = FixedPolicy::new(mode);
-                let result = run_app(&mut soc, &app, &mut policy, 42);
-                let invs = &result.phases[0].invocations;
-                let n = invs.len().max(1) as u64;
-                let mean_cycles =
-                    invs.iter().map(|r| r.measurement.total_cycles).sum::<u64>() / n;
-                let mean_mem = invs
-                    .iter()
-                    .map(|r| r.measurement.offchip_accesses)
-                    .sum::<f64>()
-                    / n as f64;
-                group.push(Entry {
-                    accel: tile.spec.profile.name.clone(),
-                    size: size_label,
-                    mode,
-                    exec_cycles: mean_cycles,
-                    offchip: mean_mem,
-                    norm_time: 0.0,
-                    norm_mem: 0.0,
-                });
-            }
-            let base_time = group[0].exec_cycles.max(1) as f64;
-            let base_mem = group[0].offchip.max(1.0);
-            for e in &mut group {
-                e.norm_time = e.exec_cycles as f64 / base_time;
-                e.norm_mem = e.offchip / base_mem;
-            }
-            entries.extend(group);
+                }],
+            };
+            let label = format!("{}/{}", tile.spec.profile.name, size_label);
+            scenarios.push(Scenario::evaluate(config.clone(), app).label(label));
+            meta.push((tile.spec.profile.name.clone(), size_label));
         }
+    }
+
+    let grid = Experiment::new()
+        .protocol(Protocol::EvaluateOnly)
+        .scenarios(scenarios)
+        .policy_kinds(PolicyKind::FIXED[..4].iter().copied())
+        .seed(42)
+        .build()
+        .expect("fig2 grid is non-empty");
+    let results = grid.collect(&WorkStealing::new());
+
+    let mut entries = Vec::new();
+    for (s, (accel, size_label)) in meta.iter().enumerate() {
+        let mut group = Vec::new();
+        for (p, mode) in CoherenceMode::ALL.into_iter().enumerate() {
+            let result = &results.cell(s, p, 0).result;
+            let invs = &result.phases[0].invocations;
+            let n = invs.len().max(1) as u64;
+            let mean_cycles = invs.iter().map(|r| r.measurement.total_cycles).sum::<u64>() / n;
+            let mean_mem = invs
+                .iter()
+                .map(|r| r.measurement.offchip_accesses)
+                .sum::<f64>()
+                / n as f64;
+            group.push(Entry {
+                accel: accel.clone(),
+                size: size_label,
+                mode,
+                exec_cycles: mean_cycles,
+                offchip: mean_mem,
+                norm_time: 0.0,
+                norm_mem: 0.0,
+            });
+        }
+        let base_time = group[0].exec_cycles.max(1) as f64;
+        let base_mem = group[0].offchip.max(1.0);
+        for e in &mut group {
+            e.norm_time = e.exec_cycles as f64 / base_time;
+            e.norm_mem = e.offchip / base_mem;
+        }
+        entries.extend(group);
     }
     Data { entries }
 }

@@ -5,10 +5,10 @@
 //! concurrently, each invoked repeatedly from its own thread. Bars are
 //! normalized to the single-accelerator non-coherent-DMA result.
 
-use cohmeleon_core::policy::FixedPolicy;
 use cohmeleon_core::{AccelInstanceId, CoherenceMode};
+use cohmeleon_exp::{Experiment, PolicyKind, Protocol, Scenario, WorkStealing};
 use cohmeleon_soc::config::motivation_parallel_soc;
-use cohmeleon_soc::{run_app, AppSpec, PhaseSpec, Soc, ThreadSpec};
+use cohmeleon_soc::{AppSpec, PhaseSpec, ThreadSpec};
 
 use crate::scale::Scale;
 use crate::table;
@@ -49,34 +49,44 @@ impl Data {
 /// Parallelism levels of the figure.
 pub const PARALLELISM: [usize; 4] = [1, 4, 8, 12];
 
-/// Runs the parallel-execution experiment.
+/// Runs the parallel-execution experiment: an evaluation-only grid of one
+/// scenario per parallelism level against the four fixed policies.
 pub fn run(scale: Scale) -> Data {
     let config = motivation_parallel_soc();
     let bytes = scale.pick(256 * 1024, 96 * 1024);
     let loops = scale.pick(5, 2);
 
+    let scenarios = PARALLELISM.map(|parallel| {
+        let app = AppSpec {
+            name: format!("fig3-{parallel}"),
+            phases: vec![PhaseSpec {
+                name: "parallel".into(),
+                threads: (0..parallel)
+                    .map(|i| ThreadSpec {
+                        dataset_bytes: bytes,
+                        chain: vec![AccelInstanceId(i as u16)],
+                        loops,
+                        check_output: false,
+                    })
+                    .collect(),
+            }],
+        };
+        Scenario::evaluate(config.clone(), app).label(format!("{parallel} acc"))
+    });
+    let grid = Experiment::new()
+        .protocol(Protocol::EvaluateOnly)
+        .scenarios(scenarios)
+        .policy_kinds(PolicyKind::FIXED[..4].iter().copied())
+        .seed(42)
+        .build()
+        .expect("fig3 grid is non-empty");
+    let results = grid.collect(&WorkStealing::new());
+
     // Raw means per (parallelism, mode).
     let mut raw: Vec<(usize, CoherenceMode, f64, f64)> = Vec::new();
-    for parallel in PARALLELISM {
-        for mode in CoherenceMode::ALL {
-            let app = AppSpec {
-                name: format!("fig3-{parallel}-{mode}"),
-                phases: vec![PhaseSpec {
-                    name: "parallel".into(),
-                    threads: (0..parallel)
-                        .map(|i| ThreadSpec {
-                            dataset_bytes: bytes,
-                            chain: vec![AccelInstanceId(i as u16)],
-                            loops,
-                            check_output: false,
-                        })
-                        .collect(),
-                }],
-            };
-            let mut soc = Soc::new(config.clone());
-            let mut policy = FixedPolicy::new(mode);
-            let result = run_app(&mut soc, &app, &mut policy, 42);
-            let invs = &result.phases[0].invocations;
+    for (s, parallel) in PARALLELISM.into_iter().enumerate() {
+        for (p, mode) in CoherenceMode::ALL.into_iter().enumerate() {
+            let invs = &results.cell(s, p, 0).result.phases[0].invocations;
             let n = invs.len().max(1) as f64;
             let mean_time =
                 invs.iter().map(|r| r.measurement.total_cycles as f64).sum::<f64>() / n;

@@ -2,13 +2,12 @@
 //! under all eight coherence policies. Bars are per-phase execution time and
 //! off-chip accesses normalized to the fixed non-coherent-DMA policy.
 
+use cohmeleon_exp::{Experiment, PolicyKind, WorkStealing};
 use cohmeleon_soc::config::soc0;
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
 use cohmeleon_workloads::phases::figure5_app;
 
-use crate::policies::PolicyKind;
 use crate::scale::Scale;
-use crate::suite::run_suite;
 use crate::table;
 
 /// One bar pair of Figure 5.
@@ -60,14 +59,15 @@ pub fn run(scale: Scale) -> Data {
     let train_app = generate_app(&config, &gen_params, 1001);
     let test_app = figure5_app(&config, 77);
 
-    let outcomes = run_suite(
-        &config,
-        &train_app,
-        &test_app,
-        &PolicyKind::ALL,
-        train_iterations,
-        7,
-    );
+    let grid = Experiment::train_test(config, train_app, test_app)
+        .policy_kinds(PolicyKind::ALL)
+        .seed(7)
+        .train_iterations(train_iterations)
+        .build()
+        .expect("fig5 grid is non-empty");
+    let outcomes = grid
+        .collect(&WorkStealing::new())
+        .into_outcomes_against(0);
 
     let mut entries = Vec::new();
     for (_, outcome) in &outcomes {

@@ -10,14 +10,11 @@
 use cohmeleon_core::policy::CohmeleonPolicy;
 use cohmeleon_core::qlearn::LearningSchedule;
 use cohmeleon_core::reward::RewardWeights;
+use cohmeleon_exp::{Experiment, PolicyKind, PolicySpec, WorkStealing};
 use cohmeleon_soc::config::soc0;
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
-use cohmeleon_workloads::runner::{run_protocol, summarize};
-use crossbeam::channel;
 
-use crate::policies::PolicyKind;
 use crate::scale::Scale;
-use crate::suite::run_suite;
 use crate::table;
 
 /// The 15 reward weightings explored: `(x, y, z)` percentages for
@@ -78,7 +75,9 @@ impl Data {
     }
 }
 
-/// Runs the DSE.
+/// Runs the DSE as one grid: the seven baseline policies plus up to
+/// fifteen custom reward-weight Cohmeleon variants, all normalized against
+/// the fixed non-coherent-DMA cell (policy 0).
 pub fn run(scale: Scale) -> Data {
     let config = soc0();
     let train_iterations = scale.pick(50, 2);
@@ -86,73 +85,54 @@ pub fn run(scale: Scale) -> Data {
     let train_app = generate_app(&config, &gen_params, 2001);
     let test_app = generate_app(&config, &gen_params, 2002);
 
-    // Baselines (everything but Cohmeleon) — the suite normalizes against
-    // fixed non-coherent DMA.
+    // Baselines (everything but Cohmeleon), then the reward variants.
     let baseline_kinds: Vec<PolicyKind> = PolicyKind::ALL
         .into_iter()
         .filter(|k| *k != PolicyKind::Cohmeleon)
         .collect();
-    let baseline_outcomes = run_suite(
-        &config,
-        &train_app,
-        &test_app,
-        &baseline_kinds,
-        train_iterations,
-        7,
-    );
-    let baseline_run = baseline_outcomes[0].1.result.clone();
-
-    let mut points: Vec<Point> = baseline_outcomes
-        .iter()
-        .map(|(_, o)| Point {
-            label: o.policy.clone(),
-            is_cohmeleon: false,
-            geo_time: o.geo_time,
-            geo_mem: o.geo_mem,
-        })
-        .collect();
-
-    // The 15 reward variants, in parallel.
+    let n_baselines = baseline_kinds.len();
     let reward_points = scale.pick(REWARD_POINTS.len(), 4);
-    let (tx, rx) = channel::unbounded();
-    std::thread::scope(|scope| {
-        for (i, &(x, y, z)) in REWARD_POINTS[..reward_points].iter().enumerate() {
-            let tx = tx.clone();
-            let config = config.clone();
-            let train_app = train_app.clone();
-            let test_app = test_app.clone();
-            scope.spawn(move || {
+    let variants = REWARD_POINTS[..reward_points]
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y, z))| {
+            // Each variant trains with its own policy seed (7 + i), as the
+            // paper trains fifteen independent models.
+            PolicySpec::custom(format!("cohmeleon({x}/{y}/{z})"), move |_, iters, _| {
                 let weights =
                     RewardWeights::new(x, y, z).expect("reward points are valid weightings");
-                let mut policy = CohmeleonPolicy::new(
+                Box::new(CohmeleonPolicy::new(
                     weights,
-                    LearningSchedule::paper_default(train_iterations),
+                    LearningSchedule::paper_default(iters),
                     7 + i as u64,
-                );
-                let result = run_protocol(
-                    &config,
-                    &train_app,
-                    &test_app,
-                    &mut policy,
-                    train_iterations,
-                    7,
-                );
-                tx.send((i, x, y, z, result)).expect("receiver alive");
-            });
-        }
-    });
-    drop(tx);
-    let mut cohmeleon_runs: Vec<_> = rx.iter().collect();
-    cohmeleon_runs.sort_by_key(|(i, ..)| *i);
-    for (_, x, y, z, result) in cohmeleon_runs {
-        let outcome = summarize(result, &baseline_run);
-        points.push(Point {
-            label: format!("cohmeleon({x}/{y}/{z})"),
-            is_cohmeleon: true,
-            geo_time: outcome.geo_time,
-            geo_mem: outcome.geo_mem,
+                ))
+            })
         });
-    }
+
+    let grid = Experiment::train_test(config, train_app, test_app)
+        .policy_kinds(baseline_kinds)
+        .policies(variants)
+        .seed(7)
+        .train_iterations(train_iterations)
+        .build()
+        .expect("fig6 grid is non-empty");
+    let results = grid.collect(&WorkStealing::new());
+
+    let points = results
+        .into_outcomes_against(0)
+        .into_iter()
+        .map(|(cell, outcome)| {
+            let is_cohmeleon = cell.policy >= n_baselines;
+            Point {
+                // Baselines report the policy's own name; variants the
+                // reward-weight label of their spec.
+                label: grid.policies()[cell.policy].policy_label().to_owned(),
+                is_cohmeleon,
+                geo_time: outcome.geo_time,
+                geo_mem: outcome.geo_mem,
+            }
+        })
+        .collect();
     Data { points }
 }
 

@@ -3,12 +3,11 @@
 //! (S/M/L/XL).
 
 use cohmeleon_core::CoherenceMode;
+use cohmeleon_exp::{Experiment, PolicyKind, WorkStealing};
 use cohmeleon_soc::config::soc0;
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
-use cohmeleon_workloads::runner::run_protocol;
 use cohmeleon_workloads::sizes::SizeClass;
 
-use crate::policies::{build_policy, PolicyKind};
 use crate::scale::Scale;
 use crate::table;
 
@@ -51,17 +50,17 @@ pub fn run(scale: Scale) -> Data {
     let train_app = generate_app(&config, &gen_params, 3001);
     let test_app = generate_app(&config, &gen_params, 3002);
 
+    let grid = Experiment::train_test(config.clone(), train_app, test_app)
+        .policy_kinds([PolicyKind::Manual, PolicyKind::Cohmeleon])
+        .seed(7)
+        .train_iterations(train_iterations)
+        .build()
+        .expect("fig7 grid is non-empty");
+    let results = grid.collect(&WorkStealing::new());
+
     let mut rows = Vec::new();
-    for kind in [PolicyKind::Manual, PolicyKind::Cohmeleon] {
-        let mut policy = build_policy(kind, &config, train_iterations, 7);
-        let result = run_protocol(
-            &config,
-            &train_app,
-            &test_app,
-            policy.as_mut(),
-            train_iterations,
-            7,
-        );
+    for cell in results.iter() {
+        let result = &cell.result;
         let name = result.policy.clone();
 
         let records: Vec<(SizeClass, CoherenceMode)> = result

@@ -11,11 +11,11 @@ use cohmeleon_core::policy::{CohmeleonPolicy, FixedPolicy, Policy};
 use cohmeleon_core::qlearn::LearningSchedule;
 use cohmeleon_core::reward::RewardWeights;
 use cohmeleon_core::CoherenceMode;
+use cohmeleon_exp::{Executor, WorkStealing};
 use cohmeleon_soc::config::soc0;
 use cohmeleon_soc::{run_app, Soc};
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
 use cohmeleon_workloads::runner::{evaluate_policy, summarize};
-use crossbeam::channel;
 
 use crate::scale::Scale;
 use crate::table;
@@ -51,6 +51,11 @@ impl Data {
 }
 
 /// Runs the training-time experiment.
+///
+/// The alternating train-one/evaluate-one loop does not decompose into
+/// independent grid cells (each evaluation shares the evolving model), so
+/// each *curve* is one task on the sweep [`Executor`] — the same
+/// scheduling layer the grid uses, without the hand-rolled channel code.
 pub fn run(scale: Scale) -> Data {
     let config = soc0();
     let schedules: Vec<usize> = scale.pick(vec![10, 30, 50], vec![3, 5]);
@@ -62,51 +67,45 @@ pub fn run(scale: Scale) -> Data {
     let mut baseline_policy = FixedPolicy::new(CoherenceMode::NonCohDma);
     let baseline = evaluate_policy(&config, &test_app, &mut baseline_policy, 7);
 
-    let (tx, rx) = channel::unbounded();
-    std::thread::scope(|scope| {
-        for &schedule in &schedules {
-            let tx = tx.clone();
-            let config = config.clone();
-            let train_app = train_app.clone();
-            let test_app = test_app.clone();
-            let baseline = baseline.clone();
-            scope.spawn(move || {
-                let mut policy = CohmeleonPolicy::new(
-                    RewardWeights::paper_default(),
-                    LearningSchedule::paper_default(schedule),
-                    7,
-                );
-                let mut points = Vec::new();
-                for iteration in 0..=schedule {
-                    // Evaluate the current model with exploration disabled,
-                    // without disturbing the training state.
-                    let mut frozen = policy.clone();
-                    frozen.freeze();
-                    let result = evaluate_policy(&config, &test_app, &mut frozen, 7);
-                    let outcome = summarize(result, &baseline);
-                    points.push(Point {
-                        schedule,
-                        iteration,
-                        norm_time: outcome.geo_time,
-                        norm_mem: outcome.geo_mem,
-                    });
-                    if iteration < schedule {
-                        policy.begin_iteration(iteration);
-                        let mut soc = Soc::new(config.clone());
-                        run_app(
-                            &mut soc,
-                            &train_app,
-                            &mut policy,
-                            7_u64.wrapping_add(iteration as u64 * 7919),
-                        );
-                    }
-                }
-                tx.send((schedule, points)).expect("receiver alive");
+    let curve = |c: usize| {
+        let schedule = schedules[c];
+        let mut policy = CohmeleonPolicy::new(
+            RewardWeights::paper_default(),
+            LearningSchedule::paper_default(schedule),
+            7,
+        );
+        let mut points = Vec::new();
+        for iteration in 0..=schedule {
+            // Evaluate the current model with exploration disabled,
+            // without disturbing the training state.
+            let mut frozen = policy.clone();
+            frozen.freeze();
+            let result = evaluate_policy(&config, &test_app, &mut frozen, 7);
+            let outcome = summarize(result, &baseline);
+            points.push(Point {
+                schedule,
+                iteration,
+                norm_time: outcome.geo_time,
+                norm_mem: outcome.geo_mem,
             });
+            if iteration < schedule {
+                policy.begin_iteration(iteration);
+                let mut soc = Soc::new(config.clone());
+                run_app(
+                    &mut soc,
+                    &train_app,
+                    &mut policy,
+                    7_u64.wrapping_add(iteration as u64 * 7919),
+                );
+            }
         }
+        points
+    };
+
+    let mut curves: Vec<(usize, Vec<Point>)> = Vec::new();
+    WorkStealing::new().run(schedules.len(), &curve, &mut |c, points| {
+        curves.push((schedules[c], points));
     });
-    drop(tx);
-    let mut curves: Vec<_> = rx.iter().collect();
     curves.sort_by_key(|(s, _)| *s);
     Data {
         points: curves.into_iter().flat_map(|(_, pts)| pts).collect(),

@@ -5,16 +5,14 @@
 //! numbers: Cohmeleon's average speedup and off-chip-access reduction
 //! against the five fixed policies.
 
+use cohmeleon_exp::{Experiment, PolicyKind, Scenario, WorkStealing};
 use cohmeleon_sim::stats::geometric_mean;
 use cohmeleon_soc::config::{soc0_irregular, soc0_streaming, soc1, soc2, soc3, soc4, soc5, soc6};
 use cohmeleon_soc::{AppSpec, SocConfig};
 use cohmeleon_workloads::case_studies::{soc4_app, soc5_app, soc6_app};
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
-use crossbeam::channel;
 
-use crate::policies::PolicyKind;
 use crate::scale::Scale;
-use crate::suite::run_suite;
 use crate::table;
 
 /// One scatter point: a policy on a SoC.
@@ -97,41 +95,39 @@ fn experiments(scale: Scale) -> Vec<(SocConfig, AppSpec, AppSpec)> {
     out
 }
 
-/// Runs the cross-SoC experiment (SoCs in parallel).
+/// Runs the cross-SoC experiment as one 8 × 8 grid: every (SoC, policy)
+/// cell is independent, so the work-stealing executor balances the whole
+/// figure instead of one suite per SoC. Scenario `i` keeps its historical
+/// seed `7 + i` via a per-scenario seed offset.
 pub fn run(scale: Scale) -> Data {
     let train_iterations = scale.pick(20, 2);
     let exps = experiments(scale);
 
-    let (tx, rx) = channel::unbounded();
-    std::thread::scope(|scope| {
-        for (i, (config, train_app, test_app)) in exps.iter().enumerate() {
-            let tx = tx.clone();
-            scope.spawn(move || {
-                let outcomes = run_suite(
-                    config,
-                    train_app,
-                    test_app,
-                    &PolicyKind::ALL,
-                    train_iterations,
-                    7 + i as u64,
-                );
-                let points: Vec<Point> = outcomes
-                    .iter()
-                    .map(|(_, o)| Point {
-                        soc: config.name.clone(),
-                        policy: o.policy.clone(),
-                        norm_time: o.geo_time,
-                        norm_mem: o.geo_mem,
-                    })
-                    .collect();
-                tx.send((i, points)).expect("receiver alive");
-            });
-        }
-    });
-    drop(tx);
-    let mut per_soc: Vec<_> = rx.iter().collect();
-    per_soc.sort_by_key(|(i, _)| *i);
-    let points: Vec<Point> = per_soc.into_iter().flat_map(|(_, p)| p).collect();
+    let scenarios = exps
+        .into_iter()
+        .enumerate()
+        .map(|(i, (config, train_app, test_app))| {
+            Scenario::new(config, train_app, test_app).seed_offset(i as u64)
+        });
+    let grid = Experiment::new()
+        .scenarios(scenarios)
+        .policy_kinds(PolicyKind::ALL)
+        .seed(7)
+        .train_iterations(train_iterations)
+        .build()
+        .expect("fig9 grid is non-empty");
+    let results = grid.collect(&WorkStealing::new());
+
+    let points: Vec<Point> = results
+        .into_outcomes_against(0)
+        .into_iter()
+        .map(|(cell, o)| Point {
+            soc: grid.scenarios()[cell.scenario].label.clone(),
+            policy: o.policy.clone(),
+            norm_time: o.geo_time,
+            norm_mem: o.geo_mem,
+        })
+        .collect();
 
     let (headline_speedup, headline_mem_reduction) = headline(&points);
     Data {

@@ -7,8 +7,9 @@ use cohmeleon_core::policy::{CohmeleonPolicy, Policy};
 use cohmeleon_core::qlearn::LearningSchedule;
 use cohmeleon_core::reward::RewardWeights;
 use cohmeleon_core::AccelInstanceId;
+use cohmeleon_exp::{Experiment, PolicySpec, Protocol, Scenario, WorkStealing};
 use cohmeleon_soc::config::soc0;
-use cohmeleon_soc::{run_app, AppSpec, PhaseSpec, Soc, ThreadSpec, TimingParams};
+use cohmeleon_soc::{AppSpec, PhaseSpec, ThreadSpec, TimingParams};
 
 use crate::scale::Scale;
 use crate::table;
@@ -49,30 +50,45 @@ pub fn run(scale: Scale) -> Data {
         vec![16 * 1024, 256 * 1024],
     );
 
-    let points = sweep
-        .into_iter()
-        .map(|bytes| {
-            let app = AppSpec {
-                name: format!("overhead-{bytes}"),
-                phases: vec![PhaseSpec {
-                    name: "sweep".into(),
-                    threads: vec![ThreadSpec {
-                        dataset_bytes: bytes,
-                        chain: vec![AccelInstanceId(0)],
-                        loops: 1,
-                        check_output: false,
-                    }],
+    // One evaluation-only scenario per workload size, all running the
+    // frozen (steady-state) Cohmeleon decision path.
+    let scenarios = sweep.iter().map(|&bytes| {
+        let app = AppSpec {
+            name: format!("overhead-{bytes}"),
+            phases: vec![PhaseSpec {
+                name: "sweep".into(),
+                threads: vec![ThreadSpec {
+                    dataset_bytes: bytes,
+                    chain: vec![AccelInstanceId(0)],
+                    loops: 1,
+                    check_output: false,
                 }],
-            };
-            let mut soc = Soc::new(config.clone());
+            }],
+        };
+        Scenario::evaluate(config.clone(), app).label(format!("{} KiB", bytes / 1024))
+    });
+    let grid = Experiment::new()
+        .protocol(Protocol::EvaluateOnly)
+        .scenarios(scenarios)
+        .policy(PolicySpec::custom("cohmeleon-frozen", |_, _, seed| {
             let mut policy = CohmeleonPolicy::new(
                 RewardWeights::paper_default(),
                 LearningSchedule::paper_default(10),
-                7,
+                seed,
             );
             policy.freeze(); // steady state: decisions only, no exploration
-            let result = run_app(&mut soc, &app, &mut policy, 7);
-            let rec = &result.phases[0].invocations[0];
+            Box::new(policy)
+        }))
+        .seed(7)
+        .build()
+        .expect("overhead grid is non-empty");
+    let results = grid.collect(&WorkStealing::new());
+
+    let points = sweep
+        .iter()
+        .enumerate()
+        .map(|(s, &bytes)| {
+            let rec = &results.cell(s, 0, 0).result.phases[0].invocations[0];
             let total = rec.measurement.total_cycles;
             Point {
                 bytes,

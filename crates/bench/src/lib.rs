@@ -4,19 +4,27 @@
 //! figure of the paper's evaluation (see DESIGN.md's experiment index).
 //!
 //! Every figure module exposes `run(scale) -> Data` (structured results)
-//! and `print(&Data)` (the same rows/series the paper reports). The
-//! `src/bin/` binaries are thin wrappers; the criterion benches under
-//! `benches/` time scaled-down versions of the same code paths.
+//! and `print(&Data)` (the same rows/series the paper reports), built on
+//! the `cohmeleon-exp` experiment grid — a figure is one `Experiment`
+//! (scenarios × policies × seeds) run on the work-stealing executor, so
+//! regeneration parallelises across cells while staying bit-identical to
+//! a serial run. The `src/bin/` binaries are thin wrappers; the criterion
+//! benches under `benches/` time scaled-down versions of the same code
+//! paths.
 //!
 //! Set `COHMELEON_FAST=1` to run every experiment in a reduced
 //! configuration (smaller workloads, fewer training iterations) — useful
 //! for smoke tests; the full configuration regenerates the paper's scales.
 
 pub mod figures;
-pub mod policies;
 pub mod scale;
 pub mod suite;
 pub mod table;
+
+/// The policy suite now lives in `cohmeleon-exp` (the experiment grid
+/// builds policies from [`PolicyKind`] values); re-exported here under its
+/// old path.
+pub use cohmeleon_exp::policies;
 
 pub use policies::{policy_suite, PolicyKind};
 pub use scale::Scale;

@@ -1,18 +1,38 @@
-//! Running the whole policy suite on one experiment, in parallel.
+//! Running the whole policy suite on one experiment.
+//!
+//! [`run_suite`] predates the experiment grid and survives as a thin
+//! deprecated shim: build the equivalent one-scenario
+//! [`Experiment`](cohmeleon_exp::Experiment) yourself for anything new —
+//! it exposes the same per-cell semantics plus multi-scenario sweeps,
+//! pluggable executors and streaming observers.
 
+use cohmeleon_exp::{Experiment, WorkStealing};
 use cohmeleon_soc::{AppSpec, SocConfig};
-use cohmeleon_workloads::runner::{run_protocol, summarize, PolicyOutcome};
-use crossbeam::channel;
+use cohmeleon_workloads::runner::PolicyOutcome;
 
-use crate::policies::{build_policy, PolicyKind};
+use crate::policies::PolicyKind;
 
 /// Runs every policy in `kinds` through the train/test protocol
 /// (training only affects learning policies) and returns outcomes
 /// normalized against the first policy in `kinds` — by convention
 /// [`PolicyKind::FixedNonCoh`], the paper's baseline.
 ///
-/// Policies run on OS threads in parallel; each gets a fresh SoC, so runs
-/// are independent and deterministic regardless of scheduling.
+/// Policies run in parallel on the work-stealing executor; each grid cell
+/// gets a fresh SoC and policy, so runs are independent and deterministic
+/// regardless of scheduling.
+///
+/// # Panics
+///
+/// Panics if `kinds` is empty or lists the same kind twice (the grid
+/// rejects ambiguous policy labels; the pre-grid implementation ran
+/// duplicates redundantly).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `cohmeleon_exp::Experiment` instead: \
+            `Experiment::train_test(config, train, test).policy_kinds(kinds)\
+            .seed(seed).train_iterations(n).build()?.collect(&executor)\
+            .outcomes_against(0)`"
+)]
 pub fn run_suite(
     config: &SocConfig,
     train_app: &AppSpec,
@@ -21,42 +41,22 @@ pub fn run_suite(
     train_iterations: usize,
     seed: u64,
 ) -> Vec<(PolicyKind, PolicyOutcome)> {
-    let (tx, rx) = channel::unbounded();
-    std::thread::scope(|scope| {
-        for (slot, &kind) in kinds.iter().enumerate() {
-            let tx = tx.clone();
-            let config = config.clone();
-            let train_app = train_app.clone();
-            let test_app = test_app.clone();
-            scope.spawn(move || {
-                let mut policy = build_policy(kind, &config, train_iterations, seed);
-                let result = run_protocol(
-                    &config,
-                    &train_app,
-                    &test_app,
-                    policy.as_mut(),
-                    train_iterations,
-                    seed,
-                );
-                tx.send((slot, kind, result)).expect("receiver alive");
-            });
-        }
-    });
-    drop(tx);
-    let mut results: Vec<_> = rx.iter().collect();
-    results.sort_by_key(|(slot, _, _)| *slot);
-
-    let baseline = results
-        .first()
-        .map(|(_, _, r)| r.clone())
-        .expect("at least one policy");
+    let grid = Experiment::train_test(config.clone(), train_app.clone(), test_app.clone())
+        .policy_kinds(kinds.iter().copied())
+        .seed(seed)
+        .train_iterations(train_iterations)
+        .build()
+        .unwrap_or_else(|e| panic!("run_suite: invalid policy suite: {e}"));
+    let results = grid.collect(&WorkStealing::new());
     results
+        .into_outcomes_against(0)
         .into_iter()
-        .map(|(_, kind, result)| (kind, summarize(result, &baseline)))
+        .map(|(cell, outcome)| (kinds[cell.policy], outcome))
         .collect()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use cohmeleon_soc::config::soc1;
@@ -91,6 +91,28 @@ mod tests {
         for ((_, x), (_, y)) in a.iter().zip(&b) {
             assert_eq!(x.geo_time, y.geo_time);
             assert_eq!(x.geo_mem, y.geo_mem);
+        }
+    }
+
+    /// The shim reproduces the pre-grid hand-rolled path bit for bit.
+    #[test]
+    fn suite_matches_direct_protocol_runs() {
+        use cohmeleon_exp::build_policy;
+        use cohmeleon_workloads::runner::run_protocol;
+
+        let config = soc1();
+        let train = generate_app(&config, &GeneratorParams::quick(), 1);
+        let test = generate_app(&config, &GeneratorParams::quick(), 2);
+        let kinds = [PolicyKind::FixedNonCoh, PolicyKind::Manual, PolicyKind::Cohmeleon];
+        let outcomes = run_suite(&config, &train, &test, &kinds, 2, 9);
+        for (kind, outcome) in &outcomes {
+            let mut policy = build_policy(*kind, &config, 2, 9);
+            let direct = run_protocol(&config, &train, &test, policy.as_mut(), 2, 9);
+            assert_eq!(
+                outcome.result.structural_hash(),
+                direct.structural_hash(),
+                "{kind:?}"
+            );
         }
     }
 }

@@ -6,20 +6,34 @@
 //! accelerator is invoked and when it returns control to software.
 //! [`StatusTracker`] is that layer: the embedding system calls
 //! [`StatusTracker::begin`] / [`StatusTracker::end`] around every invocation
-//! and [`StatusTracker::snapshot`] at decision time.
-
-use std::collections::HashMap;
+//! and [`StatusTracker::snapshot`] (or the allocation-free
+//! [`StatusTracker::snapshot_into`]) at decision time.
 
 use crate::snapshot::{ActiveAccel, ArchParams, SystemSnapshot};
 use crate::{AccelInstanceId, CoherenceMode, PartitionId};
 
 /// Tracks which accelerators are active, with what footprint, in what mode.
+///
+/// The active set is kept as a `Vec` sorted by instance id (there are at
+/// most a few dozen accelerators, and snapshots need the sorted order
+/// anyway), and a generation-stamped [`SystemSnapshot`] scratch lets the
+/// hot decide path take snapshots without allocating: the scratch's active
+/// list is rebuilt only when a `begin`/`end` has bumped the generation
+/// since the last snapshot.
 #[derive(Debug, Clone)]
 pub struct StatusTracker {
     arch: ArchParams,
-    active: HashMap<AccelInstanceId, ActiveAccel>,
+    /// Active invocations, sorted by instance id.
+    active: Vec<ActiveAccel>,
     /// Monotonic count of completed invocations (diagnostics).
     completed: u64,
+    /// Bumped on every `begin`/`end`; the scratch is stale while it
+    /// differs from `scratch_generation`.
+    generation: u64,
+    /// Reusable snapshot for [`snapshot_into`](Self::snapshot_into).
+    scratch: SystemSnapshot,
+    /// The generation `scratch.active` reflects (`u64::MAX` = never built).
+    scratch_generation: u64,
 }
 
 impl StatusTracker {
@@ -27,8 +41,16 @@ impl StatusTracker {
     pub fn new(arch: ArchParams) -> StatusTracker {
         StatusTracker {
             arch,
-            active: HashMap::new(),
+            active: Vec::new(),
             completed: 0,
+            generation: 0,
+            scratch: SystemSnapshot {
+                arch,
+                active: Vec::new(),
+                target_footprint: 0,
+                target_partitions: Vec::new(),
+            },
+            scratch_generation: u64::MAX,
         }
     }
 
@@ -51,19 +73,19 @@ impl StatusTracker {
         footprint_bytes: u64,
         partitions: Vec<PartitionId>,
     ) {
-        let prev = self.active.insert(
-            accel,
-            ActiveAccel {
-                instance: accel,
-                mode,
-                footprint_bytes,
-                partitions,
-            },
-        );
-        assert!(
-            prev.is_none(),
-            "accelerator {accel} started a second invocation while active"
-        );
+        match self.active.binary_search_by_key(&accel, |a| a.instance) {
+            Ok(_) => panic!("accelerator {accel} started a second invocation while active"),
+            Err(pos) => self.active.insert(
+                pos,
+                ActiveAccel {
+                    instance: accel,
+                    mode,
+                    footprint_bytes,
+                    partitions,
+                },
+            ),
+        }
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// Records that `accel` has completed and returned control to software.
@@ -72,9 +94,14 @@ impl StatusTracker {
     ///
     /// Panics if `accel` was not active.
     pub fn end(&mut self, accel: AccelInstanceId) {
-        let removed = self.active.remove(&accel);
-        assert!(removed.is_some(), "accelerator {accel} ended but was not active");
+        match self.active.binary_search_by_key(&accel, |a| a.instance) {
+            Ok(pos) => {
+                self.active.remove(pos);
+            }
+            Err(_) => panic!("accelerator {accel} ended but was not active"),
+        }
         self.completed += 1;
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// Number of currently active accelerators.
@@ -84,7 +111,9 @@ impl StatusTracker {
 
     /// Whether `accel` is currently active.
     pub fn is_active(&self, accel: AccelInstanceId) -> bool {
-        self.active.contains_key(&accel)
+        self.active
+            .binary_search_by_key(&accel, |a| a.instance)
+            .is_ok()
     }
 
     /// Total completed invocations since construction.
@@ -102,9 +131,48 @@ impl StatusTracker {
         target_footprint: u64,
         target_partitions: Vec<PartitionId>,
     ) -> SystemSnapshot {
-        let mut active: Vec<ActiveAccel> = self.active.values().cloned().collect();
-        active.sort_by_key(|a| a.instance);
-        SystemSnapshot::new(self.arch, active, target_footprint, target_partitions)
+        // `active` is maintained in instance order, so the clone is already
+        // sorted.
+        SystemSnapshot::new(
+            self.arch,
+            self.active.clone(),
+            target_footprint,
+            target_partitions,
+        )
+    }
+
+    /// Allocation-free [`snapshot`](Self::snapshot): fills and returns a
+    /// reusable scratch snapshot. The scratch's active list is rebuilt
+    /// (via `clone_from`, reusing every buffer) only when an intervening
+    /// [`begin`](Self::begin)/[`end`](Self::end) has changed the active
+    /// set; repeated decisions against an unchanged system reuse it as is.
+    ///
+    /// The returned snapshot is identical to what [`snapshot`] would
+    /// build — same sorted active list, same target fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_partitions` is empty (the [`SystemSnapshot`]
+    /// invariant).
+    pub fn snapshot_into(
+        &mut self,
+        target_footprint: u64,
+        target_partitions: &[PartitionId],
+    ) -> &SystemSnapshot {
+        assert!(
+            !target_partitions.is_empty(),
+            "target invocation must map to at least one memory partition"
+        );
+        if self.scratch_generation != self.generation {
+            self.scratch.active.clone_from(&self.active);
+            self.scratch_generation = self.generation;
+        }
+        self.scratch.target_footprint = target_footprint;
+        self.scratch.target_partitions.clear();
+        self.scratch
+            .target_partitions
+            .extend_from_slice(target_partitions);
+        &self.scratch
     }
 }
 
@@ -178,6 +246,54 @@ mod tests {
         assert_eq!(snap.active[0].instance, AccelInstanceId(2));
         assert_eq!(snap.active[1].instance, AccelInstanceId(5));
         assert_eq!(snap.target_footprint, 4096);
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let mut t = tracker();
+        t.begin(
+            AccelInstanceId(5),
+            CoherenceMode::NonCohDma,
+            1000,
+            vec![PartitionId(0)],
+        );
+        t.begin(
+            AccelInstanceId(2),
+            CoherenceMode::FullCoh,
+            2000,
+            vec![PartitionId(1)],
+        );
+        let owned = t.snapshot(4096, vec![PartitionId(0)]);
+        let scratch = t.snapshot_into(4096, &[PartitionId(0)]);
+        assert_eq!(*scratch, owned);
+    }
+
+    #[test]
+    fn snapshot_into_tracks_begin_end_between_calls() {
+        let mut t = tracker();
+        // Scratch built while idle...
+        assert_eq!(t.snapshot_into(64, &[PartitionId(0)]).active_count(), 0);
+        // ...must refresh after a begin...
+        t.begin(
+            AccelInstanceId(1),
+            CoherenceMode::CohDma,
+            4096,
+            vec![PartitionId(0)],
+        );
+        let snap = t.snapshot_into(128, &[PartitionId(1)]);
+        assert_eq!(snap.active_count(), 1);
+        assert_eq!(snap.target_footprint, 128);
+        assert_eq!(snap.target_partitions, vec![PartitionId(1)]);
+        // ...and again after the matching end.
+        t.end(AccelInstanceId(1));
+        assert_eq!(t.snapshot_into(64, &[PartitionId(0)]).active_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one memory partition")]
+    fn snapshot_into_rejects_empty_partitions() {
+        let mut t = tracker();
+        t.snapshot_into(64, &[]);
     }
 
     #[test]

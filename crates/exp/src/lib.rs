@@ -1,0 +1,81 @@
+//! # cohmeleon-exp
+//!
+//! The experiment-orchestration layer: the paper's evaluation is a grid of
+//! configs × workloads × policies × seeds (Section 5), and this crate makes
+//! that grid a first-class value instead of a hand-rolled loop per figure.
+//!
+//! * [`Experiment`] — a builder composing [`Scenario`]s (a
+//!   [`SocConfig`](cohmeleon_soc::SocConfig) plus train/test
+//!   [`AppSpec`](cohmeleon_soc::AppSpec)s), [`PolicySpec`]s (the paper's
+//!   [`PolicyKind`] suite or custom builders), seeds and a train-iteration
+//!   count into a validated [`SweepGrid`].
+//! * [`Executor`] — pluggable scheduling: [`Serial`] (the reference) and
+//!   [`WorkStealing`] (a hand-rolled shared-queue pool; no external
+//!   dependencies). Cells are pure functions of their coordinates, so
+//!   executors can only change wall time, never results.
+//! * [`ResultSink`] — streaming observation: each [`CellResult`] is
+//!   delivered the moment its cell completes, so progress reporting and
+//!   incremental aggregation need no `Vec` of everything.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cohmeleon_exp::{Experiment, PolicyKind, WorkStealing};
+//! use cohmeleon_soc::config::soc1;
+//! use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+//!
+//! let config = soc1();
+//! let train = generate_app(&config, &GeneratorParams::quick(), 1);
+//! let test = generate_app(&config, &GeneratorParams::quick(), 2);
+//!
+//! let grid = Experiment::train_test(config, train, test)
+//!     .policy_kinds([PolicyKind::FixedNonCoh, PolicyKind::Cohmeleon])
+//!     .seed(7)
+//!     .train_iterations(1)
+//!     .build()
+//!     .unwrap();
+//!
+//! let results = grid.collect(&WorkStealing::new());
+//! // Normalize every policy against fixed non-coherent DMA (policy 0).
+//! for (cell, outcome) in results.outcomes_against(0) {
+//!     assert!(outcome.geo_time > 0.0, "{cell:?}");
+//! }
+//! ```
+//!
+//! # Migration from `run_suite` / ad-hoc `run_protocol` loops
+//!
+//! `cohmeleon_bench::suite::run_suite(config, train, test, kinds, iters,
+//! seed)` is now a deprecated shim over this crate; the direct equivalent
+//! is:
+//!
+//! ```text
+//! Experiment::train_test(config, train, test)
+//!     .policy_kinds(kinds.iter().copied())
+//!     .seed(seed)
+//!     .train_iterations(iters)
+//!     .build()?
+//!     .collect(&WorkStealing::new())
+//!     .outcomes_against(0)   // run_suite normalized against kinds[0]
+//! ```
+//!
+//! Hand-rolled loops over `run_protocol` (one per figure binary, formerly)
+//! become one extra scenario/policy/seed on the corresponding axis; the
+//! per-cell semantics are exactly
+//! [`run_protocol_with_options`](cohmeleon_workloads::runner::run_protocol_with_options)
+//! ([`Protocol::TrainTest`]) or
+//! [`evaluate_policy_with_options`](cohmeleon_workloads::runner::evaluate_policy_with_options)
+//! ([`Protocol::EvaluateOnly`]), so a one-cell grid reproduces the old free
+//! functions bit for bit.
+
+pub mod executor;
+pub mod grid;
+pub mod policies;
+pub mod sink;
+
+pub use executor::{Executor, Serial, WorkStealing};
+pub use grid::{
+    CellId, CellResult, Experiment, ExperimentError, GridResults, PolicySpec, Protocol,
+    Scenario, SweepGrid,
+};
+pub use policies::{build_policy, policy_suite, PolicyKind};
+pub use sink::{CollectSink, ResultSink};

@@ -1,4 +1,8 @@
 //! The eight-policy suite of the paper's figures.
+//!
+//! Moved here from `cohmeleon-bench` so the experiment grid can build
+//! policies from [`PolicyKind`] values; the bench crate re-exports this
+//! module under its old path.
 
 use cohmeleon_core::manual::ManualThresholds;
 use cohmeleon_core::policy::{
@@ -51,6 +55,21 @@ impl PolicyKind {
         PolicyKind::FixedFullCoh,
         PolicyKind::FixedHetero,
     ];
+
+    /// The paper-legend display name — identical to the
+    /// [`Policy::name`] of the policy [`build_policy`] instantiates.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::FixedNonCoh => "fixed-non-coh-dma",
+            PolicyKind::FixedLlcCoh => "fixed-llc-coh-dma",
+            PolicyKind::FixedCohDma => "fixed-coh-dma",
+            PolicyKind::FixedFullCoh => "fixed-full-coh",
+            PolicyKind::Random => "rand",
+            PolicyKind::FixedHetero => "fixed-hetero",
+            PolicyKind::Manual => "manual",
+            PolicyKind::Cohmeleon => "cohmeleon",
+        }
+    }
 }
 
 /// Instantiates one policy for `config`.
@@ -116,5 +135,14 @@ mod tests {
     #[test]
     fn fixed_subset_is_five() {
         assert_eq!(PolicyKind::FIXED.len(), 5);
+    }
+
+    #[test]
+    fn labels_match_policy_names() {
+        let config = soc1();
+        for kind in PolicyKind::ALL {
+            let policy = build_policy(kind, &config, 2, 3);
+            assert_eq!(policy.name(), kind.label(), "{kind:?}");
+        }
     }
 }

@@ -1,0 +1,75 @@
+//! Streaming result observers.
+//!
+//! A [`ResultSink`] receives each [`CellResult`] the moment its cell
+//! completes — progress bars, incremental CSV writers and on-line
+//! aggregations never need the whole grid in memory. Sinks run on the
+//! thread that called [`SweepGrid::execute`](crate::SweepGrid::execute),
+//! so they need no synchronisation of their own.
+
+use crate::grid::{CellResult, SweepGrid};
+
+/// Observes a grid run: one callback per completed cell, plus a completion
+/// hook.
+pub trait ResultSink {
+    /// Called exactly once per cell, in completion order, on the thread
+    /// driving the executor.
+    fn on_cell(&mut self, result: CellResult);
+
+    /// Called once after every cell has been delivered.
+    fn on_grid_complete(&mut self, grid: &SweepGrid) {
+        let _ = grid;
+    }
+}
+
+/// Any `FnMut(CellResult)` closure is a sink.
+impl<F: FnMut(CellResult)> ResultSink for F {
+    fn on_cell(&mut self, result: CellResult) {
+        self(result);
+    }
+}
+
+/// Collects cells for later dense indexing (used by
+/// [`SweepGrid::collect`](crate::SweepGrid::collect)).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    cells: Vec<CellResult>,
+}
+
+impl CollectSink {
+    /// An empty sink expecting `capacity` cells.
+    pub fn with_capacity(capacity: usize) -> CollectSink {
+        CollectSink {
+            cells: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The collected cells, in completion order.
+    pub fn cells(&self) -> &[CellResult] {
+        &self.cells
+    }
+
+    /// Sorts the collected cells into dense grid order using `index`.
+    /// Returns `None` if any index is out of range or delivered twice
+    /// (an executor contract violation).
+    pub fn into_cells(
+        self,
+        index: impl Fn(&CellResult) -> usize,
+    ) -> Option<Vec<CellResult>> {
+        let n = self.cells.len();
+        let mut slots: Vec<Option<CellResult>> = (0..n).map(|_| None).collect();
+        for cell in self.cells {
+            let i = index(&cell);
+            if i >= n || slots[i].is_some() {
+                return None;
+            }
+            slots[i] = Some(cell);
+        }
+        slots.into_iter().collect()
+    }
+}
+
+impl ResultSink for CollectSink {
+    fn on_cell(&mut self, result: CellResult) {
+        self.cells.push(result);
+    }
+}

@@ -1,0 +1,112 @@
+//! Grid determinism: scheduling must never leak into results.
+//!
+//! Every cell of a [`SweepGrid`] builds a fresh policy and fresh SoCs from
+//! its own `(scenario, policy, seed)` coordinates, so the `Serial` and
+//! `WorkStealing` executors must produce bit-identical per-cell
+//! [`structural_hash`]es — and both must match the pre-grid hand-rolled
+//! `build_policy` + `run_protocol` path cell for cell.
+
+use std::collections::HashMap;
+
+use cohmeleon_exp::{
+    build_policy, CellId, Executor, Experiment, PolicyKind, Scenario, Serial, SweepGrid,
+    WorkStealing,
+};
+use cohmeleon_soc::config::{soc1, soc2};
+use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+use cohmeleon_workloads::runner::run_protocol;
+
+const KINDS: [PolicyKind; 4] = [
+    PolicyKind::FixedNonCoh,
+    PolicyKind::Random,
+    PolicyKind::Manual,
+    PolicyKind::Cohmeleon,
+];
+const TRAIN_ITERATIONS: usize = 2;
+const SEEDS: [u64; 2] = [5, 9];
+
+/// A 2-SoC × 4-policy × 2-seed grid (16 cells) covering fixed, random,
+/// heuristic and learned policies.
+fn grid() -> SweepGrid {
+    let scenarios = [soc1(), soc2()].map(|config| {
+        let train = generate_app(&config, &GeneratorParams::quick(), 1);
+        let test = generate_app(&config, &GeneratorParams::quick(), 2);
+        Scenario::new(config, train, test)
+    });
+    Experiment::new()
+        .scenarios(scenarios)
+        .policy_kinds(KINDS)
+        .seeds(SEEDS)
+        .train_iterations(TRAIN_ITERATIONS)
+        .build()
+        .expect("grid is non-empty")
+}
+
+/// Runs `grid` under `executor`, returning per-cell hashes and per-cell
+/// observer-callback counts.
+fn hashes<E: Executor>(grid: &SweepGrid, executor: &E) -> (Vec<u64>, HashMap<CellId, usize>) {
+    let mut hashes = vec![0u64; grid.num_cells()];
+    let mut calls: HashMap<CellId, usize> = HashMap::new();
+    grid.execute(executor, &mut |result: cohmeleon_exp::CellResult| {
+        hashes[grid.cell_index(result.cell)] = result.result.structural_hash();
+        *calls.entry(result.cell).or_insert(0) += 1;
+    });
+    (hashes, calls)
+}
+
+#[test]
+fn serial_and_work_stealing_are_bit_identical_per_cell() {
+    let grid = grid();
+    let (serial, serial_calls) = hashes(&grid, &Serial);
+    let (parallel, parallel_calls) = hashes(&grid, &WorkStealing::new());
+    // Also exercise an oversubscribed pool (more threads than cells ÷ 2)
+    // and a 2-thread pool: claiming order differs, results must not.
+    let (two, _) = hashes(&grid, &WorkStealing::with_threads(2));
+    let (many, _) = hashes(&grid, &WorkStealing::with_threads(32));
+
+    assert_eq!(serial, parallel, "WorkStealing diverged from Serial");
+    assert_eq!(serial, two, "2-thread pool diverged from Serial");
+    assert_eq!(serial, many, "oversubscribed pool diverged from Serial");
+
+    // Observer contract: exactly one callback per cell, for every executor.
+    for calls in [&serial_calls, &parallel_calls] {
+        assert_eq!(calls.len(), grid.num_cells());
+        for cell in grid.cells() {
+            assert_eq!(calls.get(&cell), Some(&1), "{cell:?}");
+        }
+    }
+}
+
+#[test]
+fn grid_cells_match_the_pre_grid_protocol_path() {
+    let grid = grid();
+    let (cells, _) = hashes(&grid, &WorkStealing::new());
+    // The hand-rolled path every figure harness used before the grid:
+    // build_policy + run_protocol per (config, workload, policy, seed).
+    for cell in grid.cells() {
+        let scenario = &grid.scenarios()[cell.scenario];
+        let seed = grid.cell_seed(cell);
+        let mut policy = build_policy(KINDS[cell.policy], &scenario.config, TRAIN_ITERATIONS, seed);
+        let direct = run_protocol(
+            &scenario.config,
+            &scenario.train,
+            &scenario.test,
+            policy.as_mut(),
+            TRAIN_ITERATIONS,
+            seed,
+        );
+        assert_eq!(
+            cells[grid.cell_index(cell)],
+            direct.structural_hash(),
+            "cell {cell:?} diverged from the direct run_protocol path"
+        );
+    }
+}
+
+#[test]
+fn repeated_grid_runs_are_reproducible() {
+    let grid = grid();
+    let (a, _) = hashes(&grid, &WorkStealing::new());
+    let (b, _) = hashes(&grid, &WorkStealing::new());
+    assert_eq!(a, b);
+}

@@ -79,6 +79,31 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events —
+    /// the arena form: a caller that knows its concurrency bound (e.g. one
+    /// in-flight event per simulated thread) pre-sizes once and never pays
+    /// a heap growth mid-simulation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events beyond
+    /// the current length. The buffer survives pops, so reserving once per
+    /// phase keeps later phases allocation-free.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// The number of pending events the queue can hold without
+    /// reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The timestamp of the most recently popped event (time zero before the
     /// first pop). Simulated components use this as "the current time".
     pub fn now(&self) -> Cycle {
@@ -194,6 +219,21 @@ mod tests {
         q.schedule(Cycle(10), ());
         q.pop();
         q.schedule(Cycle(9), ());
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes_and_survives_pops() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.capacity() >= 16);
+        for i in 0..16 {
+            q.schedule(Cycle(i), i);
+        }
+        let cap = q.capacity();
+        while q.pop().is_some() {}
+        // Draining must not shrink the arena.
+        assert_eq!(q.capacity(), cap);
+        q.reserve(32);
+        assert!(q.capacity() >= 32);
     }
 
     #[test]

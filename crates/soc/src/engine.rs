@@ -210,6 +210,12 @@ pub fn run_app_with_options(
 ) -> AppResult {
     let mut engine = Engine::new(soc, policy, seed);
     engine.options = options;
+    // Event-queue arena: each runnable thread keeps exactly one event in
+    // flight, so the widest phase bounds the heap. Pre-size it once; the
+    // buffer is reused across phases, so no phase pays a mid-simulation
+    // heap growth.
+    let max_threads = app.phases.iter().map(|p| p.threads.len()).max().unwrap_or(0);
+    engine.queue.reserve(max_threads);
     let phases = app
         .phases
         .iter()
@@ -400,11 +406,14 @@ impl<'a> Engine<'a> {
         let mut dram_before = self.totals_pool.pop().unwrap_or_default();
         self.soc.dram_totals_into(&mut dram_before);
 
-        // Sense + decide.
+        // Sense + decide. The generation-stamped scratch makes the sense
+        // path allocation-free: the active list is only rebuilt when a
+        // begin/end changed it since the last snapshot.
+        let footprint_bytes = dataset.bytes(self.soc.line_bytes());
         let snapshot = self
             .tracker
-            .snapshot(dataset.bytes(self.soc.line_bytes()), dataset.partitions());
-        let decision = self.policy.decide(&snapshot, info.available_modes, instance);
+            .snapshot_into(footprint_bytes, &[dataset.partition]);
+        let decision = self.policy.decide(snapshot, info.available_modes, instance);
 
         // Actuate: decision overhead + driver + flush + TLB, on the CPU.
         let params = *self.soc.params();
@@ -413,7 +422,7 @@ impl<'a> Engine<'a> {
             PolicyComplexity::Heuristic => params.decision_manual_cycles,
             PolicyComplexity::Learned => params.decision_cohmeleon_cycles,
         };
-        let footprint = dataset.bytes(self.soc.line_bytes());
+        let footprint = footprint_bytes;
         let t1 = self
             .soc
             .cpu_work(cpu, decision_cycles + params.driver_base_cycles, t);
@@ -612,10 +621,10 @@ impl<'a> Engine<'a> {
     /// The paper's attribution: split each controller's observed delta among
     /// the accelerators active at completion time (self included),
     /// proportionally to their footprint on that controller's partition.
-    fn attribute_offchip(&self, dataset: &Dataset, before: &[u64], after: &[u64]) -> f64 {
+    fn attribute_offchip(&mut self, dataset: &Dataset, before: &[u64], after: &[u64]) -> f64 {
         let line_bytes = self.soc.line_bytes();
         // Active set: the tracker still contains self at this point.
-        let snapshot = self.tracker.snapshot(0, dataset.partitions());
+        let snapshot = self.tracker.snapshot_into(0, &[dataset.partition]);
         // Which active entry is this invocation (loop-invariant over the
         // memory controllers, so computed once).
         let self_idx = snapshot

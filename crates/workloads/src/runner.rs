@@ -10,7 +10,7 @@
 use cohmeleon_core::policy::PolicyComplexity;
 use cohmeleon_core::Policy;
 use cohmeleon_sim::stats::geometric_mean;
-use cohmeleon_soc::{run_app, AppResult, AppSpec, Soc, SocConfig};
+use cohmeleon_soc::{run_app_with_options, AppResult, AppSpec, EngineOptions, Soc, SocConfig};
 
 /// Per-policy outcome of one experiment: the test-run result plus the
 /// phase-normalized summary against a baseline.
@@ -34,6 +34,11 @@ pub struct PolicyOutcome {
 ///
 /// Policies that do not learn ([`PolicyComplexity::Simple`] /
 /// [`PolicyComplexity::Heuristic`]) skip the training loop.
+///
+/// This is the single-cell primitive of the experiment layer: a sweep over
+/// configs × workloads × policies × seeds should go through the
+/// `Experiment` builder in `cohmeleon-exp`, which runs one `run_protocol`
+/// (or [`evaluate_policy`]) call per grid cell.
 pub fn run_protocol(
     config: &SocConfig,
     train_app: &AppSpec,
@@ -42,15 +47,44 @@ pub fn run_protocol(
     train_iterations: usize,
     seed: u64,
 ) -> AppResult {
+    run_protocol_with_options(
+        config,
+        train_app,
+        test_app,
+        policy,
+        train_iterations,
+        seed,
+        EngineOptions::default(),
+    )
+}
+
+/// [`run_protocol`] with explicit [`EngineOptions`] (used by the
+/// attribution ablation, where the oracle arm flips the engine's
+/// off-chip-attribution mode).
+pub fn run_protocol_with_options(
+    config: &SocConfig,
+    train_app: &AppSpec,
+    test_app: &AppSpec,
+    policy: &mut dyn Policy,
+    train_iterations: usize,
+    seed: u64,
+    options: EngineOptions,
+) -> AppResult {
     if policy.complexity() == PolicyComplexity::Learned {
         for i in 0..train_iterations {
             policy.begin_iteration(i);
             let mut soc = Soc::new(config.clone());
-            run_app(&mut soc, train_app, policy, seed.wrapping_add(i as u64 * 7919));
+            run_app_with_options(
+                &mut soc,
+                train_app,
+                policy,
+                seed.wrapping_add(i as u64 * 7919),
+                options,
+            );
         }
         policy.freeze();
     }
-    evaluate_policy(config, test_app, policy, seed ^ 0x5eed_7e57)
+    evaluate_policy_with_options(config, test_app, policy, seed ^ 0x5eed_7e57, options)
 }
 
 /// Runs `app` once on a fresh SoC under `policy` (no training).
@@ -60,8 +94,19 @@ pub fn evaluate_policy(
     policy: &mut dyn Policy,
     seed: u64,
 ) -> AppResult {
+    evaluate_policy_with_options(config, app, policy, seed, EngineOptions::default())
+}
+
+/// [`evaluate_policy`] with explicit [`EngineOptions`].
+pub fn evaluate_policy_with_options(
+    config: &SocConfig,
+    app: &AppSpec,
+    policy: &mut dyn Policy,
+    seed: u64,
+    options: EngineOptions,
+) -> AppResult {
     let mut soc = Soc::new(config.clone());
-    run_app(&mut soc, app, policy, seed)
+    run_app_with_options(&mut soc, app, policy, seed, options)
 }
 
 /// Normalizes `result` phase-by-phase against `baseline`

@@ -4,23 +4,15 @@
 //! (V2V) communication, plus two Conv-2D and two GEMM accelerators for CNN
 //! inference (object recognition). The application runs V2V encode/decode
 //! chains alongside CNN inference pipelines at several workload sizes, and
-//! compares every coherence policy — reproducing one panel of the paper's
-//! Figure 9.
+//! compares coherence policies — reproducing one panel of the paper's
+//! Figure 9 as a five-policy experiment grid.
 //!
 //! Run with: `cargo run --release --example autonomous_driving`
 
+use cohmeleon_repro::exp::{Experiment, PolicyKind, WorkStealing};
 use cohmeleon_repro::soc::config::soc5;
 use cohmeleon_repro::workloads::case_studies::soc5_app;
 use cohmeleon_repro::workloads::generator::{generate_app, GeneratorParams};
-use cohmeleon_repro::workloads::runner::{run_protocol, summarize};
-
-use cohmeleon_repro::core::manual::ManualThresholds;
-use cohmeleon_repro::core::policy::{
-    CohmeleonPolicy, FixedPolicy, ManualPolicy, Policy, RandomPolicy,
-};
-use cohmeleon_repro::core::qlearn::LearningSchedule;
-use cohmeleon_repro::core::reward::RewardWeights;
-use cohmeleon_repro::core::CoherenceMode;
 
 fn main() {
     let config = soc5();
@@ -34,33 +26,27 @@ fn main() {
     let train_app = generate_app(&config, &GeneratorParams::default(), 11);
     let test_app = soc5_app(&config, 2);
 
-    let mut policies: Vec<Box<dyn Policy>> = vec![
-        Box::new(FixedPolicy::new(CoherenceMode::NonCohDma)),
-        Box::new(FixedPolicy::new(CoherenceMode::CohDma)),
-        Box::new(RandomPolicy::new(5)),
-        Box::new(ManualPolicy::new(ManualThresholds::for_arch(
-            &config.arch_params(),
-        ))),
-        Box::new(CohmeleonPolicy::new(
-            RewardWeights::paper_default(),
-            LearningSchedule::paper_default(10),
-            5,
-        )),
-    ];
+    let grid = Experiment::train_test(config, train_app, test_app)
+        .policy_kinds([
+            PolicyKind::FixedNonCoh,
+            PolicyKind::FixedCohDma,
+            PolicyKind::Random,
+            PolicyKind::Manual,
+            PolicyKind::Cohmeleon,
+        ])
+        .seed(5)
+        .train_iterations(10)
+        .build()
+        .expect("experiment axes are non-empty");
 
-    let baseline = run_protocol(
-        &config,
-        &train_app,
-        &test_app,
-        policies[0].as_mut(),
-        10,
-        5,
-    );
+    // All five policies run in parallel on the work-stealing executor;
+    // outcomes are normalized against fixed non-coherent DMA (policy 0).
+    let outcomes = grid
+        .collect(&WorkStealing::new())
+        .into_outcomes_against(0);
+
     println!("\n{:<20} {:>10} {:>10}", "policy", "geo-time", "geo-mem");
-    println!("{:<20} {:>10.2} {:>10.2}", baseline.policy, 1.0, 1.0);
-    for policy in policies.iter_mut().skip(1) {
-        let result = run_protocol(&config, &train_app, &test_app, policy.as_mut(), 10, 5);
-        let outcome = summarize(result, &baseline);
+    for (_, outcome) in &outcomes {
         println!(
             "{:<20} {:>10.2} {:>10.2}",
             outcome.policy, outcome.geo_time, outcome.geo_mem

@@ -3,20 +3,19 @@
 //! The `Policy` trait is the extension point of the Cohmeleon framework:
 //! anything that can map a `SystemSnapshot` to a `CoherenceMode` can drive
 //! the SoC. This example implements a simple "footprint threshold" policy
-//! (cache modes below a cut-off, non-coherent above) and races it against
-//! Cohmeleon on SoC2.
+//! (cache modes below a cut-off, non-coherent above), wraps it in a
+//! `PolicySpec::custom`, and races it against Cohmeleon on SoC2 inside one
+//! experiment grid.
 //!
 //! Run with: `cargo run --release --example custom_policy`
 
-use cohmeleon_repro::core::policy::{CohmeleonPolicy, Decision, Policy};
-use cohmeleon_repro::core::qlearn::LearningSchedule;
-use cohmeleon_repro::core::reward::RewardWeights;
+use cohmeleon_repro::core::policy::{Decision, Policy};
 use cohmeleon_repro::core::{
     AccelInstanceId, CoherenceMode, ModeSet, State, SystemSnapshot,
 };
+use cohmeleon_repro::exp::{Experiment, PolicyKind, PolicySpec, WorkStealing};
 use cohmeleon_repro::soc::config::soc2;
 use cohmeleon_repro::workloads::generator::{generate_app, GeneratorParams};
-use cohmeleon_repro::workloads::runner::{run_protocol, summarize};
 
 /// Below `threshold` bytes choose coherent DMA, above it non-coherent DMA —
 /// a two-rule heuristic someone might write on a whiteboard.
@@ -57,36 +56,37 @@ fn main() {
     let train_app = generate_app(&config, &GeneratorParams::default(), 31);
     let test_app = generate_app(&config, &GeneratorParams::default(), 32);
 
-    // Baseline: the custom threshold policy (no training needed).
-    let mut custom = ThresholdPolicy {
-        threshold: config.llc_slice_bytes,
-    };
-    let custom_result = run_protocol(&config, &train_app, &test_app, &mut custom, 0, 3);
+    // Baseline: the custom threshold policy (no training — the grid only
+    // trains policies that report themselves as learning). Challenger:
+    // Cohmeleon, trained online for 10 iterations.
+    let threshold = config.llc_slice_bytes;
+    let grid = Experiment::train_test(config, train_app, test_app)
+        .policy(PolicySpec::custom("threshold", move |_, _, _| {
+            Box::new(ThresholdPolicy { threshold })
+        }))
+        .policy(PolicySpec::kind(PolicyKind::Cohmeleon))
+        .seed(3)
+        .train_iterations(10)
+        .build()
+        .expect("experiment axes are non-empty");
+    let results = grid.collect(&WorkStealing::new());
 
-    // Challenger: Cohmeleon, trained online.
-    let mut cohmeleon = CohmeleonPolicy::new(
-        RewardWeights::paper_default(),
-        LearningSchedule::paper_default(10),
-        3,
-    );
-    let cohmeleon_result = run_protocol(&config, &train_app, &test_app, &mut cohmeleon, 10, 3);
+    for cell in results.iter() {
+        println!(
+            "{:<16} {:>14} cycles {:>12} off-chip",
+            cell.result.policy,
+            cell.result.total_duration(),
+            cell.result.total_offchip()
+        );
+    }
 
-    println!(
-        "{:<16} {:>14} cycles {:>12} off-chip",
-        custom_result.policy,
-        custom_result.total_duration(),
-        custom_result.total_offchip()
-    );
-    println!(
-        "{:<16} {:>14} cycles {:>12} off-chip",
-        cohmeleon_result.policy,
-        cohmeleon_result.total_duration(),
-        cohmeleon_result.total_offchip()
-    );
-
-    let outcome = summarize(cohmeleon_result, &custom_result);
+    // Normalize Cohmeleon against the custom baseline (policy 0).
+    let outcomes = results.outcomes_against(0);
+    let (_, cohmeleon) = &outcomes[1];
     println!(
         "\ncohmeleon vs {}: geo-time {:.2}, geo-mem {:.2} (lower favours cohmeleon)",
-        custom_result.policy, outcome.geo_time, outcome.geo_mem
+        results.cell(0, 0, 0).result.policy,
+        cohmeleon.geo_time,
+        cohmeleon.geo_mem
     );
 }

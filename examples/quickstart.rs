@@ -1,16 +1,12 @@
 //! Quickstart: build a simulated SoC, train Cohmeleon online, and compare
-//! it against the paper's baseline policies on a small workload mix.
+//! it against the paper's baseline policies on a small workload mix —
+//! one `Experiment` grid, run on the work-stealing executor.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cohmeleon_repro::core::policy::{CohmeleonPolicy, FixedPolicy, ManualPolicy};
-use cohmeleon_repro::core::manual::ManualThresholds;
-use cohmeleon_repro::core::qlearn::LearningSchedule;
-use cohmeleon_repro::core::reward::RewardWeights;
-use cohmeleon_repro::core::CoherenceMode;
+use cohmeleon_repro::exp::{Experiment, PolicyKind, WorkStealing};
 use cohmeleon_repro::soc::config::soc1;
 use cohmeleon_repro::workloads::generator::{generate_app, GeneratorParams};
-use cohmeleon_repro::workloads::runner::{evaluate_policy, run_protocol};
 
 fn main() {
     // 1. Pick a SoC from Table 4 of the paper: SoC1 has 7 accelerators,
@@ -23,33 +19,40 @@ fn main() {
     let train_app = generate_app(&config, &GeneratorParams::default(), 1);
     let test_app = generate_app(&config, &GeneratorParams::default(), 2);
 
-    // 3. Train Cohmeleon online for 10 iterations, then freeze and test.
-    let mut cohmeleon = CohmeleonPolicy::new(
-        RewardWeights::paper_default(),
-        LearningSchedule::paper_default(10),
-        42,
-    );
-    let cohmeleon_result = run_protocol(&config, &train_app, &test_app, &mut cohmeleon, 10, 42);
+    // 3. Compose the experiment: one scenario, three policies, one seed.
+    //    Only Cohmeleon trains (10 iterations); the fixed baseline and the
+    //    manual heuristic skip training.
+    let grid = Experiment::train_test(config, train_app, test_app)
+        .policy_kinds([
+            PolicyKind::FixedNonCoh,
+            PolicyKind::Manual,
+            PolicyKind::Cohmeleon,
+        ])
+        .seed(42)
+        .train_iterations(10)
+        .build()
+        .expect("experiment axes are non-empty");
 
-    // 4. Compare against a design-time baseline and the manual heuristic.
-    let mut fixed = FixedPolicy::new(CoherenceMode::NonCohDma);
-    let fixed_result = evaluate_policy(&config, &test_app, &mut fixed, 42);
-    let mut manual = ManualPolicy::new(ManualThresholds::for_arch(&config.arch_params()));
-    let manual_result = evaluate_policy(&config, &test_app, &mut manual, 42);
+    // 4. Run all three cells in parallel. Every cell gets a fresh SoC and
+    //    its own deterministic seed stream, so the results are bit-identical
+    //    to a serial run.
+    let results = grid.collect(&WorkStealing::new());
 
     println!("\n{:<22} {:>14} {:>14}", "policy", "cycles", "off-chip");
-    for result in [&fixed_result, &manual_result, &cohmeleon_result] {
+    for cell in results.iter() {
         println!(
             "{:<22} {:>14} {:>14}",
-            result.policy,
-            result.total_duration(),
-            result.total_offchip()
+            cell.result.policy,
+            cell.result.total_duration(),
+            cell.result.total_offchip()
         );
     }
 
-    let speedup = fixed_result.total_duration() as f64 / cohmeleon_result.total_duration() as f64;
-    let mem_saving = 1.0
-        - cohmeleon_result.total_offchip() as f64 / fixed_result.total_offchip().max(1) as f64;
+    let fixed = &results.cell(0, 0, 0).result;
+    let cohmeleon = &results.cell(0, 2, 0).result;
+    let speedup = fixed.total_duration() as f64 / cohmeleon.total_duration() as f64;
+    let mem_saving =
+        1.0 - cohmeleon.total_offchip() as f64 / fixed.total_offchip().max(1) as f64;
     println!(
         "\ncohmeleon vs fixed non-coherent DMA: {speedup:.2}x speedup, {:.0}% fewer off-chip accesses",
         mem_saving * 100.0

@@ -5,16 +5,16 @@
 //! burst length, compute duration, data reuse, read-to-write ratio, and
 //! in-place storage. This example sweeps one custom profile across the
 //! four coherence modes and three workload sizes — the same methodology as
-//! the paper's Figure 2 — to find out where each mode wins for *your*
-//! accelerator.
+//! the paper's Figure 2 — as a 3-scenario × 4-policy evaluation-only grid,
+//! to find out where each mode wins for *your* accelerator.
 //!
 //! Run with: `cargo run --release --example traffic_generator`
 
 use cohmeleon_repro::accel::{AccelProfile, AccelSpec};
-use cohmeleon_repro::core::policy::FixedPolicy;
 use cohmeleon_repro::core::{AccelInstanceId, AccelKindId, CoherenceMode};
+use cohmeleon_repro::exp::{Experiment, PolicyKind, Protocol, Scenario, WorkStealing};
 use cohmeleon_repro::soc::config::motivation_isolation_soc;
-use cohmeleon_repro::soc::{run_app, AppSpec, PhaseSpec, Soc, ThreadSpec};
+use cohmeleon_repro::soc::{AppSpec, PhaseSpec, ThreadSpec};
 
 fn main() {
     // A hypothetical sparse-graph accelerator: short irregular bursts over
@@ -33,33 +33,45 @@ fn main() {
         has_private_cache: true,
     };
 
+    // One scenario per workload size; the four fixed policies are the
+    // mode axis. Evaluation-only: no training, raw seed per cell.
+    let sizes = [
+        ("Small", 16 * 1024u64),
+        ("Medium", 256 * 1024),
+        ("Large", 4 * 1024 * 1024),
+    ];
+    let scenarios = sizes.map(|(label, bytes)| {
+        let app = AppSpec {
+            name: "sweep".into(),
+            phases: vec![PhaseSpec {
+                name: label.into(),
+                threads: vec![ThreadSpec {
+                    dataset_bytes: bytes,
+                    chain: vec![AccelInstanceId(0)],
+                    loops: 5,
+                    check_output: true,
+                }],
+            }],
+        };
+        Scenario::evaluate(config.clone(), app).label(label)
+    });
+    let grid = Experiment::new()
+        .protocol(Protocol::EvaluateOnly)
+        .scenarios(scenarios)
+        .policy_kinds(PolicyKind::FIXED[..4].iter().copied())
+        .seed(3)
+        .build()
+        .expect("experiment axes are non-empty");
+    let results = grid.collect(&WorkStealing::new());
+
     println!(
         "{:<10} {:<14} {:>12} {:>10} {:>10}",
         "size", "mode", "cycles", "norm-time", "off-chip"
     );
-    for (label, bytes) in [
-        ("Small", 16 * 1024u64),
-        ("Medium", 256 * 1024),
-        ("Large", 4 * 1024 * 1024),
-    ] {
+    for (s, (label, _)) in sizes.iter().enumerate() {
         let mut base = None;
-        for mode in CoherenceMode::ALL {
-            let app = AppSpec {
-                name: "sweep".into(),
-                phases: vec![PhaseSpec {
-                    name: label.into(),
-                    threads: vec![ThreadSpec {
-                        dataset_bytes: bytes,
-                        chain: vec![AccelInstanceId(0)],
-                        loops: 5,
-                        check_output: true,
-                    }],
-                }],
-            };
-            let mut soc = Soc::new(config.clone());
-            let mut policy = FixedPolicy::new(mode);
-            let result = run_app(&mut soc, &app, &mut policy, 3);
-            let invs = &result.phases[0].invocations;
+        for (p, mode) in CoherenceMode::ALL.into_iter().enumerate() {
+            let invs = &results.cell(s, p, 0).result.phases[0].invocations;
             let mean: u64 = invs
                 .iter()
                 .map(|r| r.measurement.total_cycles)

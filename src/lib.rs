@@ -2,12 +2,38 @@
 //!
 //! Facade crate for the Cohmeleon reproduction workspace. It re-exports every
 //! sub-crate under a stable prefix so examples, integration tests and
-//! downstream users can depend on a single crate:
+//! downstream users can depend on a single crate.
+//!
+//! # Quickstart: the `Experiment` builder
+//!
+//! The paper's evaluation is a grid — configs × workloads × policies ×
+//! seeds — and the [`exp`] crate makes that grid a first-class value: an
+//! `Experiment` builds a typed `SweepGrid`, a pluggable executor runs its
+//! cells (serially or on a work-stealing pool, bit-identically), and
+//! results stream to observers as cells complete.
 //!
 //! ```
-//! use cohmeleon_repro::core::CoherenceMode;
+//! use cohmeleon_repro::exp::{Experiment, PolicyKind, WorkStealing};
+//! use cohmeleon_repro::soc::config::soc1;
+//! use cohmeleon_repro::workloads::generator::{generate_app, GeneratorParams};
 //!
-//! assert_eq!(CoherenceMode::ALL.len(), 4);
+//! let config = soc1();
+//! let train = generate_app(&config, &GeneratorParams::quick(), 1);
+//! let test = generate_app(&config, &GeneratorParams::quick(), 2);
+//!
+//! let grid = Experiment::train_test(config, train, test)
+//!     .policy_kinds([PolicyKind::FixedNonCoh, PolicyKind::Cohmeleon])
+//!     .seed(7)
+//!     .train_iterations(1)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Runs both cells in parallel; results are bit-identical to a serial
+//! // run. Outcomes are normalized against policy 0 (the paper's baseline).
+//! let results = grid.collect(&WorkStealing::new());
+//! for (cell, outcome) in results.outcomes_against(0) {
+//!     assert!(outcome.geo_time > 0.0, "{cell:?}");
+//! }
 //! ```
 //!
 //! See the individual crates for the substance:
@@ -15,6 +41,8 @@
 //! * [`core`] — the paper's contribution: coherence modes, the
 //!   sense/decide/actuate/evaluate framework, the Q-learning module and the
 //!   baseline policies.
+//! * [`exp`] — experiment orchestration: the `Experiment` builder, sweep
+//!   grids, `Serial`/`WorkStealing` executors and streaming result sinks.
 //! * [`soc`] — the simulated SoC substrate (tiles, Table-4 configurations,
 //!   hardware monitors, the accelerator-invocation API).
 //! * [`accel`] — accelerator communication models and the traffic generator.
@@ -24,6 +52,7 @@
 pub use cohmeleon_accel as accel;
 pub use cohmeleon_cache as cache;
 pub use cohmeleon_core as core;
+pub use cohmeleon_exp as exp;
 pub use cohmeleon_mem as mem;
 pub use cohmeleon_noc as noc;
 pub use cohmeleon_sim as sim;
