@@ -1,0 +1,23 @@
+//! Sweeps the learner design space (state spaces × exploration strategies
+//! × update rules) through the experiment grid and writes the per-cell
+//! JSONL record.
+//!
+//! Usage: `learner_ablation [--out PATH]` (default `learner_ablation.jsonl`;
+//! `COHMELEON_FAST=1` for the reduced grid).
+
+fn main() {
+    let mut out = String::from("learner_ablation.jsonl");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let scale = cohmeleon_bench::Scale::from_env();
+    let data = cohmeleon_bench::figures::learner_ablation::run(scale);
+    cohmeleon_bench::figures::learner_ablation::print(&data);
+    cohmeleon_bench::figures::learner_ablation::write_jsonl(&data, &out)
+        .expect("write learner-ablation JSONL");
+    println!("\nwrote {} cell records to {out}", data.records.len());
+}

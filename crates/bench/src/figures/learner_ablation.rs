@@ -1,0 +1,180 @@
+//! Learner-ablation sweep: the agent design space through the grid.
+//!
+//! The agent redesign decomposed the learning subsystem into pluggable
+//! state spaces, exploration strategies, value stores and update rules;
+//! this harness sweeps the Cartesian product (3 spaces × 3 strategies ×
+//! 2 update rules, over a sparse store so the extended space stays cheap)
+//! as one [`SweepGrid`] axis and reports every cell normalized against
+//! the paper's composition — which ablation choices Cohmeleon's results
+//! actually depend on.
+
+use cohmeleon_exp::{
+    CellRecord, Experiment, ExplorationKind, JsonlSink, LearnerSpec, StateSpaceKind, StoreKind,
+    UpdateKind, WorkStealing,
+};
+use cohmeleon_soc::config::soc1;
+use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+
+use crate::scale::Scale;
+use crate::table;
+
+/// One learner cell's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arm {
+    /// The learner configuration.
+    pub spec: LearnerSpec,
+    /// Its policy label (`"cohmeleon"` for the paper cell).
+    pub label: String,
+    /// Geometric-mean normalized execution time vs. the paper agent.
+    pub norm_time: f64,
+    /// Geometric-mean normalized off-chip accesses vs. the paper agent.
+    pub norm_mem: f64,
+}
+
+/// The sweep results plus the per-cell records the JSONL artifact holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Data {
+    /// One arm per learner spec, in grid order (the paper cell first).
+    pub arms: Vec<Arm>,
+    /// The flat per-cell records (what [`write_jsonl`] persists).
+    pub records: Vec<CellRecord>,
+}
+
+/// The swept axes: every state space, every exploration strategy, both
+/// update rules — 18 compositions over the sparse store, with the paper's
+/// composition re-labelled to the dense paper default so the baseline
+/// cell *is* `cohmeleon`.
+pub fn specs() -> Vec<LearnerSpec> {
+    let mut specs = LearnerSpec::grid(
+        &StateSpaceKind::ALL,
+        &ExplorationKind::ALL,
+        &UpdateKind::ALL,
+        StoreKind::Sparse,
+    );
+    // Put the paper composition first (it is the normalization baseline)
+    // and give it the paper's dense store so the baseline cell is exactly
+    // `CohmeleonPolicy`.
+    let paper_sparse = LearnerSpec {
+        store: StoreKind::Sparse,
+        ..LearnerSpec::paper()
+    };
+    specs.retain(|s| *s != paper_sparse);
+    specs.insert(0, LearnerSpec::paper());
+    specs
+}
+
+/// Runs the sweep: one scenario (SoC1 train/test), 18 learner cells, one
+/// seed, normalized against the paper agent (cell 0).
+pub fn run(scale: Scale) -> Data {
+    let config = soc1();
+    let iterations = scale.pick(10, 2);
+    let gen_params = scale.pick(GeneratorParams::coverage(), GeneratorParams::quick());
+    let train_app = generate_app(&config, &gen_params, 7001);
+    let test_app = generate_app(&config, &gen_params, 7002);
+    let specs = specs();
+
+    let grid = Experiment::train_test(config, train_app, test_app)
+        .learners(specs.iter().copied())
+        .seed(11)
+        .train_iterations(iterations)
+        .build()
+        .expect("learner ablation axes are non-empty");
+    let results = grid.collect(&WorkStealing::new());
+    let records: Vec<CellRecord> = results.iter().map(CellRecord::from_cell).collect();
+
+    let arms = results
+        .into_outcomes_against(0)
+        .into_iter()
+        .map(|(cell, o)| Arm {
+            spec: specs[cell.policy],
+            label: grid.policies()[cell.policy].policy_label().to_owned(),
+            norm_time: if cell.policy == 0 { 1.0 } else { o.geo_time },
+            norm_mem: if cell.policy == 0 { 1.0 } else { o.geo_mem },
+        })
+        .collect();
+    Data { arms, records }
+}
+
+/// Writes the per-cell records as JSONL (the CI artifact).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be written.
+pub fn write_jsonl(data: &Data, path: &str) -> std::io::Result<()> {
+    let mut sink = JsonlSink::create(path)?;
+    for record in &data.records {
+        sink.write_record(record);
+    }
+    sink.into_inner();
+    Ok(())
+}
+
+/// Prints the ablation table, one row per learner composition.
+pub fn print(data: &Data) {
+    let rows: Vec<Vec<String>> = data
+        .arms
+        .iter()
+        .map(|a| {
+            vec![
+                a.spec.to_string(),
+                a.label.clone(),
+                table::ratio(a.norm_time),
+                table::ratio(a.norm_mem),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["learner (space/explore/store/update)", "label", "norm-time", "norm-mem"], &rows)
+    );
+    println!("(normalized to the paper composition; >1.00 means that composition is worse)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_full_design_space() {
+        let specs = specs();
+        assert_eq!(specs.len(), 18);
+        assert_eq!(specs[0], LearnerSpec::paper());
+        let spaces: std::collections::HashSet<_> =
+            specs.iter().map(|s| s.state_space).collect();
+        let explorations: std::collections::HashSet<_> =
+            specs.iter().map(|s| s.exploration).collect();
+        let updates: std::collections::HashSet<_> = specs.iter().map(|s| s.update).collect();
+        assert_eq!(spaces.len(), 3);
+        assert_eq!(explorations.len(), 3);
+        assert_eq!(updates.len(), 2);
+    }
+
+    #[test]
+    fn fast_sweep_runs_all_cells_deterministically() {
+        let a = run(Scale::Fast);
+        assert_eq!(a.arms.len(), 18);
+        assert_eq!(a.records.len(), 18);
+        assert_eq!(a.arms[0].label, "cohmeleon");
+        assert_eq!(a.arms[0].norm_time, 1.0);
+        for arm in &a.arms {
+            assert!(arm.norm_time > 0.0, "{}", arm.label);
+            assert!(arm.norm_mem >= 0.0, "{}", arm.label);
+        }
+        // Bit-identical re-run: the whole sweep is a pure function of its
+        // seeds.
+        let b = run(Scale::Fast);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jsonl_records_round_trip() {
+        let data = run(Scale::Fast);
+        let text: String = data
+            .records
+            .iter()
+            .map(|r| format!("{}\n", r.to_json()))
+            .collect();
+        let parsed = cohmeleon_exp::read_jsonl(&text).unwrap();
+        assert_eq!(parsed, data.records);
+    }
+}

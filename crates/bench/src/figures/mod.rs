@@ -13,6 +13,10 @@
 //! | [`fig8`] | Figure 8 — performance over training iterations |
 //! | [`fig9`] | Figure 9 — eight SoC configurations, eight policies |
 //! | [`overhead`] | Section 6 — Cohmeleon's runtime overhead |
+//!
+//! Beyond the paper: [`ablation`] (design-choice ablations) and
+//! [`learner_ablation`] (the agent design space — state spaces ×
+//! exploration strategies × update rules through the sweep grid).
 
 pub mod ablation;
 pub mod fig2;
@@ -22,6 +26,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod learner_ablation;
 pub mod overhead;
 pub mod table1;
 pub mod table2;

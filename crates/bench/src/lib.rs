@@ -18,7 +18,6 @@
 
 pub mod figures;
 pub mod scale;
-pub mod suite;
 pub mod table;
 
 /// The policy suite now lives in `cohmeleon-exp` (the experiment grid

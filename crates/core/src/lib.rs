@@ -16,7 +16,8 @@
 //!    ([`policy::RandomPolicy`], [`policy::FixedPolicy`],
 //!    [`policy::FixedHeterogeneousPolicy`], the manually-tuned
 //!    [`policy::ManualPolicy`] of Algorithm 1) and the learning-based
-//!    [`policy::CohmeleonPolicy`] built on [`qlearn::QLearner`].
+//!    [`agent::LearnedPolicy`] — a composable agent stack whose
+//!    paper-default composition is [`policy::CohmeleonPolicy`].
 //! 3. **Actuate** — the embedding system applies the decision; in the paper
 //!    a register write in the accelerator tile, in this reproduction a field
 //!    on the simulated invocation.
@@ -28,6 +29,24 @@
 //! The crate knows nothing about the simulator: it can orchestrate any system
 //! able to produce snapshots and measurements, exactly as the paper's software
 //! layer orchestrates ESP through its status structs and monitor registers.
+//!
+//! # The composable agent stack
+//!
+//! The learning subsystem decomposes along four pluggable axes, each a
+//! trait with the paper's choice as the default implementation:
+//!
+//! | Axis | Trait | Paper default | Alternatives |
+//! |---|---|---|---|
+//! | Discretization | [`space::StateSpace`] | [`space::Table3Space`] (3⁵) | [`space::CoarseSpace`] (3³), [`space::ExtendedSpace`] (3⁷) |
+//! | Exploration | [`explore::ExplorationStrategy`] | [`explore::EpsilonGreedy`] | [`explore::Softmax`], [`explore::Ucb1`] |
+//! | Value storage | [`value::ValueStore`] | [`value::QTable`] (dense) | [`value::SparseQTable`] |
+//! | Update rule | [`update::UpdateRule`] | [`update::BlendUpdate`] | [`update::DiscountedUpdate`] |
+//!
+//! [`agent::LearnedPolicy`] composes one of each into a [`Policy`];
+//! [`agent::AgentBuilder`] is the ergonomic way to assemble one. The
+//! type alias [`policy::CohmeleonPolicy`] pins the paper-default
+//! composition and is bit-identical to the pre-redesign hardwired agent
+//! (golden structural-hash and Q-table TSV tests hold it to that).
 //!
 //! # Example
 //!
@@ -60,21 +79,31 @@
 //! policy.observe(AccelInstanceId(0), &decision, &measurement);
 //! ```
 
+pub mod agent;
 pub mod error;
+pub mod explore;
 pub mod manual;
 pub mod modes;
 pub mod policy;
 pub mod qlearn;
 pub mod reward;
 pub mod snapshot;
+pub mod space;
 pub mod state;
 pub mod status;
+pub mod update;
+pub mod value;
 
+pub use agent::{AgentBuilder, CohmeleonPolicy, LearnedPolicy};
 pub use error::CoreError;
+pub use explore::{EpsilonGreedy, ExplorationStrategy, SelectCtx, Softmax, Ucb1};
 pub use modes::{CoherenceMode, ModeSet};
 pub use policy::{Decision, Policy};
 pub use snapshot::{ActiveAccel, ArchParams, SystemSnapshot};
+pub use space::{CoarseSpace, ExtendedSpace, StateSpace, Table3Space};
 pub use state::State;
+pub use update::{BlendUpdate, DiscountedUpdate, UpdateRule};
+pub use value::{AutoStore, QTable, SparseQTable, ValueStore};
 
 /// Identifies a *kind* of accelerator (e.g. "FFT", "GEMM", or a particular
 /// traffic-generator configuration). Used by design-time policies that fix a

@@ -11,7 +11,9 @@
 //!   *kind*, chosen by offline profiling (the paper's stand-in for prior
 //!   design-time work such as Bhardwaj et al.).
 //! * [`ManualPolicy`] — Algorithm 1, the hand-tuned runtime heuristic.
-//! * [`CohmeleonPolicy`] — the Q-learning approach (the contribution).
+//! * [`CohmeleonPolicy`] — the Q-learning approach (the contribution),
+//!   now the paper-default composition of the generic
+//!   [`LearnedPolicy`](crate::agent::LearnedPolicy) agent stack.
 
 use std::collections::HashMap;
 
@@ -20,11 +22,12 @@ use rand::{Rng, SeedableRng};
 
 use crate::manual::{algorithm1_restricted, ManualThresholds};
 use crate::modes::{CoherenceMode, ModeSet};
-use crate::qlearn::{LearningSchedule, QLearner, QTable};
-use crate::reward::{InvocationMeasurement, RewardHistory, RewardWeights};
+use crate::reward::InvocationMeasurement;
 use crate::snapshot::SystemSnapshot;
 use crate::state::State;
 use crate::{AccelInstanceId, AccelKindId};
+
+pub use crate::agent::{CohmeleonPolicy, LearnedPolicy};
 
 /// The outcome of a policy's "decide" phase for one invocation.
 ///
@@ -36,8 +39,27 @@ use crate::{AccelInstanceId, AccelKindId};
 pub struct Decision {
     /// The coherence mode to actuate.
     pub mode: CoherenceMode,
-    /// The state the system was sensed to be in when deciding.
+    /// The Table-3 state the system was sensed to be in when deciding
+    /// (recorded per invocation for diagnostics and figures).
     pub state: State,
+    /// The deciding policy's own state encoding — for a
+    /// [`LearnedPolicy`] this is the index its
+    /// [`StateSpace`](crate::space::StateSpace) produced, which
+    /// [`Policy::observe`] needs back to credit the right value-store
+    /// entry. For everything else it equals `state.index()`.
+    pub state_index: usize,
+}
+
+impl Decision {
+    /// A decision whose policy uses the paper's Table-3 encoding (the
+    /// `state_index` is `state.index()`).
+    pub fn new(mode: CoherenceMode, state: State) -> Decision {
+        Decision {
+            mode,
+            state,
+            state_index: state.index(),
+        }
+    }
 }
 
 /// How much software work a policy's decide phase performs — the embedding
@@ -135,10 +157,10 @@ impl Policy for RandomPolicy {
     ) -> Decision {
         guard_available(available);
         let pick = self.rng.gen_range(0..available.len());
-        Decision {
-            mode: available.iter().nth(pick).expect("index in range"),
-            state: State::from_snapshot(snapshot),
-        }
+        Decision::new(
+            available.iter().nth(pick).expect("index in range"),
+            State::from_snapshot(snapshot),
+        )
     }
 }
 
@@ -183,10 +205,7 @@ impl Policy for FixedPolicy {
         } else {
             available.iter().next().expect("non-empty")
         };
-        Decision {
-            mode,
-            state: State::from_snapshot(snapshot),
-        }
+        Decision::new(mode, State::from_snapshot(snapshot))
     }
 }
 
@@ -244,10 +263,7 @@ impl Policy for FixedHeterogeneousPolicy {
         } else {
             available.iter().next().expect("non-empty")
         };
-        Decision {
-            mode,
-            state: State::from_snapshot(snapshot),
-        }
+        Decision::new(mode, State::from_snapshot(snapshot))
     }
 }
 
@@ -281,10 +297,10 @@ impl Policy for ManualPolicy {
         _accel: AccelInstanceId,
     ) -> Decision {
         guard_available(available);
-        Decision {
-            mode: algorithm1_restricted(snapshot, &self.thresholds, available),
-            state: State::from_snapshot(snapshot),
-        }
+        Decision::new(
+            algorithm1_restricted(snapshot, &self.thresholds, available),
+            State::from_snapshot(snapshot),
+        )
     }
 
     fn complexity(&self) -> PolicyComplexity {
@@ -357,94 +373,11 @@ impl<P: Policy> Policy for RestrictedPolicy<P> {
     }
 }
 
-/// The learning-based policy: senses the state, selects ε-greedily from the
-/// Q-table, and updates the table with the multi-objective reward when the
-/// invocation completes.
-#[derive(Debug, Clone)]
-pub struct CohmeleonPolicy {
-    learner: QLearner,
-    history: RewardHistory,
-    weights: RewardWeights,
-}
-
-impl CohmeleonPolicy {
-    /// Creates an untrained Cohmeleon policy.
-    pub fn new(weights: RewardWeights, schedule: LearningSchedule, seed: u64) -> CohmeleonPolicy {
-        CohmeleonPolicy {
-            learner: QLearner::new(schedule, seed),
-            history: RewardHistory::new(),
-            weights,
-        }
-    }
-
-    /// Read access to the learned Q-table.
-    pub fn table(&self) -> &QTable {
-        self.learner.table()
-    }
-
-    /// Restores a previously trained Q-table (e.g. to evaluate a frozen
-    /// model on a different application instance).
-    pub fn set_table(&mut self, table: QTable) {
-        self.learner.set_table(table);
-    }
-
-    /// The reward weights in use.
-    pub fn weights(&self) -> RewardWeights {
-        self.weights
-    }
-
-    /// Current exploration rate (for diagnostics).
-    pub fn epsilon(&self) -> f64 {
-        self.learner.epsilon()
-    }
-}
-
-impl Policy for CohmeleonPolicy {
-    fn name(&self) -> String {
-        "cohmeleon".to_owned()
-    }
-
-    fn decide(
-        &mut self,
-        snapshot: &SystemSnapshot,
-        available: ModeSet,
-        _accel: AccelInstanceId,
-    ) -> Decision {
-        guard_available(available);
-        let state = State::from_snapshot(snapshot);
-        Decision {
-            mode: self.learner.choose(state, available),
-            state,
-        }
-    }
-
-    fn observe(
-        &mut self,
-        accel: AccelInstanceId,
-        decision: &Decision,
-        measurement: &InvocationMeasurement,
-    ) {
-        let components = self.history.record(accel, measurement);
-        let reward = self.weights.combine(components);
-        self.learner.update(decision.state, decision.mode, reward);
-    }
-
-    fn begin_iteration(&mut self, iteration: usize) {
-        self.learner.begin_iteration(iteration);
-    }
-
-    fn freeze(&mut self) {
-        self.learner.freeze();
-    }
-
-    fn complexity(&self) -> PolicyComplexity {
-        PolicyComplexity::Learned
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qlearn::LearningSchedule;
+    use crate::reward::RewardWeights;
     use crate::snapshot::ArchParams;
     use crate::PartitionId;
 

@@ -13,139 +13,27 @@
 //! (0.5 and 0.25) and decay linearly to zero over the configured number of
 //! training iterations, after which the model is frozen and further updates
 //! are disabled.
+//!
+//! Since the agent redesign, [`QLearner`] is a thin composition of the
+//! pluggable components in [`explore`](crate::explore) /
+//! [`update`](crate::update) / [`value`](crate::value) — the ε-greedy
+//! selection and blend update live there (single source of truth), and
+//! [`QTable`] lives in [`value`](crate::value) and is re-exported here
+//! under its old path. The standalone learner remains the convenient
+//! paper-space API for tests and micro-benchmarks; whole-system policies
+//! go through [`LearnedPolicy`](crate::agent::LearnedPolicy).
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
+use crate::explore::{EpsilonGreedy, ExplorationStrategy, SelectCtx};
 use crate::modes::{CoherenceMode, ModeSet};
 use crate::state::State;
+use crate::update::{BlendUpdate, UpdateRule};
 
-/// The Q-table: expected reward per (state, action) pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct QTable {
-    /// Row-major `[state][action]`, `State::COUNT × CoherenceMode::COUNT`.
-    q: Vec<f64>,
-}
-
-impl QTable {
-    /// Total number of entries: 243 × 4 = 972.
-    pub const ENTRIES: usize = State::COUNT * CoherenceMode::COUNT;
-
-    /// A zero-initialised table, as at the beginning of training.
-    pub fn new() -> QTable {
-        QTable {
-            q: vec![0.0; Self::ENTRIES],
-        }
-    }
-
-    /// Reads `Q(s, a)`.
-    pub fn get(&self, state: State, action: CoherenceMode) -> f64 {
-        self.q[state.index() * CoherenceMode::COUNT + action.index()]
-    }
-
-    /// Writes `Q(s, a)`.
-    pub fn set(&mut self, state: State, action: CoherenceMode, value: f64) {
-        self.q[state.index() * CoherenceMode::COUNT + action.index()] = value;
-    }
-
-    /// The highest-valued action from `state` among `available` modes.
-    /// Ties break toward the lower mode index, deterministically.
-    ///
-    /// Returns `None` if `available` is empty.
-    pub fn best_action(&self, state: State, available: ModeSet) -> Option<CoherenceMode> {
-        let mut best: Option<(CoherenceMode, f64)> = None;
-        for mode in available.iter() {
-            let q = self.get(state, mode);
-            // Strict comparison: ties resolve to the first (lowest-index) mode.
-            if best.is_none_or(|(_, bq)| q > bq) {
-                best = Some((mode, q));
-            }
-        }
-        best.map(|(m, _)| m)
-    }
-
-    /// Number of entries that have been written to a non-zero value —
-    /// a rough measure of how much of the state space training has visited.
-    pub fn populated_entries(&self) -> usize {
-        self.q.iter().filter(|v| **v != 0.0).count()
-    }
-
-    /// Iterates `(state, action, value)` over all entries.
-    pub fn iter(&self) -> impl Iterator<Item = (State, CoherenceMode, f64)> + '_ {
-        self.q.iter().enumerate().map(|(i, &v)| {
-            (
-                State::from_index(i / CoherenceMode::COUNT),
-                CoherenceMode::from_index(i % CoherenceMode::COUNT),
-                v,
-            )
-        })
-    }
-
-    /// Serialises the table to a TSV text: one row per state,
-    /// `state_index<TAB>q0<TAB>q1<TAB>q2<TAB>q3`. Zero rows are skipped, so
-    /// sparsely-trained tables stay compact. Round-trips through
-    /// [`from_tsv`](Self::from_tsv); useful for persisting a trained model
-    /// and restoring it on a later run (the paper's "disable further
-    /// updates and evaluate" protocol across process lifetimes).
-    pub fn to_tsv(&self) -> String {
-        let mut out = String::from("# cohmeleon q-table v1\n");
-        for s in 0..State::COUNT {
-            let row = &self.q[s * CoherenceMode::COUNT..(s + 1) * CoherenceMode::COUNT];
-            if row.iter().all(|v| *v == 0.0) {
-                continue;
-            }
-            out.push_str(&format!(
-                "{s}\t{}\t{}\t{}\t{}\n",
-                row[0], row[1], row[2], row[3]
-            ));
-        }
-        out
-    }
-
-    /// Parses a table previously produced by [`to_tsv`](Self::to_tsv).
-    ///
-    /// # Errors
-    ///
-    /// Returns a message naming the offending line for malformed rows,
-    /// out-of-range state indices, or non-finite values.
-    pub fn from_tsv(text: &str) -> Result<QTable, String> {
-        let mut table = QTable::new();
-        for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let fields: Vec<&str> = line.split('\t').collect();
-            if fields.len() != 1 + CoherenceMode::COUNT {
-                return Err(format!("line {}: expected 5 fields", lineno + 1));
-            }
-            let s: usize = fields[0]
-                .parse()
-                .map_err(|_| format!("line {}: bad state index", lineno + 1))?;
-            if s >= State::COUNT {
-                return Err(format!("line {}: state {s} out of range", lineno + 1));
-            }
-            for (a, field) in fields[1..].iter().enumerate() {
-                let v: f64 = field
-                    .parse()
-                    .map_err(|_| format!("line {}: bad value", lineno + 1))?;
-                if !v.is_finite() {
-                    return Err(format!("line {}: non-finite value", lineno + 1));
-                }
-                table.q[s * CoherenceMode::COUNT + a] = v;
-            }
-        }
-        Ok(table)
-    }
-}
-
-impl Default for QTable {
-    fn default() -> Self {
-        QTable::new()
-    }
-}
+pub use crate::value::QTable;
 
 /// The training schedule: initial ε and α and the number of evaluation-app
 /// iterations over which both decay linearly to zero.
@@ -195,7 +83,9 @@ impl LearningSchedule {
     }
 }
 
-fn decayed(initial: f64, iteration: usize, total: usize) -> f64 {
+/// Linear decay from `initial` to zero at `iteration == total`, shared by
+/// every schedule in the agent stack.
+pub(crate) fn decayed(initial: f64, iteration: usize, total: usize) -> f64 {
     if iteration >= total {
         0.0
     } else {
@@ -209,9 +99,8 @@ fn decayed(initial: f64, iteration: usize, total: usize) -> f64 {
 pub struct QLearner {
     table: QTable,
     schedule: LearningSchedule,
-    epsilon: f64,
-    alpha: f64,
-    iteration: usize,
+    explore: EpsilonGreedy,
+    rule: BlendUpdate,
     frozen: bool,
     rng: SmallRng,
 }
@@ -223,9 +112,8 @@ impl QLearner {
         QLearner {
             table: QTable::new(),
             schedule,
-            epsilon: schedule.epsilon_at(0),
-            alpha: schedule.alpha_at(0),
-            iteration: 0,
+            explore: EpsilonGreedy::new(schedule.epsilon0, schedule.train_iterations),
+            rule: BlendUpdate::new(schedule.alpha0, schedule.train_iterations),
             frozen: false,
             rng: SmallRng::seed_from_u64(seed),
         }
@@ -235,9 +123,8 @@ impl QLearner {
     /// linear decay schedule. Iterations at or past `train_iterations`
     /// freeze the model.
     pub fn begin_iteration(&mut self, iteration: usize) {
-        self.iteration = iteration;
-        self.epsilon = self.schedule.epsilon_at(iteration);
-        self.alpha = self.schedule.alpha_at(iteration);
+        self.explore.begin_iteration(iteration);
+        self.rule.begin_iteration(iteration);
         if iteration >= self.schedule.train_iterations {
             self.frozen = true;
         }
@@ -247,8 +134,8 @@ impl QLearner {
     /// model has converged, we disable further updates").
     pub fn freeze(&mut self) {
         self.frozen = true;
-        self.epsilon = 0.0;
-        self.alpha = 0.0;
+        self.explore.freeze();
+        self.rule.freeze();
     }
 
     /// Whether updates are disabled.
@@ -261,7 +148,7 @@ impl QLearner {
         if self.frozen {
             0.0
         } else {
-            self.epsilon
+            self.explore.epsilon()
         }
     }
 
@@ -270,52 +157,35 @@ impl QLearner {
         if self.frozen {
             0.0
         } else {
-            self.alpha
+            self.rule.alpha()
         }
     }
 
     /// ε-greedy action selection among `available` modes: with probability ε
     /// a uniformly random available mode (exploration), otherwise the
-    /// highest-Q available mode (exploitation).
+    /// highest-Q available mode (exploitation, random tie-breaking).
     ///
     /// # Panics
     ///
     /// Panics if `available` is empty; callers must offer at least one mode.
     pub fn choose(&mut self, state: State, available: ModeSet) -> CoherenceMode {
         assert!(!available.is_empty(), "cannot choose from an empty mode set");
-        if !self.frozen && self.rng.gen::<f64>() < self.epsilon {
-            let n = available.len();
-            let pick = self.rng.gen_range(0..n);
-            available.iter().nth(pick).expect("index within set size")
-        } else {
-            // Exploit: argmax with *random* tie-breaking, so an untrained
-            // model (all-zero table) behaves exactly like the Random policy,
-            // as the paper states for iteration 0 of Figure 8.
-            let best = self
-                .table
-                .best_action(state, available)
-                .expect("non-empty set has a best action");
-            let best_q = self.table.get(state, best);
-            let ties: Vec<CoherenceMode> = available
-                .iter()
-                .filter(|m| (self.table.get(state, *m) - best_q).abs() < f64::EPSILON)
-                .collect();
-            if ties.len() <= 1 {
-                best
-            } else {
-                ties[self.rng.gen_range(0..ties.len())]
-            }
-        }
+        let ctx = SelectCtx {
+            store: &self.table,
+            state: state.index(),
+            available,
+            frozen: self.frozen,
+        };
+        self.explore.select(ctx, &mut self.rng)
     }
 
     /// Applies the update `Q(s,a) ← (1−α)·Q(s,a) + α·R`. No-op when frozen.
     pub fn update(&mut self, state: State, action: CoherenceMode, reward: f64) {
-        if self.frozen || self.alpha == 0.0 {
+        if self.frozen {
             return;
         }
-        let old = self.table.get(state, action);
-        self.table
-            .set(state, action, (1.0 - self.alpha) * old + self.alpha * reward);
+        self.rule
+            .apply(&mut self.table, state.index(), action.index(), reward);
     }
 
     /// Read access to the learned table.

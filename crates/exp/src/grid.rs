@@ -19,6 +19,7 @@ use cohmeleon_workloads::runner::{
 };
 
 use crate::executor::Executor;
+use crate::learner::LearnerSpec;
 use crate::policies::{build_policy, PolicyKind};
 use crate::sink::{CollectSink, ResultSink};
 
@@ -110,6 +111,21 @@ impl PolicySpec {
             label: kind.label().to_owned(),
             kind: Some(kind),
             build: Arc::new(move |config, iters, seed| build_policy(kind, config, iters, seed)),
+            options: None,
+        }
+    }
+
+    /// A learning agent configured by a [`LearnerSpec`] — one cell of the
+    /// state-space × exploration × store × update design space. The paper
+    /// composition ([`LearnerSpec::paper`]) is labelled `"cohmeleon"` and
+    /// reported as [`PolicyKind::Cohmeleon`]; every other spec gets its
+    /// own `ql[...]` label, so whole learner sweeps fit on one policy
+    /// axis.
+    pub fn learner(spec: LearnerSpec) -> PolicySpec {
+        PolicySpec {
+            label: spec.label(),
+            kind: (spec == LearnerSpec::paper()).then_some(PolicyKind::Cohmeleon),
+            build: Arc::new(move |_config, iters, seed| spec.build(iters, seed)),
             options: None,
         }
     }
@@ -272,6 +288,12 @@ impl Experiment {
     /// Adds paper-suite policies by kind, in order.
     pub fn policy_kinds(self, kinds: impl IntoIterator<Item = PolicyKind>) -> Experiment {
         self.policies(kinds.into_iter().map(PolicySpec::kind))
+    }
+
+    /// Adds configured learning agents by [`LearnerSpec`], in order — the
+    /// learner-ablation axis.
+    pub fn learners(self, specs: impl IntoIterator<Item = LearnerSpec>) -> Experiment {
+        self.policies(specs.into_iter().map(PolicySpec::learner))
     }
 
     /// Adds one seed.

@@ -1,0 +1,368 @@
+//! Sweepable learner configurations: [`LearnerSpec`] names one cell of the
+//! agent design space (state space × exploration × value store × update
+//! rule) as plain data.
+//!
+//! The agent redesign in `cohmeleon-core` made the learning subsystem
+//! composable; this module makes the composition *configurable* — a
+//! `LearnerSpec` is `Copy`, serializable, parses from / prints to a stable
+//! string form (`table3/eps-greedy/dense/blend`), and builds the
+//! corresponding boxed policy for a grid cell. That is what lets a
+//! [`SweepGrid`](crate::SweepGrid) treat "which learner" as one more axis,
+//! exactly like seeds and scenarios (see the `learner_ablation` harness in
+//! `cohmeleon-bench`).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use cohmeleon_core::agent::LearnedPolicy;
+use cohmeleon_core::explore::{EpsilonGreedy, ExplorationStrategy, Softmax, Ucb1};
+use cohmeleon_core::reward::RewardWeights;
+use cohmeleon_core::space::{CoarseSpace, ExtendedSpace, StateSpace, Table3Space};
+use cohmeleon_core::update::{BlendUpdate, DiscountedUpdate, UpdateRule};
+use cohmeleon_core::value::{QTable, SparseQTable, ValueStore};
+use cohmeleon_core::Policy;
+
+/// Which state-space discretizer the agent senses through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StateSpaceKind {
+    /// 3³ = 27 states (`CoarseSpace`).
+    Coarse,
+    /// The paper's 3⁵ = 243 states (`Table3Space`).
+    Table3,
+    /// 3⁷ = 2187 states (`ExtendedSpace`).
+    Extended,
+}
+
+/// Which exploration strategy selects actions during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExplorationKind {
+    /// The paper's ε-greedy with linear decay.
+    EpsilonGreedy,
+    /// Boltzmann sampling with temperature decay.
+    Softmax,
+    /// Deterministic UCB1.
+    Ucb1,
+}
+
+/// Which backing holds the Q-values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StoreKind {
+    /// Dense table (`QTable`), the paper default.
+    Dense,
+    /// Sparse map (`SparseQTable`) for large state spaces.
+    Sparse,
+}
+
+/// Which update rule folds rewards into the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// The paper's `(1−α)Q + αR` blend.
+    Blend,
+    /// The discounted bootstrap variant.
+    Discounted,
+}
+
+impl StateSpaceKind {
+    /// All state spaces, coarse to fine.
+    pub const ALL: [StateSpaceKind; 3] = [
+        StateSpaceKind::Coarse,
+        StateSpaceKind::Table3,
+        StateSpaceKind::Extended,
+    ];
+
+    /// The stable string form.
+    pub fn label(self) -> &'static str {
+        match self {
+            StateSpaceKind::Coarse => "coarse",
+            StateSpaceKind::Table3 => "table3",
+            StateSpaceKind::Extended => "extended",
+        }
+    }
+
+    fn build(self) -> Box<dyn StateSpace> {
+        match self {
+            StateSpaceKind::Coarse => Box::new(CoarseSpace),
+            StateSpaceKind::Table3 => Box::new(Table3Space),
+            StateSpaceKind::Extended => Box::new(ExtendedSpace),
+        }
+    }
+}
+
+impl ExplorationKind {
+    /// All exploration strategies.
+    pub const ALL: [ExplorationKind; 3] = [
+        ExplorationKind::EpsilonGreedy,
+        ExplorationKind::Softmax,
+        ExplorationKind::Ucb1,
+    ];
+
+    /// The stable string form.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExplorationKind::EpsilonGreedy => "eps-greedy",
+            ExplorationKind::Softmax => "softmax",
+            ExplorationKind::Ucb1 => "ucb1",
+        }
+    }
+
+    fn build(self, train_iterations: usize) -> Box<dyn ExplorationStrategy> {
+        match self {
+            ExplorationKind::EpsilonGreedy => Box::new(EpsilonGreedy::paper(train_iterations)),
+            ExplorationKind::Softmax => Box::new(Softmax::default_schedule(train_iterations)),
+            ExplorationKind::Ucb1 => Box::new(Ucb1::default()),
+        }
+    }
+}
+
+impl StoreKind {
+    /// Both store backings.
+    pub const ALL: [StoreKind; 2] = [StoreKind::Dense, StoreKind::Sparse];
+
+    /// The stable string form.
+    pub fn label(self) -> &'static str {
+        match self {
+            StoreKind::Dense => "dense",
+            StoreKind::Sparse => "sparse",
+        }
+    }
+
+    fn build(self, states: usize) -> Box<dyn ValueStore> {
+        match self {
+            StoreKind::Dense => Box::new(QTable::with_states(states)),
+            StoreKind::Sparse => Box::new(SparseQTable::with_states(states)),
+        }
+    }
+}
+
+impl UpdateKind {
+    /// Both update rules.
+    pub const ALL: [UpdateKind; 2] = [UpdateKind::Blend, UpdateKind::Discounted];
+
+    /// The stable string form.
+    pub fn label(self) -> &'static str {
+        match self {
+            UpdateKind::Blend => "blend",
+            UpdateKind::Discounted => "discounted",
+        }
+    }
+
+    fn build(self, train_iterations: usize) -> Box<dyn UpdateRule> {
+        match self {
+            UpdateKind::Blend => Box::new(BlendUpdate::paper(train_iterations)),
+            UpdateKind::Discounted => Box::new(DiscountedUpdate::default_schedule(train_iterations)),
+        }
+    }
+}
+
+/// One cell of the learner design space, as plain serializable data.
+///
+/// `LearnerSpec::paper()` names the composition the paper evaluates;
+/// [`grid`](Self::grid) enumerates Cartesian sweeps for ablation
+/// harnesses. The string form round-trips through `Display`/`FromStr`
+/// (`"extended/ucb1/sparse/discounted"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LearnerSpec {
+    /// The state-space discretizer.
+    pub state_space: StateSpaceKind,
+    /// The exploration strategy.
+    pub exploration: ExplorationKind,
+    /// The value-store backing.
+    pub store: StoreKind,
+    /// The update rule.
+    pub update: UpdateKind,
+}
+
+impl LearnerSpec {
+    /// The paper's composition: Table-3 / ε-greedy / dense / blend.
+    pub fn paper() -> LearnerSpec {
+        LearnerSpec {
+            state_space: StateSpaceKind::Table3,
+            exploration: ExplorationKind::EpsilonGreedy,
+            store: StoreKind::Dense,
+            update: UpdateKind::Blend,
+        }
+    }
+
+    /// The Cartesian product of the given axis values, in
+    /// state-space-major order — the input to a learner-ablation sweep.
+    pub fn grid(
+        spaces: &[StateSpaceKind],
+        explorations: &[ExplorationKind],
+        updates: &[UpdateKind],
+        store: StoreKind,
+    ) -> Vec<LearnerSpec> {
+        let mut specs = Vec::with_capacity(spaces.len() * explorations.len() * updates.len());
+        for &state_space in spaces {
+            for &exploration in explorations {
+                for &update in updates {
+                    specs.push(LearnerSpec {
+                        state_space,
+                        exploration,
+                        store,
+                        update,
+                    });
+                }
+            }
+        }
+        specs
+    }
+
+    /// The policy display label this spec builds under: `"cohmeleon"` for
+    /// the paper composition (it *is* the paper agent), otherwise
+    /// `"ql[<spec>]"` so ablation arms stay distinguishable in figures and
+    /// grids.
+    pub fn label(&self) -> String {
+        if *self == LearnerSpec::paper() {
+            "cohmeleon".to_owned()
+        } else {
+            format!("ql[{self}]")
+        }
+    }
+
+    /// Builds the agent for one grid cell. The paper composition builds
+    /// the concrete `CohmeleonPolicy`; every other spec assembles a
+    /// dyn-composed [`LearnedPolicy`].
+    pub fn build(&self, train_iterations: usize, seed: u64) -> Box<dyn Policy> {
+        use cohmeleon_core::policy::CohmeleonPolicy;
+        use cohmeleon_core::qlearn::LearningSchedule;
+
+        if *self == LearnerSpec::paper() {
+            return Box::new(CohmeleonPolicy::new(
+                RewardWeights::paper_default(),
+                LearningSchedule::paper_default(train_iterations),
+                seed,
+            ));
+        }
+        let space = self.state_space.build();
+        let store = self.store.build(space.cardinality());
+        Box::new(LearnedPolicy::with_components(
+            self.label(),
+            space,
+            self.exploration.build(train_iterations),
+            store,
+            self.update.build(train_iterations),
+            RewardWeights::paper_default(),
+            train_iterations,
+            seed,
+        ))
+    }
+}
+
+impl fmt::Display for LearnerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}",
+            self.state_space.label(),
+            self.exploration.label(),
+            self.store.label(),
+            self.update.label()
+        )
+    }
+}
+
+/// A [`LearnerSpec`] string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLearnerSpecError(String);
+
+impl fmt::Display for ParseLearnerSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid learner spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseLearnerSpecError {}
+
+impl FromStr for LearnerSpec {
+    type Err = ParseLearnerSpecError;
+
+    fn from_str(s: &str) -> Result<LearnerSpec, ParseLearnerSpecError> {
+        let err = || ParseLearnerSpecError(s.to_owned());
+        let mut parts = s.split('/');
+        let mut next = || parts.next().ok_or_else(err);
+        let state_space = match next()? {
+            "coarse" => StateSpaceKind::Coarse,
+            "table3" => StateSpaceKind::Table3,
+            "extended" => StateSpaceKind::Extended,
+            _ => return Err(err()),
+        };
+        let exploration = match next()? {
+            "eps-greedy" => ExplorationKind::EpsilonGreedy,
+            "softmax" => ExplorationKind::Softmax,
+            "ucb1" => ExplorationKind::Ucb1,
+            _ => return Err(err()),
+        };
+        let store = match next()? {
+            "dense" => StoreKind::Dense,
+            "sparse" => StoreKind::Sparse,
+            _ => return Err(err()),
+        };
+        let update = match next()? {
+            "blend" => UpdateKind::Blend,
+            "discounted" => UpdateKind::Discounted,
+            _ => return Err(err()),
+        };
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(LearnerSpec {
+            state_space,
+            exploration,
+            store,
+            update,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_builds_the_paper_agent() {
+        let spec = LearnerSpec::paper();
+        assert_eq!(spec.label(), "cohmeleon");
+        let policy = spec.build(3, 7);
+        assert_eq!(policy.name(), "cohmeleon");
+    }
+
+    #[test]
+    fn display_parses_back() {
+        for spec in LearnerSpec::grid(
+            &StateSpaceKind::ALL,
+            &ExplorationKind::ALL,
+            &UpdateKind::ALL,
+            StoreKind::Sparse,
+        ) {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<LearnerSpec>().unwrap(), spec, "{text}");
+        }
+        assert!("table3/nope/dense/blend".parse::<LearnerSpec>().is_err());
+        assert!("table3/eps-greedy/dense".parse::<LearnerSpec>().is_err());
+        assert!("table3/eps-greedy/dense/blend/extra".parse::<LearnerSpec>().is_err());
+    }
+
+    #[test]
+    fn grid_enumerates_the_cartesian_product() {
+        let specs = LearnerSpec::grid(
+            &StateSpaceKind::ALL,
+            &ExplorationKind::ALL,
+            &UpdateKind::ALL,
+            StoreKind::Dense,
+        );
+        assert_eq!(specs.len(), 18);
+        let labels: std::collections::HashSet<String> =
+            specs.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 18, "labels must be distinct");
+        assert!(labels.contains("cohmeleon"), "paper cell keeps its name");
+    }
+
+    #[test]
+    fn non_paper_specs_build_distinctly_named_agents() {
+        let spec: LearnerSpec = "extended/ucb1/sparse/discounted".parse().unwrap();
+        let policy = spec.build(2, 1);
+        assert_eq!(policy.name(), "ql[extended/ucb1/sparse/discounted]");
+    }
+}

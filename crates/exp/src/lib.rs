@@ -15,7 +15,15 @@
 //!   executors can only change wall time, never results.
 //! * [`ResultSink`] — streaming observation: each [`CellResult`] is
 //!   delivered the moment its cell completes, so progress reporting and
-//!   incremental aggregation need no `Vec` of everything.
+//!   incremental aggregation need no `Vec` of everything. [`JsonlSink`]
+//!   and [`CsvSink`] stream durable [`CellRecord`]s to disk, so long
+//!   sweeps persist as they run and figures can be regenerated from the
+//!   record ([`read_jsonl`]).
+//! * [`LearnerSpec`] — the learning agent as sweep data: one value names
+//!   a state-space × exploration × value-store × update-rule composition
+//!   (`"table3/eps-greedy/dense/blend"` is the paper's), and
+//!   [`Experiment::learners`] puts whole learner sweeps on the policy
+//!   axis. See the `learner_ablation` harness in `cohmeleon-bench`.
 //!
 //! # Quickstart
 //!
@@ -45,8 +53,8 @@
 //! # Migration from `run_suite` / ad-hoc `run_protocol` loops
 //!
 //! `cohmeleon_bench::suite::run_suite(config, train, test, kinds, iters,
-//! seed)` is now a deprecated shim over this crate; the direct equivalent
-//! is:
+//! seed)` — deprecated when the grid landed — has been removed; the
+//! direct equivalent is:
 //!
 //! ```text
 //! Experiment::train_test(config, train, test)
@@ -69,6 +77,7 @@
 
 pub mod executor;
 pub mod grid;
+pub mod learner;
 pub mod policies;
 pub mod sink;
 
@@ -77,5 +86,8 @@ pub use grid::{
     CellId, CellResult, Experiment, ExperimentError, GridResults, PolicySpec, Protocol,
     Scenario, SweepGrid,
 };
+pub use learner::{
+    ExplorationKind, LearnerSpec, StateSpaceKind, StoreKind, UpdateKind,
+};
 pub use policies::{build_policy, policy_suite, PolicyKind};
-pub use sink::{CollectSink, ResultSink};
+pub use sink::{read_jsonl, CellRecord, CollectSink, CsvSink, JsonlSink, ResultSink};

@@ -165,6 +165,66 @@ impl Noc {
         head + service
     }
 
+    /// Injects an `beats`-beat burst (one wormhole packet: a head flit
+    /// followed by `beats` payload beats of `beat_bytes` each) from `src`
+    /// to `dst` on `plane` at time `at`, reserving every link along the XY
+    /// route **in one pass**: each link takes a single
+    /// [`Resource::acquire_series`] covering all beats (head flit with the
+    /// first, payload-only for the rest), so an n-beat recall or writeback
+    /// stream costs O(hops) reservation work instead of O(n × hops).
+    /// Returns the arrival time of the last beat's tail flit at `dst`.
+    ///
+    /// Equivalences, pinned by the property tests in `tests/props.rs`:
+    ///
+    /// * per link, the series reservation is bit-identical to acquiring
+    ///   the `beats` beats one at a time (the [`Resource::acquire_series`]
+    ///   contract), and
+    /// * when `beat_bytes` is flit-aligned, the returned arrival time and
+    ///   all link reservations are bit-identical to one aggregated
+    ///   [`transfer`](Self::transfer) of `beats × beat_bytes` — which is
+    ///   how the machine's recall/writeback paths previously modelled
+    ///   these streams, so adopting the burst form changed no results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beats` is zero.
+    pub fn transfer_burst(
+        &mut self,
+        plane: Plane,
+        src: Coord,
+        dst: Coord,
+        beat_bytes: u64,
+        beats: u64,
+        at: Cycle,
+    ) -> Cycle {
+        assert!(beats > 0, "a burst needs at least one beat");
+        let beat_flits = beat_bytes.div_ceil(self.config.flit_bytes);
+        let total = Cycle(1 + beats * beat_flits);
+        let first = Cycle(1 + beat_flits);
+        let rest = Cycle(beat_flits);
+        let stats = &mut self.stats[plane.index()];
+        stats.transfers += 1;
+        stats.flits += total.raw();
+
+        if src == dst {
+            assert!(self.mesh.contains(src), "source {src} outside mesh");
+            return at + Cycle(self.config.router_latency) + total;
+        }
+
+        let plane_links = &mut self.links[plane.index()];
+        let mut head = at;
+        for link in self.mesh.route_iter(src, dst) {
+            let idx = self.mesh.link_index(link);
+            let grant = plane_links[idx].acquire_series(head, first, rest, beats);
+            // Plane-level queueing counts the burst head's wait, exactly
+            // like the aggregated-transfer path this replaces; the per-beat
+            // closed form lives in the link's own Resource statistics.
+            stats.queued_cycles += grant.queueing_delay(head).raw();
+            head = grant.start + Cycle(self.config.router_latency);
+        }
+        head + total
+    }
+
     /// The minimum (contention-free) latency for `bytes` from `src` to `dst`.
     pub fn ideal_latency(&self, src: Coord, dst: Coord, bytes: u64) -> Cycle {
         let hops = src.manhattan(dst).max(1) as u64;

@@ -416,21 +416,25 @@ impl Soc {
         let grant = self.llc_ports[p].acquire(t1, Cycle(occupancy));
         let t2 = grant.start + Cycle(latency);
 
-        // Recall traffic crosses the coherence planes (owner ↔ LLC).
+        // Recall traffic crosses the coherence planes (owner ↔ LLC): one
+        // burst of per-line recall requests and one of line-sized replies,
+        // each reserving its route in a single pass.
         if fx.recalls > 0 {
             let owner_tile = self.cpu_coords[0];
-            self.noc.transfer(
+            self.noc.transfer_burst(
                 Plane::CohFwd,
                 dst,
                 owner_tile,
-                fx.recalls * self.params.header_bytes,
+                self.params.header_bytes,
+                fx.recalls,
                 t1,
             );
-            self.noc.transfer(
+            self.noc.transfer_burst(
                 Plane::CohRsp,
                 owner_tile,
                 dst,
-                fx.recalls * self.config.line_bytes,
+                self.config.line_bytes,
+                fx.recalls,
                 t1,
             );
         }
@@ -517,18 +521,20 @@ impl Soc {
 
         if fx.recalls > 0 {
             let owner_tile = self.cpu_coords[0];
-            self.noc.transfer(
+            self.noc.transfer_burst(
                 Plane::CohFwd,
                 dst,
                 owner_tile,
-                fx.recalls * self.params.header_bytes,
+                self.params.header_bytes,
+                fx.recalls,
                 t1,
             );
-            self.noc.transfer(
+            self.noc.transfer_burst(
                 Plane::CohRsp,
                 owner_tile,
                 dst,
-                fx.recalls * self.config.line_bytes,
+                self.config.line_bytes,
+                fx.recalls,
                 t1,
             );
         }
@@ -547,13 +553,15 @@ impl Soc {
             self.drams[p].scattered_access(t2, fx.dram_writebacks, true);
         }
 
-        // Dirty L2 victims stream back to the LLC on the request plane.
+        // Dirty L2 victims stream back to the LLC on the request plane,
+        // one burst reserving the route in a single pass.
         if fx.llc_writebacks > 0 {
-            self.noc.transfer(
+            self.noc.transfer_burst(
                 Plane::CohReq,
                 info.coord,
                 dst,
-                fx.llc_writebacks * self.config.line_bytes,
+                self.config.line_bytes,
+                fx.llc_writebacks,
                 t0,
             );
         }

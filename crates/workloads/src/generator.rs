@@ -69,6 +69,35 @@ impl GeneratorParams {
             check_per_mille: 250,
         }
     }
+
+    /// A configuration tuned for *state-space coverage* rather than speed
+    /// or realism: [`quick`](Self::quick) visits so few distinct Table-3
+    /// states that training populates only 8–14 of the 972 Q-entries,
+    /// which makes learning tests and demos unrepresentative.
+    ///
+    /// Coverage comes from spread, not volume: a wide thread-count range
+    /// (1 thread ⇒ near-idle states, 14 ⇒ saturated "2+" buckets), an
+    /// even mix over *all four* size classes (each footprint class of
+    /// Table 3 appears both as the target's own class and as partition
+    /// pressure), and short chains/loops so the extra diversity stays
+    /// cheap enough for tests — on SoC1 it populates ~100 of the 972
+    /// paper-space Q-entries where `quick` reaches 8–14, while staying
+    /// well under [`default`](Self::default)'s cost.
+    pub fn coverage() -> GeneratorParams {
+        GeneratorParams {
+            phases: 8,
+            threads: (1, 14),
+            chain_len: (1, 3),
+            loops: (1, 2),
+            size_mix: vec![
+                SizeClass::Small,
+                SizeClass::Medium,
+                SizeClass::Large,
+                SizeClass::ExtraLarge,
+            ],
+            check_per_mille: 500,
+        }
+    }
 }
 
 /// Generates one application instance for `config`. Different seeds yield

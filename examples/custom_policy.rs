@@ -1,15 +1,21 @@
-//! Plugging a user-defined coherence policy into the framework.
+//! Plugging user-defined coherence policies into the framework.
 //!
-//! The `Policy` trait is the extension point of the Cohmeleon framework:
-//! anything that can map a `SystemSnapshot` to a `CoherenceMode` can drive
-//! the SoC. This example implements a simple "footprint threshold" policy
-//! (cache modes below a cut-off, non-coherent above), wraps it in a
-//! `PolicySpec::custom`, and races it against Cohmeleon on SoC2 inside one
-//! experiment grid.
+//! Two extension points are shown racing Cohmeleon on SoC2 inside one
+//! experiment grid:
+//!
+//! * the `Policy` trait — anything that can map a `SystemSnapshot` to a
+//!   `CoherenceMode` can drive the SoC (a "footprint threshold" heuristic
+//!   here), and
+//! * the agent builder — a learning agent recomposed from non-default
+//!   parts (coarse state space, softmax exploration) without writing a
+//!   policy by hand.
 //!
 //! Run with: `cargo run --release --example custom_policy`
 
+use cohmeleon_repro::core::agent::AgentBuilder;
+use cohmeleon_repro::core::explore::Softmax;
 use cohmeleon_repro::core::policy::{Decision, Policy};
+use cohmeleon_repro::core::space::CoarseSpace;
 use cohmeleon_repro::core::{
     AccelInstanceId, CoherenceMode, ModeSet, State, SystemSnapshot,
 };
@@ -44,10 +50,7 @@ impl Policy for ThresholdPolicy {
         } else {
             available.iter().next().expect("at least one mode")
         };
-        Decision {
-            mode,
-            state: State::from_snapshot(snapshot),
-        }
+        Decision::new(mode, State::from_snapshot(snapshot))
     }
 }
 
@@ -65,6 +68,17 @@ fn main() {
             Box::new(ThresholdPolicy { threshold })
         }))
         .policy(PolicySpec::kind(PolicyKind::Cohmeleon))
+        // A recomposed learning agent: coarse 27-state sensing + softmax
+        // exploration, otherwise the paper's reward and update rule.
+        .policy(PolicySpec::custom("coarse-softmax", |_, iters, seed| {
+            Box::new(
+                AgentBuilder::paper(iters, seed)
+                    .state_space(CoarseSpace)
+                    .exploration(Softmax::default_schedule(iters))
+                    .label("coarse-softmax")
+                    .build(),
+            )
+        }))
         .seed(3)
         .train_iterations(10)
         .build()

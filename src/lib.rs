@@ -39,10 +39,15 @@
 //! See the individual crates for the substance:
 //!
 //! * [`core`] — the paper's contribution: coherence modes, the
-//!   sense/decide/actuate/evaluate framework, the Q-learning module and the
-//!   baseline policies.
+//!   sense/decide/actuate/evaluate framework, the baseline policies, and
+//!   the composable learning-agent stack (`StateSpace` ×
+//!   `ExplorationStrategy` × `ValueStore` × `UpdateRule` behind
+//!   `LearnedPolicy`/`AgentBuilder`; `CohmeleonPolicy` is the
+//!   bit-identical paper-default composition).
 //! * [`exp`] — experiment orchestration: the `Experiment` builder, sweep
-//!   grids, `Serial`/`WorkStealing` executors and streaming result sinks.
+//!   grids, `Serial`/`WorkStealing` executors, streaming result sinks
+//!   (including `JsonlSink`/`CsvSink` persistence), and sweepable
+//!   `LearnerSpec` agent configurations.
 //! * [`soc`] — the simulated SoC substrate (tiles, Table-4 configurations,
 //!   hardware monitors, the accelerator-invocation API).
 //! * [`accel`] — accelerator communication models and the traffic generator.

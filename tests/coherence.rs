@@ -57,10 +57,7 @@ fn mode_switching_on_shared_dataset_stays_coherent() {
             } else {
                 available.iter().next().expect("non-empty")
             };
-            Decision {
-                mode,
-                state: State::from_snapshot(snapshot),
-            }
+            Decision::new(mode, State::from_snapshot(snapshot))
         }
     }
 

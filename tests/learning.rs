@@ -1,6 +1,7 @@
 //! Learning-behaviour integration tests: the RL module interacting with
 //! the full simulated system.
 
+use cohmeleon_repro::core::agent::AgentBuilder;
 use cohmeleon_repro::core::policy::CohmeleonPolicy;
 use cohmeleon_repro::core::qlearn::LearningSchedule;
 use cohmeleon_repro::core::reward::RewardWeights;
@@ -13,13 +14,10 @@ use cohmeleon_repro::workloads::runner::run_protocol;
 #[test]
 fn training_populates_the_q_table() {
     let config = soc1();
-    // A few more phases/threads than `quick()` so training reliably visits
-    // a diverse state set regardless of RNG stream details.
-    let params = GeneratorParams {
-        phases: 4,
-        threads: (2, 8),
-        ..GeneratorParams::quick()
-    };
+    // The coverage preset is tuned to visit a diverse state set (wide
+    // thread range, all four size classes) — the quick suite populates
+    // only 8–14 entries, which says nothing about training breadth.
+    let params = GeneratorParams::coverage();
     let train = generate_app(&config, &params, 1);
     let test = generate_app(&config, &params, 2);
     let mut policy = CohmeleonPolicy::new(
@@ -30,10 +28,61 @@ fn training_populates_the_q_table() {
     run_protocol(&config, &train, &test, &mut policy, 3, 7);
     let populated = policy.table().populated_entries();
     assert!(
-        populated >= 10,
-        "training should visit many (state, action) pairs; got {populated}"
+        populated >= 40,
+        "coverage training should visit a materially wider (state, action) set; got {populated}"
     );
     assert!(populated <= 972);
+}
+
+/// The agent-stack redesign must not move paper results by a single bit:
+/// `LearnedPolicy` assembled from all default components reproduces the
+/// pre-redesign `CohmeleonPolicy`'s exact structural hash *and* Q-table
+/// TSV on the quick suite. The constants were captured from the hardwired
+/// pre-redesign implementation.
+#[test]
+fn golden_default_agent_matches_pre_redesign_cohmeleon() {
+    let config = soc1();
+    let train = generate_app(&config, &GeneratorParams::quick(), 1);
+    let test = generate_app(&config, &GeneratorParams::quick(), 2);
+    let run = |mut policy: Box<dyn cohmeleon_repro::core::Policy>| {
+        let result = run_protocol(&config, &train, &test, policy.as_mut(), 3, 7);
+        (result, policy)
+    };
+
+    let expected_tsv = "# cohmeleon q-table v1
+0	0.3138954143769578	0.2641793208286613	0.06983184272923733	0.5808085349576808
+4	0.24740959526471465	0.8355965387997721	0	0.25
+85	0	0.35463244977502595	0	0
+";
+
+    // The paper-default alias, constructed the classic way.
+    let direct = CohmeleonPolicy::new(
+        RewardWeights::paper_default(),
+        LearningSchedule::paper_default(3),
+        7,
+    );
+    let (result, _) = run(Box::new(direct));
+    assert_eq!(
+        result.structural_hash(),
+        0x49cb7da5f2419441,
+        "modeled behaviour changed for the default agent (regenerate goldens          only for *intentional* model changes)"
+    );
+
+    // The same composition assembled through the builder: identical table.
+    let built = AgentBuilder::paper(3, 7).label("cohmeleon").build();
+    let (result_built, policy) = run(Box::new(built));
+    assert_eq!(result_built.structural_hash(), 0x49cb7da5f2419441);
+    let _ = policy;
+
+    // Re-run the direct agent to extract the trained table for the TSV pin
+    // (the boxed run above type-erased it).
+    let mut tsv_policy = CohmeleonPolicy::new(
+        RewardWeights::paper_default(),
+        LearningSchedule::paper_default(3),
+        7,
+    );
+    run_protocol(&config, &train, &test, &mut tsv_policy, 3, 7);
+    assert_eq!(tsv_policy.table().to_tsv(), expected_tsv);
 }
 
 #[test]
