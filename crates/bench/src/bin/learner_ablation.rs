@@ -2,22 +2,114 @@
 //! × update rules) through the experiment grid and writes the per-cell
 //! JSONL record.
 //!
-//! Usage: `learner_ablation [--out PATH]` (default `learner_ablation.jsonl`;
-//! `COHMELEON_FAST=1` for the reduced grid).
+//! ```text
+//! learner_ablation [--out PATH] [--resume] [--shards N] [--shard I/N]
+//! ```
+//!
+//! Default output is `learner_ablation.jsonl` (`COHMELEON_FAST=1` for the
+//! reduced grid). `--resume` skips cells already recorded at the output
+//! path and appends only the missing ones (a killed sweep finishes
+//! instead of restarting); `--shards N` splits the grid over N worker
+//! processes of this binary and merges their outputs; `--shard I/N` is
+//! the internal worker mode those processes run. All paths end in the
+//! same canonical record stream, byte-identical to a serial run.
+
+use cohmeleon_bench::figures::learner_ablation;
+use cohmeleon_bench::Scale;
+use cohmeleon_exp::{canonical_jsonl, Serial, ShardExecutor, ShardSpec, WorkStealing};
 
 fn main() {
-    let mut out = String::from("learner_ablation.jsonl");
+    let mut out_flag: Option<String> = None;
+    let mut resume = false;
+    let mut shards: Option<usize> = None;
+    let mut shard: Option<ShardSpec> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--out" => out = args.next().expect("--out needs a path"),
+            "--out" => out_flag = Some(args.next().expect("--out needs a path")),
+            "--resume" => resume = true,
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .expect("--shards needs a count")
+                        .parse()
+                        .expect("--shards needs a number"),
+                );
+            }
+            "--shard" => {
+                shard = Some(
+                    args.next()
+                        .expect("--shard needs I/N")
+                        .parse()
+                        .expect("--shard needs I/N"),
+                );
+            }
             other => panic!("unknown argument `{other}`"),
         }
     }
-    let scale = cohmeleon_bench::Scale::from_env();
-    let data = cohmeleon_bench::figures::learner_ablation::run(scale);
-    cohmeleon_bench::figures::learner_ablation::print(&data);
-    cohmeleon_bench::figures::learner_ablation::write_jsonl(&data, &out)
-        .expect("write learner-ablation JSONL");
-    println!("\nwrote {} cell records to {out}", data.records.len());
+    assert!(
+        !(resume && shards.is_some()),
+        "--resume and --shards are exclusive (a sharded run re-merges from scratch)"
+    );
+    assert!(
+        shard.is_none() || out_flag.is_some(),
+        "--shard requires an explicit --out (a worker must not clobber the default checkpoint)"
+    );
+
+    let scale = Scale::from_env();
+    let mut experiment = learner_ablation::experiment(scale);
+    if let Some(out) = &out_flag {
+        experiment = experiment.resume_from(out);
+    }
+    if let Some(n) = shards {
+        experiment = experiment.shards(n);
+    }
+    let grid = experiment.build().expect("learner ablation axes are non-empty");
+    let out = grid
+        .resume_path()
+        .expect("the ablation experiment carries its checkpoint path")
+        .to_owned();
+
+    if let Some(shard) = shard {
+        // Worker mode: run this shard's cells and write its slice.
+        let records = grid.collect_shard_records(shard, &Serial);
+        std::fs::write(&out, canonical_jsonl(&records)).expect("write shard records");
+        println!("learner_ablation: shard {shard}: wrote {} cells", records.len());
+        return;
+    }
+
+    let records = if let Some(n) = grid.shard_count() {
+        let mut dir = out.as_os_str().to_owned();
+        dir.push(".shards");
+        let records = ShardExecutor::new(n)
+            .run(&grid, dir.as_ref(), |shard, shard_out| {
+                vec![
+                    "--shard".to_owned(),
+                    shard.to_string(),
+                    "--out".to_owned(),
+                    shard_out.display().to_string(),
+                ]
+            })
+            .expect("sharded learner ablation");
+        std::fs::write(&out, canonical_jsonl(&records)).expect("write merged records");
+        records
+    } else if resume {
+        let outcome = grid
+            .run_resumable(&out, &WorkStealing::new())
+            .expect("resume learner ablation");
+        println!(
+            "learner_ablation: resumed {} cells from disk, ran {}",
+            outcome.reused, outcome.ran
+        );
+        outcome.records
+    } else {
+        let records = grid.collect_records(&WorkStealing::new());
+        std::fs::write(&out, canonical_jsonl(&records)).expect("write learner-ablation JSONL");
+        records
+    };
+
+    let count = records.len();
+    let data = learner_ablation::data_from_records(records);
+    learner_ablation::print(&data);
+    println!("\nwrote {count} cell records to {}", out.display());
 }

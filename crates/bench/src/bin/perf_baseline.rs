@@ -14,17 +14,24 @@
 //! comparable across machines and checkouts; a third measurement runs one
 //! multi-seed grid under `Serial` and `WorkStealing`, asserts the per-cell
 //! results are bit-identical, and records the parallel speedup
-//! (`sweep_executor`).
+//! (`sweep_executor`). A fourth runs the same grid as two worker
+//! *processes* (re-executions of this binary) through `ShardExecutor`,
+//! verifies the merged record stream bit-identical to Serial, and records
+//! the multi-process speedup (`sweep_shards`) — spawn and grid-rebuild
+//! overhead included, so on a 1-CPU machine expect ≤ 1.0x.
 //!
 //! ```text
 //! perf_baseline [--smoke] [--out FILE] [--reps N]
 //!
-//!   --smoke   correctness-only: run a reduced suite, assert determinism
-//!             and Serial/WorkStealing bit-equality, write nothing
-//!             (unless --out is given). For CI.
+//!   --smoke   correctness-only: run a reduced suite, assert determinism,
+//!             Serial/WorkStealing bit-equality and shard-merge
+//!             bit-equality, write nothing (unless --out is given). For
+//!             CI.
 //!   --out     output JSON path (default BENCH_hotpath.json)
 //!   --reps    timed repetitions; the best (fastest) rep is recorded
 //!             (default 3)
+//!   --shard I/N   internal worker mode for the sharded measurement
+//!             (requires --out)
 //! ```
 //!
 //! Each tracked entry keeps `baseline` (the first measurement ever
@@ -37,7 +44,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use cohmeleon_bench::policies::PolicyKind;
-use cohmeleon_exp::{CellResult, Executor, Experiment, Serial, SweepGrid, WorkStealing};
+use cohmeleon_exp::{
+    canonical_jsonl, merge_records, CellRecord, CellResult, Executor, Experiment, Serial,
+    ShardExecutor, ShardSpec, SweepGrid, WorkStealing,
+};
 use cohmeleon_soc::config::{soc1, soc6};
 use cohmeleon_soc::SocConfig;
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
@@ -55,6 +65,9 @@ struct Args {
     /// `Some` iff `--out` was passed explicitly.
     out_flag: Option<String>,
     reps: usize,
+    /// Internal worker mode for the sharded-sweep measurement: run only
+    /// this shard of the executor-speedup grid and write it to `--out`.
+    shard: Option<ShardSpec>,
 }
 
 impl Args {
@@ -68,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         out_flag: None,
         reps: 3,
+        shard: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -81,8 +95,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--reps: {e}"))?;
             }
+            "--shard" => {
+                args.shard = Some(
+                    it.next()
+                        .ok_or("--shard needs I/N")?
+                        .parse()
+                        .map_err(|e| format!("--shard: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown argument {other}")),
         }
+    }
+    if args.shard.is_some() && args.out_flag.is_none() {
+        return Err("--shard requires an explicit --out".into());
     }
     if args.reps == 0 {
         return Err("--reps must be at least 1".into());
@@ -115,6 +140,22 @@ fn suite_grid(config: SocConfig, params: &GeneratorParams, train_iterations: usi
         .build()
         .expect("tracked suite is non-empty")
 }
+
+/// The executor/shard measurement grid (soc1 × quick over
+/// [`SWEEP_SEEDS`]). Deterministic so a `--shard` worker process
+/// rebuilds exactly the grid its parent is measuring.
+fn sweep_grid() -> SweepGrid {
+    let config = soc1();
+    let train = generate_app(&config, &GeneratorParams::quick(), 1);
+    let test = generate_app(&config, &GeneratorParams::quick(), 2);
+    Experiment::train_test(config, train, test)
+        .policy_kinds(SUITE)
+        .seeds(SWEEP_SEEDS)
+        .train_iterations(TRAIN_ITERATIONS)
+        .build()
+        .expect("sweep grid is non-empty")
+}
+
 
 /// One measured run of `grid` under `executor`. Returns (wall seconds,
 /// simulation events, invocations, total simulated cycles) — everything
@@ -232,9 +273,29 @@ fn smoke(args: &Args) -> ExitCode {
         eprintln!("perf_baseline --smoke: WorkStealing results differ from Serial");
         return ExitCode::FAILURE;
     }
+    // Every shard partition must fold back into the serial record stream
+    // bit for bit (in-process here; the subprocess path is the sweep
+    // binary's CI smoke).
+    let canon = canonical_jsonl(&grid.collect_records(&Serial));
+    for n in [2usize, 3] {
+        let batches: Vec<Vec<CellRecord>> = (0..n)
+            .map(|i| grid.collect_shard_records(ShardSpec::new(i, n), &Serial))
+            .collect();
+        match merge_records(batches, Some(&grid)) {
+            Ok(merged) if canonical_jsonl(&merged) == canon => {}
+            Ok(_) => {
+                eprintln!("perf_baseline --smoke: {n}-shard merge is not bit-identical");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf_baseline --smoke: {n}-shard merge failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!(
         "perf_baseline --smoke: ok ({e1} events, {i1} invocations, {c1} simulated cycles; \
-         executors bit-identical)"
+         executors bit-identical; 2- and 3-shard merges bit-identical)"
     );
     if let Some(out) = &args.out_flag {
         // Smoke runs make no timing claims, so no wall-time fields.
@@ -255,6 +316,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(shard) = args.shard {
+        // Worker mode for the sharded-sweep measurement: run this
+        // shard's cells of the measurement grid and write them out.
+        let records = sweep_grid().collect_shard_records(shard, &Serial);
+        if let Err(e) = std::fs::write(args.out(), canonical_jsonl(&records)) {
+            eprintln!("perf_baseline: shard {shard}: cannot write {}: {e}", args.out());
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
     if args.smoke {
         return smoke(&args);
     }
@@ -276,18 +347,17 @@ fn main() -> ExitCode {
 
     // Executor speedup: one multi-seed grid, Serial vs WorkStealing,
     // verified bit-identical per cell before any number is recorded.
-    let sweep_grid = {
-        let config = soc1();
-        let train = generate_app(&config, &GeneratorParams::quick(), 1);
-        let test = generate_app(&config, &GeneratorParams::quick(), 2);
-        Experiment::train_test(config, train, test)
-            .policy_kinds(SUITE)
-            .seeds(SWEEP_SEEDS)
-            .train_iterations(TRAIN_ITERATIONS)
-            .build()
-            .expect("sweep grid is non-empty")
-    };
-    if cell_hashes(&sweep_grid, &Serial) != cell_hashes(&sweep_grid, &WorkStealing::new()) {
+    let sweep_grid = sweep_grid();
+    // One serial pass serves both references: per-cell hashes against
+    // WorkStealing here, the canonical record stream against the
+    // sharded run below (Serial delivers in dense order, matching
+    // cell_hashes' indexing).
+    let sweep_serial_records = sweep_grid.collect_records(&Serial);
+    let serial_hashes: Vec<u64> = sweep_serial_records
+        .iter()
+        .map(|r| r.structural_hash)
+        .collect();
+    if serial_hashes != cell_hashes(&sweep_grid, &WorkStealing::new()) {
         eprintln!("perf_baseline: WorkStealing results differ from Serial — refusing to record");
         return ExitCode::FAILURE;
     }
@@ -303,6 +373,48 @@ fn main() -> ExitCode {
         "  sweep: {} cells, {threads} threads: serial {serial_wall:.3} s, \
          work-stealing {steal_wall:.3} s → {sweep_speedup:.2}x (bit-identical)",
         sweep_grid.num_cells()
+    );
+
+    // Sharded-process speedup on the same grid: each worker is a
+    // re-execution of this binary (`--shard i/n`); the merged stream is
+    // verified bit-identical to Serial before any number is recorded.
+    const SHARD_COUNT: usize = 2;
+    let shard_dir =
+        std::env::temp_dir().join(format!("cohmeleon-perf-shards-{}", std::process::id()));
+    let serial_canon = canonical_jsonl(&sweep_serial_records);
+    let mut shard_wall = f64::MAX;
+    for _ in 0..args.reps {
+        let start = Instant::now();
+        let merged = ShardExecutor::new(SHARD_COUNT).run(&sweep_grid, &shard_dir, |spec, out| {
+            vec![
+                "--shard".to_owned(),
+                spec.to_string(),
+                "--out".to_owned(),
+                out.display().to_string(),
+            ]
+        });
+        let wall = start.elapsed().as_secs_f64();
+        match merged {
+            Ok(records) if canonical_jsonl(&records) == serial_canon => {
+                shard_wall = shard_wall.min(wall);
+            }
+            Ok(_) => {
+                eprintln!(
+                    "perf_baseline: sharded results differ from Serial — refusing to record"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf_baseline: sharded run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&shard_dir);
+    let shard_speedup = serial_wall / shard_wall;
+    println!(
+        "  sweep: {SHARD_COUNT} worker processes: {shard_wall:.3} s → {shard_speedup:.2}x \
+         vs serial (bit-identical; includes process spawn + rebuild cost)"
     );
 
     let previous = std::fs::read_to_string(args.out()).ok();
@@ -328,7 +440,11 @@ fn main() -> ExitCode {
          \"baseline\": {baseline6},\n    \"current\": {current6}\n  }},\n  \
          \"sweep_executor\": {{\"cells\": {}, \"threads\": {threads}, \
          \"serial_wall_s\": {serial_wall:.6}, \"worksteal_wall_s\": {steal_wall:.6}, \
-         \"speedup\": {sweep_speedup:.2}}}\n}}\n",
+         \"speedup\": {sweep_speedup:.2}}},\n  \
+         \"sweep_shards\": {{\"cells\": {}, \"shards\": {SHARD_COUNT}, \
+         \"serial_wall_s\": {serial_wall:.6}, \"shard_wall_s\": {shard_wall:.6}, \
+         \"speedup\": {shard_speedup:.2}}}\n}}\n",
+        sweep_grid.num_cells(),
         sweep_grid.num_cells()
     );
     if let Err(e) = std::fs::write(args.out(), &report) {

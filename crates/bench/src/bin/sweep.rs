@@ -1,0 +1,317 @@
+//! `sweep` — run, resume, shard and merge grid sweeps from the command
+//! line.
+//!
+//! ```text
+//! sweep run    --grid NAME [--out PATH] [--executor serial|work-stealing]
+//!              [--max-cells N] [--fresh] [--shard I/N]
+//! sweep resume --grid NAME [--out PATH] [--executor ...]
+//! sweep shard  --grid NAME --shards N [--out PATH] [--dir DIR]
+//! sweep merge  --out PATH [--grid NAME] FILE...
+//! ```
+//!
+//! * `run` is resumable by default: cells already in the checkpoint at
+//!   `--out` (default `<grid>.jsonl`) are skipped, fresh cells are
+//!   appended with an fsync each, and a completed run finalises the file
+//!   in canonical order — byte-identical to an uninterrupted serial run.
+//!   `--max-cells N` stops after N fresh cells (the deterministic
+//!   stand-in for a kill; CI uses it for the resume smoke), `--fresh`
+//!   deletes the checkpoint first.
+//! * `resume` is `run` spelled for humans reading a script.
+//! * `shard` re-executes this binary once per shard (`run --grid NAME
+//!   --shard i/n --out DIR/shard-i.jsonl`), waits, merges the shard
+//!   files (verifying every cell exactly once, each owned by its
+//!   writer), and writes the canonical stream to `--out`. Workers
+//!   inherit the environment, so `COHMELEON_FAST=1` propagates.
+//! * `merge` folds already-written shard/partial files into one
+//!   canonical stream; with `--grid` it also verifies completeness
+//!   against that grid.
+//!
+//! Grid names are deterministic functions of `(name, COHMELEON_FAST)` —
+//! see `cohmeleon_bench::sweeps` for why that is load-bearing.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cohmeleon_bench::sweeps::{named_experiment, GRID_NAMES};
+use cohmeleon_bench::Scale;
+use cohmeleon_exp::{
+    canonical_jsonl, merge_files, ResumeOutcome, Serial, ShardExecutor, ShardSpec, SweepGrid,
+    WorkStealing,
+};
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage:\n  sweep run    --grid NAME [--out PATH] [--executor serial|work-stealing]\n               [--max-cells N] [--fresh] [--shard I/N]\n  sweep resume --grid NAME [--out PATH] [--executor ...]\n  sweep shard  --grid NAME --shards N [--out PATH] [--dir DIR]\n  sweep merge  --out PATH [--grid NAME] FILE...\n\ngrids (COHMELEON_FAST=1 for reduced scale):\n",
+    );
+    for (name, what) in GRID_NAMES {
+        out.push_str(&format!("  {name:<10} {what}\n"));
+    }
+    out
+}
+
+/// The two in-process executors, chosen by `--executor`.
+enum Exec {
+    Serial,
+    WorkStealing,
+}
+
+impl Exec {
+    fn parse(s: &str) -> Result<Exec, String> {
+        match s {
+            "serial" => Ok(Exec::Serial),
+            "work-stealing" | "worksteal" | "steal" => Ok(Exec::WorkStealing),
+            other => Err(format!("unknown executor `{other}`")),
+        }
+    }
+
+    fn run_resumable(
+        &self,
+        grid: &SweepGrid,
+        path: &Path,
+        max_cells: usize,
+    ) -> std::io::Result<ResumeOutcome> {
+        match self {
+            Exec::Serial => grid.run_resumable_capped(path, &Serial, max_cells),
+            Exec::WorkStealing => grid.run_resumable_capped(path, &WorkStealing::new(), max_cells),
+        }
+    }
+}
+
+struct CommonArgs {
+    grid: String,
+    out: Option<PathBuf>,
+    executor: Exec,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "run" | "resume" => cmd_run(rest),
+        "shard" => cmd_shard(rest),
+        "merge" => cmd_merge(rest),
+        "--help" | "-h" | "help" => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds the named grid with the checkpoint path resolved: `--out`
+/// overrides the grid's conventional `<name>.jsonl`.
+fn build_grid(common: &CommonArgs) -> Result<(SweepGrid, PathBuf), String> {
+    let mut experiment = named_experiment(&common.grid, Scale::from_env())?;
+    if let Some(out) = &common.out {
+        experiment = experiment.resume_from(out);
+    }
+    let grid = experiment.build().map_err(|e| e.to_string())?;
+    let out = grid
+        .resume_path()
+        .expect("named experiments always carry a checkpoint path")
+        .to_owned();
+    Ok((grid, out))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut common = CommonArgs {
+        grid: String::new(),
+        out: None,
+        executor: Exec::WorkStealing,
+    };
+    let mut max_cells = usize::MAX;
+    let mut fresh = false;
+    let mut shard: Option<ShardSpec> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--grid" => common.grid = it.next().ok_or("--grid needs a name")?.clone(),
+            "--out" => common.out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
+            "--executor" => {
+                common.executor = Exec::parse(it.next().ok_or("--executor needs a name")?)?;
+            }
+            "--max-cells" => {
+                max_cells = it
+                    .next()
+                    .ok_or("--max-cells needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--max-cells: {e}"))?;
+            }
+            "--fresh" => fresh = true,
+            "--shard" => {
+                shard = Some(
+                    it.next()
+                        .ok_or("--shard needs I/N")?
+                        .parse()
+                        .map_err(|e: cohmeleon_exp::shard::ParseShardSpecError| e.to_string())?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if common.grid.is_empty() {
+        return Err(format!("--grid is required\n{}", usage()));
+    }
+    if shard.is_some() && common.out.is_none() {
+        // Without this, a worker would clobber the grid's default
+        // checkpoint file with one shard's slice.
+        return Err("--shard requires an explicit --out".into());
+    }
+    let (grid, out) = build_grid(&common)?;
+
+    if let Some(shard) = shard {
+        // Worker mode: run exactly the owned cells serially and write
+        // this shard's canonical slice (workers are processes — the
+        // parallelism is between them, not inside them).
+        let records = grid.collect_shard_records(shard, &Serial);
+        std::fs::write(&out, canonical_jsonl(&records))
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!(
+            "sweep: shard {shard} of `{}`: wrote {} of {} cells to {}",
+            common.grid,
+            records.len(),
+            grid.num_cells(),
+            out.display()
+        );
+        return Ok(());
+    }
+
+    if fresh {
+        match std::fs::remove_file(&out) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot remove {}: {e}", out.display())),
+        }
+    }
+
+    let outcome = common
+        .executor
+        .run_resumable(&grid, &out, max_cells)
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    if outcome.dropped_tail {
+        println!("sweep: dropped a torn tail line (cell re-run)");
+    }
+    println!(
+        "sweep: `{}`: {} cells reused, {} run → {}",
+        common.grid,
+        outcome.reused,
+        outcome.ran,
+        out.display()
+    );
+    if !outcome.complete {
+        println!(
+            "sweep: interrupted at --max-cells {max_cells}; finish with `sweep resume --grid {} --out {}`",
+            common.grid,
+            out.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_shard(args: &[String]) -> Result<(), String> {
+    let mut common = CommonArgs {
+        grid: String::new(),
+        out: None,
+        executor: Exec::Serial,
+    };
+    let mut shards = 0usize;
+    let mut dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--grid" => common.grid = it.next().ok_or("--grid needs a name")?.clone(),
+            "--out" => common.out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
+            "--shards" => {
+                shards = it
+                    .next()
+                    .ok_or("--shards needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--dir" => dir = Some(PathBuf::from(it.next().ok_or("--dir needs a path")?)),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if common.grid.is_empty() {
+        return Err(format!("--grid is required\n{}", usage()));
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let (grid, out) = build_grid(&common)?;
+    let dir = dir.unwrap_or_else(|| {
+        let mut d = out.as_os_str().to_owned();
+        d.push(".shards");
+        PathBuf::from(d)
+    });
+
+    let grid_name = common.grid.clone();
+    let records = ShardExecutor::new(shards)
+        .run(&grid, &dir, |shard, shard_out| {
+            vec![
+                "run".to_owned(),
+                "--grid".to_owned(),
+                grid_name.clone(),
+                "--shard".to_owned(),
+                shard.to_string(),
+                "--out".to_owned(),
+                shard_out.display().to_string(),
+            ]
+        })
+        .map_err(|e| e.to_string())?;
+    std::fs::write(&out, canonical_jsonl(&records))
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "sweep: `{}` over {shards} worker processes: merged {} cells to {} (shard files in {})",
+        common.grid,
+        records.len(),
+        out.display(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let mut out: Option<PathBuf> = None;
+    let mut grid_name: Option<String> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
+            "--grid" => grid_name = Some(it.next().ok_or("--grid needs a name")?.clone()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument `{other}`\n{}", usage()))
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    let out = out.ok_or_else(|| format!("--out is required\n{}", usage()))?;
+    if files.is_empty() {
+        return Err(format!("merge needs at least one input file\n{}", usage()));
+    }
+    let grid = match &grid_name {
+        Some(name) => Some(
+            named_experiment(name, Scale::from_env())?
+                .build()
+                .map_err(|e| e.to_string())?,
+        ),
+        None => None,
+    };
+    let records = merge_files(files, grid.as_ref()).map_err(|e| e.to_string())?;
+    std::fs::write(&out, canonical_jsonl(&records))
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("sweep: merged {} cells to {}", records.len(), out.display());
+    Ok(())
+}

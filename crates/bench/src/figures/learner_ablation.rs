@@ -4,14 +4,18 @@
 //! state spaces, exploration strategies, value stores and update rules;
 //! this harness sweeps the Cartesian product (3 spaces × 3 strategies ×
 //! 2 update rules, over a sparse store so the extended space stays cheap)
-//! as one [`SweepGrid`] axis and reports every cell normalized against
+//! as one [`SweepGrid`](cohmeleon_exp::SweepGrid) axis and reports every
+//! cell normalized against
 //! the paper's composition — which ablation choices Cohmeleon's results
 //! actually depend on.
+
+use std::collections::HashMap;
 
 use cohmeleon_exp::{
     CellRecord, Experiment, ExplorationKind, JsonlSink, LearnerSpec, StateSpaceKind, StoreKind,
     UpdateKind, WorkStealing,
 };
+use cohmeleon_sim::stats::geometric_mean;
 use cohmeleon_soc::config::soc1;
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
 
@@ -63,33 +67,79 @@ pub fn specs() -> Vec<LearnerSpec> {
     specs
 }
 
-/// Runs the sweep: one scenario (SoC1 train/test), 18 learner cells, one
-/// seed, normalized against the paper agent (cell 0).
-pub fn run(scale: Scale) -> Data {
+/// The sweep as an [`Experiment`] builder: one scenario (SoC1
+/// train/test), the 18 learner cells of [`specs`], one seed, with the
+/// harness's conventional checkpoint path (`learner_ablation.jsonl`)
+/// pre-set so `--resume` runs pick up where a killed sweep stopped. The
+/// binary may override the path or add shards before building.
+pub fn experiment(scale: Scale) -> Experiment {
     let config = soc1();
     let iterations = scale.pick(10, 2);
     let gen_params = scale.pick(GeneratorParams::coverage(), GeneratorParams::quick());
     let train_app = generate_app(&config, &gen_params, 7001);
     let test_app = generate_app(&config, &gen_params, 7002);
-    let specs = specs();
-
-    let grid = Experiment::train_test(config, train_app, test_app)
-        .learners(specs.iter().copied())
+    Experiment::train_test(config, train_app, test_app)
+        .learners(specs().iter().copied())
         .seed(11)
         .train_iterations(iterations)
+        .resume_from("learner_ablation.jsonl")
+}
+
+/// Runs the sweep in-process and normalizes every cell against the paper
+/// agent (cell 0).
+pub fn run(scale: Scale) -> Data {
+    let grid = experiment(scale)
         .build()
         .expect("learner ablation axes are non-empty");
     let results = grid.collect(&WorkStealing::new());
     let records: Vec<CellRecord> = results.iter().map(CellRecord::from_cell).collect();
+    data_from_records(records)
+}
 
-    let arms = results
-        .into_outcomes_against(0)
-        .into_iter()
-        .map(|(cell, o)| Arm {
-            spec: specs[cell.policy],
-            label: grid.policies()[cell.policy].policy_label().to_owned(),
-            norm_time: if cell.policy == 0 { 1.0 } else { o.geo_time },
-            norm_mem: if cell.policy == 0 { 1.0 } else { o.geo_mem },
+/// Rebuilds the ablation table from persisted cell records — what the
+/// `--resume` and `--shards` paths (and any post-hoc figure regeneration
+/// from a JSONL artifact) use instead of re-simulating. The per-phase
+/// normalization is numerically identical to
+/// [`summarize`](cohmeleon_workloads::runner::summarize) on the live
+/// results: both divide the same integer totals in the same order.
+pub fn data_from_records(records: Vec<CellRecord>) -> Data {
+    let specs = specs();
+    let baselines: HashMap<(usize, usize), &CellRecord> = records
+        .iter()
+        .filter(|r| r.policy_index == 0)
+        .map(|r| ((r.scenario_index, r.seed_index), r))
+        .collect();
+    let arms = records
+        .iter()
+        .map(|r| {
+            let (norm_time, norm_mem) = if r.policy_index == 0 {
+                (1.0, 1.0)
+            } else {
+                let base = baselines
+                    .get(&(r.scenario_index, r.seed_index))
+                    .expect("baseline (policy 0) record present for every scenario/seed");
+                let ratios: Vec<(f64, f64)> = r
+                    .phases
+                    .iter()
+                    .zip(&base.phases)
+                    .map(|(p, b)| {
+                        (
+                            p.1 as f64 / b.1.max(1) as f64,
+                            p.2 as f64 / b.2.max(1) as f64,
+                        )
+                    })
+                    .collect();
+                (
+                    geometric_mean(ratios.iter().map(|r| r.0)).unwrap_or(1.0),
+                    geometric_mean(ratios.iter().map(|r| r.1)).unwrap_or(1.0),
+                )
+            };
+            Arm {
+                spec: specs[r.policy_index],
+                label: r.policy.clone(),
+                norm_time,
+                norm_mem,
+            }
         })
         .collect();
     Data { arms, records }
@@ -164,6 +214,33 @@ mod tests {
         // seeds.
         let b = run(Scale::Fast);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn records_rebuild_exactly_the_live_outcomes() {
+        // The record-based normalization must be bit-identical to the
+        // live `summarize` path, or figures regenerated from a JSONL
+        // artifact would drift from figures computed in-process.
+        let grid = experiment(Scale::Fast).build().unwrap();
+        let results = grid.collect(&cohmeleon_exp::Serial);
+        let records: Vec<CellRecord> = results.iter().map(CellRecord::from_cell).collect();
+        let live: Vec<(f64, f64)> = results
+            .into_outcomes_against(0)
+            .into_iter()
+            .map(|(cell, o)| {
+                if cell.policy == 0 {
+                    (1.0, 1.0)
+                } else {
+                    (o.geo_time, o.geo_mem)
+                }
+            })
+            .collect();
+        let rebuilt = data_from_records(records);
+        assert_eq!(rebuilt.arms.len(), live.len());
+        for (arm, (geo_time, geo_mem)) in rebuilt.arms.iter().zip(&live) {
+            assert_eq!(arm.norm_time, *geo_time, "{}", arm.label);
+            assert_eq!(arm.norm_mem, *geo_mem, "{}", arm.label);
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 pub mod figures;
 pub mod scale;
+pub mod sweeps;
 pub mod table;
 
 /// The policy suite now lives in `cohmeleon-exp` (the experiment grid

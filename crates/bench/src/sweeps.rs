@@ -1,0 +1,139 @@
+//! Named sweep grids for the `sweep` command-line harness.
+//!
+//! Sharded runs re-execute the current binary, so a worker process must
+//! be able to rebuild *exactly* the grid its parent is running from
+//! nothing but a name on its command line (grids hold policy-builder
+//! closures — no wire format can carry them). This module is that name
+//! table: every entry is a deterministic function of `(name, scale)`,
+//! which is what makes `sweep run --grid suite --shard 1/3` in a child
+//! process meaningful, and what lets a resumed run trust that the
+//! checkpoint on disk belongs to the grid being resumed (the checkpoint
+//! layer verifies labels and seeds against the rebuilt grid).
+//!
+//! Each experiment comes with its conventional checkpoint path
+//! (`<name>.jsonl`) pre-set via
+//! [`Experiment::resume_from`]; the `sweep` binary overrides it when
+//! `--out` is given.
+
+use cohmeleon_exp::{Experiment, PolicyKind};
+use cohmeleon_soc::config::soc1;
+use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+
+use crate::figures::learner_ablation;
+use crate::Scale;
+
+/// The available grid names with one-line descriptions (for `--help` and
+/// error messages).
+pub const GRID_NAMES: &[(&str, &str)] = &[
+    (
+        "suite",
+        "soc1 quick suite: fixed-non-coh-dma/manual/cohmeleon x 4 seeds (train/test)",
+    ),
+    (
+        "learners",
+        "the 18-composition learner design space on soc1 (state x explore x update)",
+    ),
+    (
+        "paper",
+        "all eight paper policies on soc1 (train/test, one seed)",
+    ),
+];
+
+/// Builds the named experiment at `scale`. The returned builder still
+/// accepts [`Experiment::resume_from`] / [`Experiment::shards`]
+/// overrides before [`Experiment::build`].
+///
+/// # Errors
+///
+/// Returns a message listing the known names for an unknown `name`.
+pub fn named_experiment(name: &str, scale: Scale) -> Result<Experiment, String> {
+    let experiment = match name {
+        "suite" => suite(scale),
+        "learners" => learner_ablation::experiment(scale),
+        "paper" => paper(scale),
+        other => {
+            let known: Vec<&str> = GRID_NAMES.iter().map(|(n, _)| *n).collect();
+            return Err(format!(
+                "unknown grid `{other}` (available: {})",
+                known.join(", ")
+            ));
+        }
+    };
+    Ok(experiment.resume_from(format!("{name}.jsonl")))
+}
+
+/// The tracked three-policy suite on SoC1 (the `perf_baseline` regime):
+/// small and fast, which makes it the CI resume/shard smoke grid.
+fn suite(scale: Scale) -> Experiment {
+    let config = soc1();
+    let params = scale.pick(
+        GeneratorParams::quick(),
+        GeneratorParams {
+            phases: 1,
+            ..GeneratorParams::quick()
+        },
+    );
+    let train = generate_app(&config, &params, 1);
+    let test = generate_app(&config, &params, 2);
+    Experiment::train_test(config, train, test)
+        .policy_kinds([PolicyKind::FixedNonCoh, PolicyKind::Manual, PolicyKind::Cohmeleon])
+        .seeds([1, 2, 3, 4])
+        .train_iterations(scale.pick(2, 1))
+}
+
+/// The full eight-policy comparison on SoC1.
+fn paper(scale: Scale) -> Experiment {
+    let config = soc1();
+    let params = scale.pick(GeneratorParams::coverage(), GeneratorParams::quick());
+    let train = generate_app(&config, &params, 1);
+    let test = generate_app(&config, &params, 2);
+    Experiment::train_test(config, train, test)
+        .policy_kinds(PolicyKind::ALL)
+        .seed(7)
+        .train_iterations(scale.pick(10, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_grid_builds() {
+        for (name, _) in GRID_NAMES {
+            let grid = named_experiment(name, Scale::Fast)
+                .unwrap()
+                .build()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(grid.num_cells() > 0, "{name}");
+            assert_eq!(
+                grid.resume_path().unwrap().to_str().unwrap(),
+                format!("{name}.jsonl"),
+                "{name} carries its conventional checkpoint path"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_alternatives() {
+        let err = named_experiment("nope", Scale::Fast).unwrap_err();
+        assert!(err.contains("suite") && err.contains("learners"), "{err}");
+    }
+
+    #[test]
+    fn rebuilding_a_named_grid_is_deterministic() {
+        // The shard-worker contract: a child process rebuilding the grid
+        // by name must get bit-identical cells.
+        let a = named_experiment("suite", Scale::Fast).unwrap().build().unwrap();
+        let b = named_experiment("suite", Scale::Fast).unwrap().build().unwrap();
+        let cell = cohmeleon_exp::CellId {
+            scenario: 0,
+            policy: 0,
+            seed: 1,
+        };
+        assert_eq!(a.num_cells(), b.num_cells());
+        assert_eq!(
+            a.run_cell(cell).result.structural_hash(),
+            b.run_cell(cell).result.structural_hash()
+        );
+    }
+}

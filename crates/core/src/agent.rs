@@ -78,9 +78,9 @@ where
     /// Assembles an agent from explicit components.
     ///
     /// `store` must cover at least `space.cardinality()` states. The
-    /// `train_iterations` horizon controls when [`begin_iteration`]
-    /// (`Policy::begin_iteration`) auto-freezes the agent; component decay
-    /// schedules are the components' own business.
+    /// `train_iterations` horizon controls when `Policy::begin_iteration`
+    /// auto-freezes the agent; component decay schedules are the
+    /// components' own business.
     #[allow(clippy::too_many_arguments)]
     pub fn with_components(
         label: impl Into<String>,

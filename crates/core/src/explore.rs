@@ -181,6 +181,11 @@ pub struct Softmax {
 }
 
 impl Softmax {
+    /// The default starting temperature used by
+    /// [`default_schedule`](Self::default_schedule) — see there for its
+    /// derivation and how to override it.
+    pub const DEFAULT_TAU0: f64 = 0.2;
+
     /// Temperature decaying linearly from `tau0` toward zero over
     /// `horizon` iterations (floored at a small positive value so the
     /// distribution stays defined while training).
@@ -197,10 +202,37 @@ impl Softmax {
         }
     }
 
-    /// A default comparable to the paper's ε schedule: τ₀ = 0.2 (rewards
-    /// lie in [0, 1], so τ = 0.2 keeps early exploration broad).
+    /// A default comparable to the paper's ε schedule, fixing τ₀ =
+    /// [`Softmax::DEFAULT_TAU0`].
+    ///
+    /// **Where the constant comes from.** The paper only specifies
+    /// ε-greedy, so softmax has no paper-given temperature; τ₀ = 0.2 is
+    /// *our* choice, derived from the reward scale: rewards (and hence
+    /// Q-values) lie in [0, 1], so at τ = 0.2 a Q-gap of 0.2 — a fifth of
+    /// the whole scale — still leaves the worse action `e⁻¹ ≈ 37%` of the
+    /// better one's probability mass. Early exploration stays broad, and
+    /// the linear decay (to a 1% floor; see
+    /// [`begin_iteration`](ExplorationStrategy::begin_iteration)) mirrors
+    /// the ε schedule so learner-ablation comparisons decay on the same
+    /// clock. It has **not** been calibrated against ε-greedy — a
+    /// τ₀-calibration sweep over the learner grid is an open ROADMAP
+    /// item, so treat cross-strategy ablation gaps as provisional.
+    ///
+    /// **Overriding it.** The constant is only baked into this
+    /// convenience constructor (and therefore into
+    /// `LearnerSpec`-driven sweeps, which call it). In-process
+    /// composition can pick any schedule through the builder:
+    ///
+    /// ```
+    /// use cohmeleon_core::agent::AgentBuilder;
+    /// use cohmeleon_core::explore::Softmax;
+    ///
+    /// let agent = AgentBuilder::paper(/*train_iterations=*/ 20, /*seed=*/ 7)
+    ///     .exploration(Softmax::new(0.35, 20)) // hotter start, same horizon
+    ///     .build();
+    /// ```
     pub fn default_schedule(train_iterations: usize) -> Softmax {
-        Softmax::new(0.2, train_iterations)
+        Softmax::new(Softmax::DEFAULT_TAU0, train_iterations)
     }
 
     /// Current temperature.
@@ -269,8 +301,22 @@ pub struct Ucb1 {
 }
 
 impl Ucb1 {
-    /// UCB1 with exploration constant `c` (the classic value is √2;
-    /// rewards here lie in [0, 1], so smaller constants explore less).
+    /// The default exploration constant used by [`Ucb1::default`]:
+    /// c = √2, the classic choice from Auer et al.'s UCB1 analysis,
+    /// whose regret bound assumes rewards in [0, 1] — which is exactly
+    /// this agent's reward range, so the textbook constant applies
+    /// as-is rather than needing rescaling.
+    ///
+    /// As with [`Softmax::DEFAULT_TAU0`], the constant is fixed only in
+    /// the `Default` impl (and therefore in `LearnerSpec`-driven
+    /// sweeps); compose `Ucb1::new(c)` through
+    /// [`AgentBuilder::exploration`](crate::agent::AgentBuilder::exploration)
+    /// to ablate it. A c-calibration sweep is an open ROADMAP item, so
+    /// treat cross-strategy ablation gaps as provisional.
+    pub const DEFAULT_C: f64 = std::f64::consts::SQRT_2;
+
+    /// UCB1 with exploration constant `c` (larger explores more; the
+    /// bonus term is `c·√(ln N / n)` on a [0, 1] Q-scale).
     pub fn new(c: f64) -> Ucb1 {
         Ucb1 { c, counts: Vec::new() }
     }
@@ -286,7 +332,7 @@ impl Ucb1 {
 
 impl Default for Ucb1 {
     fn default() -> Self {
-        Ucb1::new(std::f64::consts::SQRT_2)
+        Ucb1::new(Ucb1::DEFAULT_C)
     }
 }
 

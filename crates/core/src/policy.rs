@@ -13,7 +13,7 @@
 //! * [`ManualPolicy`] — Algorithm 1, the hand-tuned runtime heuristic.
 //! * [`CohmeleonPolicy`] — the Q-learning approach (the contribution),
 //!   now the paper-default composition of the generic
-//!   [`LearnedPolicy`](crate::agent::LearnedPolicy) agent stack.
+//!   [`LearnedPolicy`] agent stack.
 
 use std::collections::HashMap;
 
@@ -84,6 +84,16 @@ pub enum PolicyComplexity {
 pub trait Policy: Send {
     /// A short display name (matching the paper's figure legends where
     /// applicable, e.g. `"cohmeleon"`, `"manual"`, `"fixed-non-coh-dma"`).
+    ///
+    /// **Stability contract.** Names are not just display strings: the
+    /// experiment layer records them in every persisted cell record, and
+    /// resumable sweeps and shard merges *verify* a record's stored name
+    /// against the rebuilt grid's policy labels before trusting it (a
+    /// mismatch means the checkpoint belongs to a different sweep).
+    /// Renaming a policy therefore invalidates existing checkpoints and
+    /// JSONL artifacts — keep names stable across versions; the concrete
+    /// suite names are pinned by `policy_names_are_stable` in this
+    /// module's tests.
     fn name(&self) -> String;
 
     /// Chooses a coherence mode for an invocation of `accel` given the
@@ -569,6 +579,25 @@ mod tests {
         );
         let p = RestrictedPolicy::new(coh, ModeSet::all());
         assert_eq!(p.complexity(), PolicyComplexity::Learned);
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        // These strings are persisted cell-record coordinates: resumable
+        // sweeps and shard merges in `cohmeleon-exp` verify stored
+        // records against them, so changing one silently orphans every
+        // existing checkpoint and JSONL artifact. See `Policy::name`.
+        assert_eq!(FixedPolicy::new(CoherenceMode::NonCohDma).name(), "fixed-non-coh-dma");
+        assert_eq!(FixedPolicy::new(CoherenceMode::LlcCohDma).name(), "fixed-llc-coh-dma");
+        assert_eq!(FixedPolicy::new(CoherenceMode::CohDma).name(), "fixed-coh-dma");
+        assert_eq!(FixedPolicy::new(CoherenceMode::FullCoh).name(), "fixed-full-coh");
+        assert_eq!(RandomPolicy::new(0).name(), "rand");
+        let cohmeleon = CohmeleonPolicy::new(
+            RewardWeights::paper_default(),
+            LearningSchedule::paper_default(10),
+            0,
+        );
+        assert_eq!(cohmeleon.name(), "cohmeleon");
     }
 
     #[test]

@@ -147,7 +147,7 @@ impl StatusTracker {
     /// [`begin`](Self::begin)/[`end`](Self::end) has changed the active
     /// set; repeated decisions against an unchanged system reuse it as is.
     ///
-    /// The returned snapshot is identical to what [`snapshot`] would
+    /// The returned snapshot is identical to what [`snapshot`](Self::snapshot) would
     /// build — same sorted active list, same target fields.
     ///
     /// # Panics

@@ -1,0 +1,519 @@
+//! Checkpointed, resumable sweep runs.
+//!
+//! A long grid sweep should survive being killed: every completed cell is
+//! already on disk as one [`CellRecord`] JSONL line (see
+//! [`JsonlSink`](crate::JsonlSink)), so restarting only needs to *skip*
+//! the cells whose coordinates are present and run the rest. This module
+//! is that layer:
+//!
+//! * [`scan_jsonl_tail`] — a corruption-tolerant loader: a partial run's
+//!   file may end in a torn line (the process died mid-write); the scan
+//!   accepts every complete line and drops at most the final, incomplete
+//!   one. A malformed line *before* the tail is real corruption and is
+//!   reported as an error instead.
+//! * [`Checkpoint`] — the loaded state of a partial run, validated against
+//!   the grid it resumes (coordinates in range, labels and seeds
+//!   matching), deduplicated by cell coordinate (identical duplicates
+//!   collapse; conflicting ones are an error).
+//! * [`SweepGrid::run_resumable`] — the one-call driver: load the
+//!   checkpoint, run only the missing cells, append each fresh record
+//!   with an fsync (one durable line per completed cell), and — once the
+//!   grid is complete — atomically rewrite the file in canonical dense
+//!   order, so the final artifact is **bit-identical** to an
+//!   uninterrupted [`Serial`](crate::Serial) run no matter how many times
+//!   the sweep was interrupted or which executor ran it.
+//!
+//! The write discipline is: the file is opened in *append* mode and each
+//! record is written as a single `write_all` of `line + "\n"` followed by
+//! `File::sync_data`. Cells cost seconds of simulation; an fsync per cell
+//! is noise, and it means a kill at any instant loses at most the line
+//! being written — exactly the case [`scan_jsonl_tail`] tolerates. Append
+//! mode also means two processes accidentally resuming the same file
+//! interleave whole lines rather than bytes; the duplicated cells they
+//! produce are byte-identical and collapse on the next load. (Racing
+//! resumes waste work and are not a supported workflow — sharding is —
+//! but they degrade to duplicates, not corruption.)
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::executor::Executor;
+use crate::grid::{CellId, SweepGrid};
+use crate::sink::{CellRecord, ResultSink};
+
+/// A cell's stable coordinate on its grid:
+/// `(scenario_index, policy_index, seed_index)`.
+///
+/// Checkpoint dedup and shard merging key on this triple; lexicographic
+/// order over it equals the grid's dense
+/// [`cell_index`](SweepGrid::cell_index) order, which is what makes the
+/// canonical record stream well-defined without the grid in hand.
+pub type CellCoord = (usize, usize, usize);
+
+impl CellRecord {
+    /// This record's [`CellCoord`].
+    pub fn coord(&self) -> CellCoord {
+        (self.scenario_index, self.policy_index, self.seed_index)
+    }
+}
+
+/// The result of tolerantly scanning a partial run's JSONL text.
+#[derive(Debug, Clone)]
+pub struct ScannedRun {
+    /// Every record parsed from a complete line, in file order (not
+    /// deduplicated — [`Checkpoint::load`] does that).
+    pub records: Vec<CellRecord>,
+    /// Byte length of the file prefix made of complete, parseable lines.
+    /// Resuming truncates the file to this length before appending.
+    pub valid_len: u64,
+    /// Whether a torn tail line (truncated mid-write) was dropped.
+    pub dropped_tail: bool,
+}
+
+/// Scans a partial run's JSONL, tolerating a torn final line.
+///
+/// Rules: a newline-terminated line that parses is a record; an empty
+/// line is skipped; the *final* line is dropped (and reported via
+/// [`ScannedRun::dropped_tail`]) if it fails to parse **or** lacks its
+/// trailing newline — both are what a mid-write kill leaves behind. A
+/// malformed line anywhere else is corruption, not interruption, and is
+/// returned as an error naming the line.
+///
+/// # Errors
+///
+/// Returns `"line N: ..."` for a malformed non-tail line.
+pub fn scan_jsonl_tail(text: &str) -> Result<ScannedRun, String> {
+    let mut records = Vec::new();
+    let mut valid_len = 0u64;
+    let mut dropped_tail = false;
+    let mut pos = 0usize;
+    let mut line_no = 0usize;
+    while pos < text.len() {
+        line_no += 1;
+        let (end, terminated) = match text[pos..].find('\n') {
+            Some(i) => (pos + i + 1, true),
+            None => (text.len(), false),
+        };
+        let line = text[pos..end].trim_end_matches('\n');
+        let is_tail = end == text.len();
+        if line.trim().is_empty() {
+            if terminated {
+                valid_len = end as u64;
+            }
+            pos = end;
+            continue;
+        }
+        match CellRecord::from_json(line) {
+            Ok(record) if terminated => {
+                records.push(record);
+                valid_len = end as u64;
+            }
+            Ok(_) => {
+                // Parseable but unterminated: the newline of the
+                // line+newline write never hit the disk. Re-running the
+                // cell reproduces the identical line, so drop it rather
+                // than special-case an append that must splice a newline.
+                dropped_tail = true;
+            }
+            Err(e) if is_tail => {
+                dropped_tail = true;
+                let _ = e;
+            }
+            Err(e) => return Err(format!("line {line_no}: {e}")),
+        }
+        pos = end;
+    }
+    Ok(ScannedRun {
+        records,
+        valid_len,
+        dropped_tail,
+    })
+}
+
+/// Serialises records as the canonical JSONL stream: one
+/// [`CellRecord::to_json`] line per record, sorted by [`CellCoord`] —
+/// byte-identical to what a clean [`Serial`](crate::Serial) run streams
+/// through a [`JsonlSink`](crate::JsonlSink), whatever order the records
+/// were produced in.
+pub fn canonical_jsonl(records: &[CellRecord]) -> String {
+    let mut sorted: Vec<&CellRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.coord());
+    let mut out = String::new();
+    for record in sorted {
+        out.push_str(&record.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Sorts records in place into canonical (dense cell-coordinate) order.
+pub fn sort_canonical(records: &mut [CellRecord]) {
+    records.sort_by_key(|r| r.coord());
+}
+
+/// The loaded, validated state of a partial run on disk.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    records: Vec<CellRecord>,
+    by_coord: HashMap<CellCoord, usize>,
+    valid_len: u64,
+    dropped_tail: bool,
+    duplicates: usize,
+}
+
+fn invalid_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Checks that `record` could have been produced by a cell of `grid`:
+/// coordinates in range, scenario/policy labels matching the grid's axes,
+/// and the effective seed matching [`SweepGrid::cell_seed`]. This is what
+/// stops a checkpoint from silently resuming *someone else's* sweep.
+pub(crate) fn validate_record(record: &CellRecord, grid: &SweepGrid) -> Result<(), String> {
+    let (s, p, k) = record.coord();
+    if s >= grid.scenarios().len() || p >= grid.policies().len() || k >= grid.seeds().len() {
+        return Err(format!(
+            "cell ({s}, {p}, {k}) is outside the {}x{}x{} grid",
+            grid.scenarios().len(),
+            grid.policies().len(),
+            grid.seeds().len()
+        ));
+    }
+    let scenario = &grid.scenarios()[s].label;
+    if record.scenario != *scenario {
+        return Err(format!(
+            "cell ({s}, {p}, {k}) names scenario `{}` but the grid has `{scenario}`",
+            record.scenario
+        ));
+    }
+    let policy = grid.policies()[p].policy_label();
+    if record.policy != policy {
+        return Err(format!(
+            "cell ({s}, {p}, {k}) names policy `{}` but the grid has `{policy}`",
+            record.policy
+        ));
+    }
+    let cell = CellId {
+        scenario: s,
+        policy: p,
+        seed: k,
+    };
+    let seed = grid.cell_seed(cell);
+    if record.seed != seed {
+        return Err(format!(
+            "cell ({s}, {p}, {k}) ran under seed {} but the grid derives {seed}",
+            record.seed
+        ));
+    }
+    Ok(())
+}
+
+impl Checkpoint {
+    /// Loads the partial run at `path` and validates it against `grid`.
+    ///
+    /// A missing file is an empty checkpoint (a fresh run). Records are
+    /// deduplicated by [`CellCoord`]: byte-identical duplicates collapse
+    /// (overlapping resumed runs produce them legitimately); duplicates
+    /// that *disagree* are an error, as is any record that does not match
+    /// the grid (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file; `InvalidData` for mid-file
+    /// corruption, grid mismatches, or conflicting duplicates.
+    pub fn load(path: impl AsRef<Path>, grid: &SweepGrid) -> io::Result<Checkpoint> {
+        let text = match std::fs::read_to_string(path.as_ref()) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let scanned = scan_jsonl_tail(&text).map_err(invalid_data)?;
+        let mut records: Vec<CellRecord> = Vec::with_capacity(scanned.records.len());
+        let mut by_coord = HashMap::with_capacity(scanned.records.len());
+        let mut duplicates = 0usize;
+        for record in scanned.records {
+            validate_record(&record, grid).map_err(invalid_data)?;
+            match by_coord.entry(record.coord()) {
+                std::collections::hash_map::Entry::Occupied(existing) => {
+                    let prior: &CellRecord = &records[*existing.get()];
+                    if *prior != record {
+                        return Err(invalid_data(format!(
+                            "cell {:?} appears twice with different results",
+                            record.coord()
+                        )));
+                    }
+                    duplicates += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(records.len());
+                    records.push(record);
+                }
+            }
+        }
+        Ok(Checkpoint {
+            records,
+            by_coord,
+            valid_len: scanned.valid_len,
+            dropped_tail: scanned.dropped_tail,
+            duplicates,
+        })
+    }
+
+    /// The deduplicated records, in file order.
+    pub fn records(&self) -> &[CellRecord] {
+        &self.records
+    }
+
+    /// Number of distinct cells already on disk.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no cell has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether a torn tail line was dropped during loading.
+    pub fn dropped_tail(&self) -> bool {
+        self.dropped_tail
+    }
+
+    /// How many byte-identical duplicate lines were collapsed.
+    pub fn duplicates(&self) -> usize {
+        self.duplicates
+    }
+
+    /// Whether `coord` already has a record.
+    pub fn contains(&self, coord: CellCoord) -> bool {
+        self.by_coord.contains_key(&coord)
+    }
+
+    /// Dense indices of `grid` cells **not** in this checkpoint, in dense
+    /// order — the work a resumed run still owes.
+    pub fn pending(&self, grid: &SweepGrid) -> Vec<usize> {
+        grid.cells()
+            .enumerate()
+            .filter(|(_, cell)| !self.contains((cell.scenario, cell.policy, cell.seed)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// What a resumable run did, and the complete record set if it finished.
+#[derive(Debug, Clone)]
+pub struct ResumeOutcome {
+    /// All records, in canonical dense order. Complete exactly when
+    /// [`complete`](Self::complete) is true (a capped run returns only
+    /// what exists so far).
+    pub records: Vec<CellRecord>,
+    /// Cells found on disk and skipped.
+    pub reused: usize,
+    /// Cells simulated by this run.
+    pub ran: usize,
+    /// Whether a torn tail line was dropped (and its cell re-run).
+    pub dropped_tail: bool,
+    /// Whether every grid cell now has a record. Only a complete run
+    /// rewrites the file into canonical order; an interrupted (capped)
+    /// run leaves it append-ordered for the next resume.
+    pub complete: bool,
+}
+
+/// A [`ResultSink`] that appends one durable JSONL line per cell: a
+/// single `write_all` followed by `sync_data`, so a kill can tear at most
+/// the line in flight.
+struct AppendSink<'a> {
+    file: &'a mut File,
+    records: &'a mut Vec<CellRecord>,
+    ran: &'a mut usize,
+}
+
+impl ResultSink for AppendSink<'_> {
+    fn on_cell(&mut self, result: crate::grid::CellResult) {
+        let record = CellRecord::from_cell(&result);
+        let line = format!("{}\n", record.to_json());
+        // Write errors panic, as for JsonlSink: a sweep that silently
+        // loses results is worse than one that stops.
+        self.file
+            .write_all(line.as_bytes())
+            .expect("append checkpoint record");
+        self.file.sync_data().expect("fsync checkpoint record");
+        self.records.push(record);
+        *self.ran += 1;
+    }
+}
+
+/// Atomically replaces `path` with the canonical serialisation of
+/// `records`: write a sibling `<path>.tmp`, fsync it, then rename over
+/// `path` — a kill during finalisation leaves either the old
+/// (append-ordered, still resumable) file or the new canonical one,
+/// never a mix.
+fn finalize_canonical(path: &Path, records: &[CellRecord]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(canonical_jsonl(records).as_bytes())?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+impl SweepGrid {
+    /// Runs this grid resumably against the checkpoint file at `path`.
+    ///
+    /// Loads the checkpoint (a missing file means a fresh run), skips
+    /// every cell already recorded, runs the rest under `executor`
+    /// appending one fsynced line per completed cell, and finally
+    /// rewrites the file atomically in canonical dense order — so the
+    /// finished artifact is byte-identical to an uninterrupted
+    /// [`Serial`](crate::Serial) run regardless of interruptions,
+    /// executor, or how the work was split across resumes.
+    ///
+    /// [`Experiment::resume_from`](crate::Experiment::resume_from)
+    /// records the intended path on the grid
+    /// ([`resume_path`](Self::resume_path)); harnesses conventionally
+    /// pass that.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O or validation errors (see [`Checkpoint::load`]).
+    pub fn run_resumable<E: Executor + ?Sized>(
+        &self,
+        path: impl AsRef<Path>,
+        executor: &E,
+    ) -> io::Result<ResumeOutcome> {
+        self.run_resumable_capped(path, executor, usize::MAX)
+    }
+
+    /// [`run_resumable`](Self::run_resumable), but simulating at most
+    /// `max_cells` missing cells before returning — the deterministic
+    /// stand-in for "the sweep got killed part-way" that tests and the CI
+    /// resume smoke rely on. A capped run never canonicalises the file;
+    /// resume it (capped or not) to make progress and finalise.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_resumable`](Self::run_resumable).
+    pub fn run_resumable_capped<E: Executor + ?Sized>(
+        &self,
+        path: impl AsRef<Path>,
+        executor: &E,
+        max_cells: usize,
+    ) -> io::Result<ResumeOutcome> {
+        let path = path.as_ref();
+        let checkpoint = Checkpoint::load(path, self)?;
+        let pending = checkpoint.pending(self);
+        let todo = &pending[..pending.len().min(max_cells)];
+        let complete = todo.len() == pending.len();
+        let reused = checkpoint.len();
+        let dropped_tail = checkpoint.dropped_tail();
+        let valid_len = checkpoint.valid_len;
+        let mut records = checkpoint.records;
+
+        // Append mode: every record line lands atomically at EOF, so even
+        // two processes resuming the same checkpoint interleave whole
+        // lines, never bytes — their duplicated cells then collapse on
+        // the next load instead of corrupting the file.
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        // Cut off the torn tail (if any) so appends start on a line
+        // boundary (append mode repositions to the new EOF by itself).
+        file.set_len(valid_len)?;
+        let mut ran = 0usize;
+        {
+            let mut sink = AppendSink {
+                file: &mut file,
+                records: &mut records,
+                ran: &mut ran,
+            };
+            self.execute_subset(todo, executor, &mut sink);
+        }
+        file.sync_data()?;
+        drop(file);
+
+        sort_canonical(&mut records);
+        if complete {
+            finalize_canonical(path, &records)?;
+        }
+        Ok(ResumeOutcome {
+            records,
+            reused,
+            ran,
+            dropped_tail,
+            complete,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(coord: CellCoord) -> CellRecord {
+        CellRecord {
+            scenario_index: coord.0,
+            policy_index: coord.1,
+            seed_index: coord.2,
+            scenario: "soc1".into(),
+            policy: format!("p{}", coord.1),
+            seed: 7,
+            total_cycles: 100 + coord.2 as u64,
+            total_offchip: 3,
+            invocations: 2,
+            structural_hash: 0xabc,
+            phases: vec![("phase-0".into(), 100, 3)],
+        }
+    }
+
+    #[test]
+    fn scan_accepts_complete_lines_and_drops_torn_tail() {
+        let a = record((0, 0, 0)).to_json();
+        let b = record((0, 1, 0)).to_json();
+        let full = format!("{a}\n{b}\n");
+        let scanned = scan_jsonl_tail(&full).unwrap();
+        assert_eq!(scanned.records.len(), 2);
+        assert_eq!(scanned.valid_len, full.len() as u64);
+        assert!(!scanned.dropped_tail);
+
+        // Torn mid-line tail: only the complete prefix survives.
+        let torn = format!("{a}\n{}", &b[..b.len() / 2]);
+        let scanned = scan_jsonl_tail(&torn).unwrap();
+        assert_eq!(scanned.records.len(), 1);
+        assert_eq!(scanned.valid_len, (a.len() + 1) as u64);
+        assert!(scanned.dropped_tail);
+
+        // A parseable but unterminated tail is also treated as torn.
+        let unterminated = format!("{a}\n{b}");
+        let scanned = scan_jsonl_tail(&unterminated).unwrap();
+        assert_eq!(scanned.records.len(), 1);
+        assert!(scanned.dropped_tail);
+    }
+
+    #[test]
+    fn scan_rejects_mid_file_corruption() {
+        let a = record((0, 0, 0)).to_json();
+        let b = record((0, 1, 0)).to_json();
+        let corrupt = format!("{a}\nnot json\n{b}\n");
+        let err = scan_jsonl_tail(&corrupt).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn canonical_jsonl_sorts_by_coordinate() {
+        let records = vec![record((0, 1, 1)), record((0, 0, 0)), record((0, 1, 0))];
+        let text = canonical_jsonl(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            CellRecord::from_json(lines[0]).unwrap().coord(),
+            (0, 0, 0)
+        );
+        assert_eq!(
+            CellRecord::from_json(lines[2]).unwrap().coord(),
+            (0, 1, 1)
+        );
+    }
+}

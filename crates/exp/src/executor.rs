@@ -6,6 +6,13 @@
 //! Figure 8 training curves) can all share one scheduling implementation.
 //! Because every task is a pure function of its index, **scheduling can
 //! never change results**, only wall time.
+//!
+//! Executors schedule closures *within* one process. Scaling past one
+//! process is the [`shard`](crate::shard) module's job: a
+//! [`ShardExecutor`](crate::ShardExecutor) runs whole grid slices in
+//! worker subprocesses and cannot implement this trait (closures don't
+//! cross process boundaries) — each worker instead runs its slice
+//! through one of these executors internally.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

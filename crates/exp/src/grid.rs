@@ -6,10 +6,11 @@
 //! train-iteration count into a validated [`SweepGrid`]. Each grid *cell*
 //! is one `(scenario, policy, seed)` tuple; running a cell instantiates a
 //! fresh policy and a fresh SoC per application run, so cells are fully
-//! independent and an [`Executor`](crate::Executor) may run them in any
+//! independent and an [`Executor`] may run them in any
 //! order — including in parallel — without changing any result bit.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use cohmeleon_core::Policy;
@@ -239,6 +240,8 @@ pub struct Experiment {
     train_iterations: usize,
     protocol: Protocol,
     options: EngineOptions,
+    resume_from: Option<PathBuf>,
+    shards: Option<usize>,
 }
 
 impl Experiment {
@@ -328,6 +331,79 @@ impl Experiment {
         self
     }
 
+    /// Makes the sweep resumable: cells recorded in the JSONL checkpoint
+    /// at `path` are skipped and only missing cells run, each appended to
+    /// the checkpoint as it completes (see
+    /// [`SweepGrid::run_resumable`](crate::SweepGrid::run_resumable) for
+    /// the durability and bit-identity guarantees).
+    ///
+    /// ```
+    /// use cohmeleon_exp::{Experiment, PolicyKind, Serial};
+    /// use cohmeleon_soc::config::soc1;
+    /// use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+    ///
+    /// let dir = std::env::temp_dir()
+    ///     .join(format!("cohmeleon-resume-doctest-{}", std::process::id()));
+    /// std::fs::create_dir_all(&dir).unwrap();
+    /// let path = dir.join("run.jsonl");
+    /// let _ = std::fs::remove_file(&path);
+    ///
+    /// let config = soc1();
+    /// let params = GeneratorParams { phases: 1, ..GeneratorParams::quick() };
+    /// let app = generate_app(&config, &params, 1);
+    /// let grid = Experiment::evaluate(config, app)
+    ///     .policy_kinds([PolicyKind::FixedNonCoh, PolicyKind::Manual])
+    ///     .seed(7)
+    ///     .resume_from(&path)
+    ///     .build()
+    ///     .unwrap();
+    ///
+    /// // The first run simulates both cells and checkpoints them.
+    /// let first = grid.run_resumable(grid.resume_path().unwrap(), &Serial).unwrap();
+    /// assert_eq!((first.reused, first.ran), (0, 2));
+    ///
+    /// // A re-run finds every cell on disk and simulates nothing.
+    /// let again = grid.run_resumable(grid.resume_path().unwrap(), &Serial).unwrap();
+    /// assert_eq!((again.reused, again.ran), (2, 0));
+    /// assert_eq!(again.records, first.records);
+    /// # std::fs::remove_file(&path).unwrap();
+    /// ```
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Experiment {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Declares the intended shard count for multi-process runs (clamped
+    /// to at least 1). The grid itself never spawns processes — shard
+    /// `i` of `n` owns the cells whose dense index satisfies
+    /// `index % n == i`, and harnesses drive
+    /// [`ShardExecutor`](crate::ShardExecutor) with that partition (see
+    /// the `sweep` binary in `cohmeleon-bench`).
+    ///
+    /// ```
+    /// use cohmeleon_exp::{Experiment, PolicyKind, ShardSpec};
+    /// use cohmeleon_soc::config::soc1;
+    /// use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+    ///
+    /// let config = soc1();
+    /// let app = generate_app(&config, &GeneratorParams::quick(), 1);
+    /// let grid = Experiment::evaluate(config, app)
+    ///     .policy_kinds([PolicyKind::FixedNonCoh, PolicyKind::Manual])
+    ///     .seeds([1, 2, 3])
+    ///     .shards(2)
+    ///     .build()
+    ///     .unwrap();
+    ///
+    /// // Six cells, dealt round-robin by stable dense index.
+    /// assert_eq!(grid.shard_count(), Some(2));
+    /// assert_eq!(grid.shard_cells(ShardSpec::new(0, 2)), [0, 2, 4]);
+    /// assert_eq!(grid.shard_cells(ShardSpec::new(1, 2)), [1, 3, 5]);
+    /// ```
+    pub fn shards(mut self, shards: usize) -> Experiment {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
     /// Validates the axes and produces the grid.
     pub fn build(self) -> Result<SweepGrid, ExperimentError> {
         if self.scenarios.is_empty() {
@@ -351,6 +427,8 @@ impl Experiment {
             train_iterations: self.train_iterations,
             protocol: self.protocol,
             options: self.options,
+            resume_from: self.resume_from,
+            shards: self.shards,
         })
     }
 }
@@ -401,6 +479,8 @@ pub struct SweepGrid {
     train_iterations: usize,
     protocol: Protocol,
     options: EngineOptions,
+    resume_from: Option<PathBuf>,
+    shards: Option<usize>,
 }
 
 impl SweepGrid {
@@ -427,6 +507,17 @@ impl SweepGrid {
     /// The cell protocol.
     pub fn protocol(&self) -> Protocol {
         self.protocol
+    }
+
+    /// The checkpoint path set by
+    /// [`Experiment::resume_from`], if any.
+    pub fn resume_path(&self) -> Option<&Path> {
+        self.resume_from.as_deref()
+    }
+
+    /// The shard count set by [`Experiment::shards`], if any.
+    pub fn shard_count(&self) -> Option<usize> {
+        self.shards
     }
 
     /// Total number of cells (scenarios × policies × seeds).
@@ -503,6 +594,41 @@ impl SweepGrid {
         executor.run(
             self.num_cells(),
             &|i| self.run_cell(self.cell_at(i)),
+            &mut |_, result| sink.on_cell(result),
+        );
+        sink.on_grid_complete(self);
+    }
+
+    /// Runs every cell under `executor` and collects one persistable
+    /// [`CellRecord`](crate::CellRecord) per cell, in canonical dense
+    /// order regardless of the executor's completion order — the
+    /// in-memory equivalent of streaming through a
+    /// [`JsonlSink`](crate::JsonlSink) and reading the file back.
+    pub fn collect_records<E: Executor + ?Sized>(
+        &self,
+        executor: &E,
+    ) -> Vec<crate::sink::CellRecord> {
+        let mut records = Vec::with_capacity(self.num_cells());
+        self.execute(executor, &mut |result: CellResult| {
+            records.push(crate::sink::CellRecord::from_cell(&result));
+        });
+        crate::checkpoint::sort_canonical(&mut records);
+        records
+    }
+
+    /// Executes only the cells at the given dense `indices` (each exactly
+    /// once), streaming each result to `sink` — the primitive behind
+    /// resumed runs (skip what a checkpoint holds) and shard workers (run
+    /// the cells a [`ShardSpec`](crate::ShardSpec) owns).
+    pub fn execute_subset<E: Executor + ?Sized>(
+        &self,
+        indices: &[usize],
+        executor: &E,
+        sink: &mut dyn ResultSink,
+    ) {
+        executor.run(
+            indices.len(),
+            &|i| self.run_cell(self.cell_at(indices[i])),
             &mut |_, result| sink.on_cell(result),
         );
         sink.on_grid_complete(self);

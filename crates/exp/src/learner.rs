@@ -10,6 +10,18 @@
 //! [`SweepGrid`](crate::SweepGrid) treat "which learner" as one more axis,
 //! exactly like seeds and scenarios (see the `learner_ablation` harness in
 //! `cohmeleon-bench`).
+//!
+//! Two stability notes. The string form doubles as the cell's *policy
+//! label* ([`LearnerSpec::label`]), which persisted records and resumed
+//! sweeps verify against — treat it like the policy names in
+//! `cohmeleon_core::Policy::name`, i.e. never rename a variant's label.
+//! And the non-default exploration strategies are built with their fixed
+//! documented constants
+//! ([`Softmax::DEFAULT_TAU0`](cohmeleon_core::explore::Softmax::DEFAULT_TAU0),
+//! [`Ucb1::DEFAULT_C`](cohmeleon_core::explore::Ucb1::DEFAULT_C)); those
+//! constants are uncalibrated against the paper's ε schedule, so read
+//! cross-strategy ablation gaps with that caveat (their rustdoc explains
+//! the derivation and how to override via `AgentBuilder`).
 
 use std::fmt;
 use std::str::FromStr;

@@ -24,6 +24,17 @@
 //!   (`"table3/eps-greedy/dense/blend"` is the paper's), and
 //!   [`Experiment::learners`] puts whole learner sweeps on the policy
 //!   axis. See the `learner_ablation` harness in `cohmeleon-bench`.
+//! * [`checkpoint`] — resumable sweeps: [`Experiment::resume_from`] +
+//!   [`SweepGrid::run_resumable`] skip cells already recorded on disk,
+//!   append fresh ones durably (one fsynced JSONL line per cell, with a
+//!   corruption-tolerant tail scan on load), and finalise the file in
+//!   canonical order, byte-identical to an uninterrupted [`Serial`] run.
+//! * [`shard`] — multi-process sweeps: [`ShardSpec`] deals cells
+//!   round-robin by stable dense index, [`ShardExecutor`] re-executes the
+//!   current binary once per shard (`--shard i/n --out shard-i.jsonl`; no
+//!   network, no serialized closures), and [`merge_records`] folds the
+//!   shard files back into the canonical stream, verifying every cell
+//!   appears exactly once.
 //!
 //! # Quickstart
 //!
@@ -75,12 +86,19 @@
 //! ([`Protocol::EvaluateOnly`]), so a one-cell grid reproduces the old free
 //! functions bit for bit.
 
+#![warn(missing_docs)]
+
+pub mod checkpoint;
 pub mod executor;
 pub mod grid;
 pub mod learner;
 pub mod policies;
+pub mod shard;
 pub mod sink;
 
+pub use checkpoint::{
+    canonical_jsonl, scan_jsonl_tail, CellCoord, Checkpoint, ResumeOutcome, ScannedRun,
+};
 pub use executor::{Executor, Serial, WorkStealing};
 pub use grid::{
     CellId, CellResult, Experiment, ExperimentError, GridResults, PolicySpec, Protocol,
@@ -90,4 +108,5 @@ pub use learner::{
     ExplorationKind, LearnerSpec, StateSpaceKind, StoreKind, UpdateKind,
 };
 pub use policies::{build_policy, policy_suite, PolicyKind};
+pub use shard::{merge_files, merge_records, MergeError, ShardError, ShardExecutor, ShardSpec};
 pub use sink::{read_jsonl, CellRecord, CollectSink, CsvSink, JsonlSink, ResultSink};

@@ -58,6 +58,11 @@ impl PolicyKind {
 
     /// The paper-legend display name — identical to the
     /// [`Policy::name`] of the policy [`build_policy`] instantiates.
+    ///
+    /// Like policy names, these labels are persisted cell-record
+    /// coordinates: checkpointed sweeps and shard merges verify stored
+    /// records against them, so they must stay stable across versions
+    /// (see the stability contract on [`Policy::name`]).
     pub fn label(self) -> &'static str {
         match self {
             PolicyKind::FixedNonCoh => "fixed-non-coh-dma",

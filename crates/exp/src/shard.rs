@@ -1,0 +1,504 @@
+//! Multi-process sharded sweeps: split a grid across worker processes of
+//! the current binary and merge their JSONL outputs back into one
+//! canonical record stream.
+//!
+//! Why a separate mechanism instead of another executor: the
+//! [`Executor`] trait schedules *closures* inside one
+//! process; a shard worker is a whole new process that must rebuild the
+//! grid from its own command line (grids contain policy-builder closures,
+//! which no wire format can carry). So sharding is cooperative: the
+//! harness exposes a worker mode (`--shard i/n --out shard-i.jsonl`) that
+//! reconstructs the same grid deterministically, and [`ShardExecutor`]
+//! re-executes the current binary (`std::env::current_exe`) once per
+//! shard, waits, then merges — no network, no serialization of code, no
+//! external dependencies.
+//!
+//! The partition is deterministic and stable: shard *i* of *n* owns every
+//! cell whose dense [`cell_index`](SweepGrid::cell_index) satisfies
+//! `index % n == i` ([`ShardSpec::owns`]). Cells are pure functions of
+//! their coordinates, so any partition of them produces records that
+//! [`merge_records`] can fold into a stream bit-identical to a
+//! [`Serial`](crate::Serial) run — and the merge *verifies* that: every
+//! cell exactly once, no conflicting duplicates, canonical order.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus};
+use std::str::FromStr;
+
+use crate::checkpoint::{sort_canonical, validate_record, CellCoord};
+use crate::executor::Executor;
+use crate::grid::SweepGrid;
+use crate::sink::{read_jsonl, CellRecord, ResultSink};
+
+/// Which slice of a grid a worker owns: shard `index` of `count`.
+///
+/// Parses from and prints as `"i/n"` (zero-based), the form the worker
+/// CLI flags use: `--shard 0/3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    index: usize,
+    count: usize,
+}
+
+impl ShardSpec {
+    /// Shard `index` of `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `index >= count` (programmer error;
+    /// the `FromStr` form returns an error instead).
+    pub fn new(index: usize, count: usize) -> ShardSpec {
+        assert!(count > 0, "shard count must be at least 1");
+        assert!(index < count, "shard index {index} out of {count}");
+        ShardSpec { index, count }
+    }
+
+    /// The whole grid as one shard (`0/1`).
+    pub fn whole() -> ShardSpec {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// This shard's zero-based index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether this shard owns the cell at `dense_index`.
+    pub fn owns(&self, dense_index: usize) -> bool {
+        dense_index % self.count == self.index
+    }
+
+    /// The dense indices this shard owns out of `total` cells, ascending.
+    pub fn cells(&self, total: usize) -> impl Iterator<Item = usize> + '_ {
+        (self.index..total).step_by(self.count)
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// A shard spec string (`"i/n"`) failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseShardSpecError(String);
+
+impl fmt::Display for ParseShardSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid shard spec `{}` (expected `i/n`, i < n)", self.0)
+    }
+}
+
+impl std::error::Error for ParseShardSpecError {}
+
+impl FromStr for ShardSpec {
+    type Err = ParseShardSpecError;
+
+    fn from_str(s: &str) -> Result<ShardSpec, ParseShardSpecError> {
+        let err = || ParseShardSpecError(s.to_owned());
+        let (index, count) = s.split_once('/').ok_or_else(err)?;
+        let index: usize = index.trim().parse().map_err(|_| err())?;
+        let count: usize = count.trim().parse().map_err(|_| err())?;
+        if count == 0 || index >= count {
+            return Err(err());
+        }
+        Ok(ShardSpec { index, count })
+    }
+}
+
+impl SweepGrid {
+    /// The dense indices of the cells `shard` owns, ascending.
+    pub fn shard_cells(&self, shard: ShardSpec) -> Vec<usize> {
+        shard.cells(self.num_cells()).collect()
+    }
+
+    /// Executes only the cells `shard` owns, streaming each result to
+    /// `sink` exactly once — what a `--shard i/n` worker mode runs.
+    pub fn execute_shard<E: Executor + ?Sized>(
+        &self,
+        shard: ShardSpec,
+        executor: &E,
+        sink: &mut dyn ResultSink,
+    ) {
+        let cells = self.shard_cells(shard);
+        self.execute_subset(&cells, executor, sink);
+    }
+
+    /// Runs the cells `shard` owns and collects their
+    /// [`CellRecord`]s in canonical order — this shard's slice of the
+    /// record stream, ready to write as a `shard-i.jsonl` file.
+    pub fn collect_shard_records<E: Executor + ?Sized>(
+        &self,
+        shard: ShardSpec,
+        executor: &E,
+    ) -> Vec<CellRecord> {
+        let mut records = Vec::new();
+        self.execute_shard(shard, executor, &mut |result: crate::grid::CellResult| {
+            records.push(CellRecord::from_cell(&result));
+        });
+        crate::checkpoint::sort_canonical(&mut records);
+        records
+    }
+}
+
+/// Why merging shard record streams failed.
+#[derive(Debug)]
+pub enum MergeError {
+    /// A shard file could not be read.
+    Io(PathBuf, io::Error),
+    /// A shard file had a malformed line.
+    Parse(PathBuf, String),
+    /// A record did not match the grid being merged for.
+    Mismatch(String),
+    /// The same cell appeared with two different results.
+    Conflict(CellCoord),
+    /// The merged stream does not cover the grid exactly once per cell.
+    Incomplete {
+        /// Cells the grid has.
+        expected: usize,
+        /// Distinct cells the merge found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Io(path, e) => write!(f, "cannot read {}: {e}", path.display()),
+            MergeError::Parse(path, e) => write!(f, "{}: {e}", path.display()),
+            MergeError::Mismatch(e) => write!(f, "record does not match the grid: {e}"),
+            MergeError::Conflict(coord) => {
+                write!(f, "cell {coord:?} appears twice with different results")
+            }
+            MergeError::Incomplete { expected, found } => {
+                write!(f, "merged stream covers {found} of {expected} cells")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MergeError::Io(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Folds record batches (one per shard, any order) into the canonical
+/// record stream: sorted by [`CellCoord`], byte-identical duplicates
+/// collapsed, conflicting duplicates rejected. When `grid` is given, every
+/// record is validated against it and the merge must cover the grid
+/// exactly — the completeness half of the bit-identical-to-`Serial`
+/// guarantee.
+///
+/// # Errors
+///
+/// [`MergeError::Mismatch`], [`MergeError::Conflict`] or
+/// [`MergeError::Incomplete`].
+pub fn merge_records(
+    batches: impl IntoIterator<Item = Vec<CellRecord>>,
+    grid: Option<&SweepGrid>,
+) -> Result<Vec<CellRecord>, MergeError> {
+    let mut merged: std::collections::HashMap<CellCoord, CellRecord> =
+        std::collections::HashMap::new();
+    for batch in batches {
+        for record in batch {
+            if let Some(grid) = grid {
+                validate_record(&record, grid).map_err(MergeError::Mismatch)?;
+            }
+            match merged.entry(record.coord()) {
+                std::collections::hash_map::Entry::Occupied(existing) => {
+                    if *existing.get() != record {
+                        return Err(MergeError::Conflict(record.coord()));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(record);
+                }
+            }
+        }
+    }
+    if let Some(grid) = grid {
+        if merged.len() != grid.num_cells() {
+            return Err(MergeError::Incomplete {
+                expected: grid.num_cells(),
+                found: merged.len(),
+            });
+        }
+    }
+    let mut records: Vec<CellRecord> = merged.into_values().collect();
+    sort_canonical(&mut records);
+    Ok(records)
+}
+
+/// Reads and merges shard JSONL files into the canonical stream (see
+/// [`merge_records`]).
+///
+/// # Errors
+///
+/// [`MergeError::Io`]/[`MergeError::Parse`] per file, plus everything
+/// [`merge_records`] rejects.
+pub fn merge_files(
+    paths: impl IntoIterator<Item = PathBuf>,
+    grid: Option<&SweepGrid>,
+) -> Result<Vec<CellRecord>, MergeError> {
+    let mut batches = Vec::new();
+    for path in paths {
+        batches.push(read_records(&path)?);
+    }
+    merge_records(batches, grid)
+}
+
+/// Reads one shard/partial JSONL file strictly (workers completed, so a
+/// torn tail would mean a worker bug, not an interruption).
+fn read_records(path: &Path) -> Result<Vec<CellRecord>, MergeError> {
+    let text = std::fs::read_to_string(path).map_err(|e| MergeError::Io(path.to_owned(), e))?;
+    read_jsonl(&text).map_err(|e| MergeError::Parse(path.to_owned(), e))
+}
+
+/// Why a sharded run failed.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Spawning or waiting on a worker process failed.
+    Io(String, io::Error),
+    /// A worker exited unsuccessfully; its shard file is suspect.
+    Worker {
+        /// Which shard the worker ran.
+        shard: ShardSpec,
+        /// How it exited.
+        status: ExitStatus,
+    },
+    /// A worker produced a record its shard does not own.
+    ForeignCell {
+        /// Which shard produced it.
+        shard: ShardSpec,
+        /// The record's coordinate.
+        coord: CellCoord,
+    },
+    /// The shard outputs did not merge into a complete, consistent
+    /// stream.
+    Merge(MergeError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(context, e) => write!(f, "{context}: {e}"),
+            ShardError::Worker { shard, status } => {
+                write!(f, "shard {shard} worker failed: {status}")
+            }
+            ShardError::ForeignCell { shard, coord } => {
+                write!(f, "shard {shard} produced cell {coord:?} it does not own")
+            }
+            ShardError::Merge(e) => write!(f, "merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Io(_, e) => Some(e),
+            ShardError::Merge(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MergeError> for ShardError {
+    fn from(e: MergeError) -> ShardError {
+        ShardError::Merge(e)
+    }
+}
+
+/// Runs a grid as `n` worker subprocesses of the current binary and
+/// merges their shard files into the canonical record stream.
+///
+/// The caller supplies the worker command line: `worker_args(shard,
+/// out_path)` must make the spawned binary rebuild the *same* grid, run
+/// exactly that shard's cells ([`SweepGrid::execute_shard`]), and write
+/// its records as JSONL to `out_path`. Workers inherit the parent's
+/// environment (so e.g. `COHMELEON_FAST` propagates). See the `sweep`
+/// binary in `cohmeleon-bench` for the canonical worker protocol.
+#[derive(Debug, Clone)]
+pub struct ShardExecutor {
+    shards: usize,
+    program: Option<PathBuf>,
+}
+
+impl ShardExecutor {
+    /// A sharded run over `shards` worker processes of the current binary
+    /// (`std::env::current_exe`, resolved at [`run`](Self::run) time).
+    pub fn new(shards: usize) -> ShardExecutor {
+        ShardExecutor {
+            shards: shards.max(1),
+            program: None,
+        }
+    }
+
+    /// Overrides the worker program (tests use `/bin/sh`; production use
+    /// re-executes the current binary).
+    pub fn with_program(mut self, program: impl Into<PathBuf>) -> ShardExecutor {
+        self.program = Some(program.into());
+        self
+    }
+
+    /// Number of worker processes a run spawns.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The conventional shard output path: `dir/shard-<i>.jsonl`.
+    pub fn shard_path(dir: &Path, shard: ShardSpec) -> PathBuf {
+        dir.join(format!("shard-{}.jsonl", shard.index()))
+    }
+
+    /// Spawns one worker per shard, waits for all of them, then reads,
+    /// validates and merges their shard files into the canonical record
+    /// stream — verified to cover `grid` exactly once per cell, each
+    /// record owned by the shard that wrote it.
+    ///
+    /// Shard files are written under `dir` (created if missing). All
+    /// workers are spawned before any is waited on, so shards genuinely
+    /// overlap on multi-CPU machines.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] on spawn/wait failures, non-zero worker exits,
+    /// foreign cells, or merge inconsistencies.
+    pub fn run(
+        &self,
+        grid: &SweepGrid,
+        dir: &Path,
+        worker_args: impl Fn(ShardSpec, &Path) -> Vec<String>,
+    ) -> Result<Vec<CellRecord>, ShardError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ShardError::Io(format!("cannot create {}", dir.display()), e))?;
+        let program = match &self.program {
+            Some(p) => p.clone(),
+            None => std::env::current_exe()
+                .map_err(|e| ShardError::Io("cannot resolve current executable".into(), e))?,
+        };
+
+        let mut children: Vec<(ShardSpec, PathBuf, Child)> = Vec::with_capacity(self.shards);
+        for index in 0..self.shards {
+            let shard = ShardSpec::new(index, self.shards);
+            let out = Self::shard_path(dir, shard);
+            // A stale file from an earlier attempt must not leak into the
+            // merge if this worker dies before writing.
+            match std::fs::remove_file(&out) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(ShardError::Io(
+                        format!("cannot clear stale {}", out.display()),
+                        e,
+                    ))
+                }
+            }
+            let child = Command::new(&program)
+                .args(worker_args(shard, &out))
+                .spawn()
+                .map_err(|e| ShardError::Io(format!("cannot spawn shard {shard} worker"), e))?;
+            children.push((shard, out, child));
+        }
+
+        let mut failure: Option<ShardError> = None;
+        let mut outputs: Vec<(ShardSpec, PathBuf)> = Vec::with_capacity(children.len());
+        for (shard, out, mut child) in children {
+            match child.wait() {
+                Ok(status) if status.success() => outputs.push((shard, out)),
+                Ok(status) => {
+                    failure.get_or_insert(ShardError::Worker { shard, status });
+                }
+                Err(e) => {
+                    failure.get_or_insert(ShardError::Io(
+                        format!("cannot wait on shard {shard} worker"),
+                        e,
+                    ));
+                }
+            }
+        }
+        // Every worker has been reaped before any error returns, so a
+        // failed run leaves no orphan processes behind.
+        if let Some(e) = failure {
+            return Err(e);
+        }
+
+        let mut batches = Vec::with_capacity(outputs.len());
+        for (shard, out) in outputs {
+            let records = read_records(&out)?;
+            for record in &records {
+                // Validate here (once): the ownership check needs an
+                // in-range dense index, and the merge below skips its
+                // own validation pass because of this one.
+                validate_record(record, grid).map_err(MergeError::Mismatch)?;
+                let dense = grid.cell_index(crate::grid::CellId {
+                    scenario: record.scenario_index,
+                    policy: record.policy_index,
+                    seed: record.seed_index,
+                });
+                if !shard.owns(dense) {
+                    return Err(ShardError::ForeignCell {
+                        shard,
+                        coord: record.coord(),
+                    });
+                }
+            }
+            batches.push(records);
+        }
+        let merged = merge_records(batches, None)?;
+        if merged.len() != grid.num_cells() {
+            return Err(MergeError::Incomplete {
+                expected: grid.num_cells(),
+                found: merged.len(),
+            }
+            .into());
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_partitions_every_index_exactly_once() {
+        for count in 1..=5usize {
+            let mut seen = vec![0usize; 17];
+            for index in 0..count {
+                for cell in ShardSpec::new(index, count).cells(17) {
+                    seen[cell] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "count={count}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn shard_spec_round_trips_through_strings() {
+        let spec: ShardSpec = "2/5".parse().unwrap();
+        assert_eq!((spec.index(), spec.count()), (2, 5));
+        assert_eq!(spec.to_string().parse::<ShardSpec>().unwrap(), spec);
+        for bad in ["", "3", "3/", "/3", "3/3", "5/2", "a/b", "1/0"] {
+            assert!(bad.parse::<ShardSpec>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn whole_owns_everything() {
+        let whole = ShardSpec::whole();
+        assert!((0..100).all(|i| whole.owns(i)));
+    }
+}

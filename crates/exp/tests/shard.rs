@@ -1,0 +1,177 @@
+//! Shard correctness: every `n ∈ {1, 2, 3, 5}` partition of a grid,
+//! merged, must reproduce the Serial run's canonical record stream bit
+//! for bit — and the multi-process `ShardExecutor` must enforce the
+//! worker protocol (clean exits, owned cells only, complete coverage).
+
+use std::path::PathBuf;
+
+use cohmeleon_exp::{
+    canonical_jsonl, merge_records, CellRecord, Experiment, MergeError, PolicyKind, Serial,
+    ShardError, ShardExecutor, ShardSpec, SweepGrid,
+};
+use cohmeleon_soc::config::soc1;
+use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+
+fn grid() -> SweepGrid {
+    let config = soc1();
+    let params = GeneratorParams {
+        phases: 1,
+        ..GeneratorParams::quick()
+    };
+    let app = generate_app(&config, &params, 1);
+    Experiment::evaluate(config, app)
+        .policy_kinds([PolicyKind::FixedNonCoh, PolicyKind::Manual])
+        .seeds([1, 2, 3])
+        .build()
+        .unwrap()
+}
+
+fn clean_records(grid: &SweepGrid) -> Vec<CellRecord> {
+    grid.collect_records(&Serial)
+}
+
+/// Runs one shard in-process and returns its records.
+fn shard_records(grid: &SweepGrid, shard: ShardSpec) -> Vec<CellRecord> {
+    grid.collect_shard_records(shard, &Serial)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cohmeleon-shard-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_partition_merges_to_the_identical_canonical_stream() {
+    let grid = grid();
+    let clean_text = canonical_jsonl(&clean_records(&grid));
+
+    for n in [1usize, 2, 3, 5] {
+        let batches: Vec<Vec<CellRecord>> = (0..n)
+            .map(|i| shard_records(&grid, ShardSpec::new(i, n)))
+            .collect();
+        // Each cell belongs to exactly one shard.
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, grid.num_cells(), "n={n}");
+        let merged = merge_records(batches, Some(&grid)).unwrap();
+        assert_eq!(canonical_jsonl(&merged), clean_text, "n={n}");
+    }
+}
+
+#[test]
+fn merge_rejects_incomplete_and_conflicting_streams() {
+    let grid = grid();
+    let a = shard_records(&grid, ShardSpec::new(0, 2));
+    let b = shard_records(&grid, ShardSpec::new(1, 2));
+
+    // A missing shard is incomplete.
+    match merge_records([a.clone()], Some(&grid)) {
+        Err(MergeError::Incomplete { expected, found }) => {
+            assert_eq!((expected, found), (grid.num_cells(), a.len()));
+        }
+        other => panic!("expected Incomplete, got {other:?}"),
+    }
+
+    // A disagreeing duplicate is a conflict.
+    let mut altered = a.clone();
+    altered[0].total_cycles += 1;
+    match merge_records([a.clone(), b.clone(), altered], Some(&grid)) {
+        Err(MergeError::Conflict(coord)) => assert_eq!(coord, a[0].coord()),
+        other => panic!("expected Conflict, got {other:?}"),
+    }
+
+    // Identical duplicates collapse (overlapping shard attempts).
+    let merged = merge_records([a.clone(), b, a], Some(&grid)).unwrap();
+    assert_eq!(merged.len(), grid.num_cells());
+}
+
+/// Drives the real multi-process path without needing a grid-rebuilding
+/// worker binary: each worker is `/bin/cp staged-shard-file out`, where
+/// the staged files hold what a worker for that shard would produce.
+#[cfg(unix)]
+#[test]
+fn shard_executor_spawns_workers_and_merges_their_files() {
+    let grid = grid();
+    let clean_text = canonical_jsonl(&clean_records(&grid));
+    let dir = tmp_dir("exec");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let n = 3usize;
+    for i in 0..n {
+        let records = shard_records(&grid, ShardSpec::new(i, n));
+        std::fs::write(dir.join(format!("staged-{i}.jsonl")), canonical_jsonl(&records))
+            .unwrap();
+    }
+
+    let staged_dir = dir.clone();
+    let merged = ShardExecutor::new(n)
+        .with_program("/bin/cp")
+        .run(&grid, &dir, |shard, out| {
+            vec![
+                staged_dir
+                    .join(format!("staged-{}.jsonl", shard.index()))
+                    .display()
+                    .to_string(),
+                out.display().to_string(),
+            ]
+        })
+        .unwrap();
+    assert_eq!(canonical_jsonl(&merged), clean_text);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn shard_executor_reports_failing_workers() {
+    let grid = grid();
+    let dir = tmp_dir("fail");
+    let err = ShardExecutor::new(2)
+        .with_program("/bin/false")
+        .run(&grid, &dir, |_, _| Vec::new())
+        .unwrap_err();
+    match err {
+        ShardError::Worker { shard, status } => {
+            assert_eq!(shard.count(), 2);
+            assert!(!status.success());
+        }
+        other => panic!("expected Worker failure, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A worker that writes a cell outside its shard is caught before the
+/// merge can launder it.
+#[cfg(unix)]
+#[test]
+fn shard_executor_rejects_foreign_cells() {
+    let grid = grid();
+    let dir = tmp_dir("foreign");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Stage swapped shard files: worker 0 gets shard 1's records and vice
+    // versa.
+    let n = 2usize;
+    for i in 0..n {
+        let records = shard_records(&grid, ShardSpec::new(1 - i, n));
+        std::fs::write(dir.join(format!("staged-{i}.jsonl")), canonical_jsonl(&records))
+            .unwrap();
+    }
+    let staged_dir = dir.clone();
+    let err = ShardExecutor::new(n)
+        .with_program("/bin/cp")
+        .run(&grid, &dir, |shard, out| {
+            vec![
+                staged_dir
+                    .join(format!("staged-{}.jsonl", shard.index()))
+                    .display()
+                    .to_string(),
+                out.display().to_string(),
+            ]
+        })
+        .unwrap_err();
+    match err {
+        ShardError::ForeignCell { .. } => {}
+        other => panic!("expected ForeignCell, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

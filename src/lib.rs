@@ -10,7 +10,11 @@
 //! seeds — and the [`exp`] crate makes that grid a first-class value: an
 //! `Experiment` builds a typed `SweepGrid`, a pluggable executor runs its
 //! cells (serially or on a work-stealing pool, bit-identically), and
-//! results stream to observers as cells complete.
+//! results stream to observers as cells complete. Long sweeps are
+//! checkpointed (`Experiment::resume_from` — interrupted runs resume
+//! instead of restarting) and shardable across worker processes
+//! (`ShardExecutor`), with every path pinned byte-identical to a clean
+//! serial run; `docs/ARCHITECTURE.md` walks the whole lifecycle.
 //!
 //! ```
 //! use cohmeleon_repro::exp::{Experiment, PolicyKind, WorkStealing};
