@@ -44,9 +44,14 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use cohmeleon_bench::policies::PolicyKind;
+use cohmeleon_core::agent::AgentBuilder;
+use cohmeleon_core::policy::{FixedPolicy, Policy};
+use cohmeleon_core::router::{AgentScope, PolicyRouter};
+use cohmeleon_core::snapshot::{ArchParams, SystemSnapshot};
+use cohmeleon_core::{AccelInstanceId, AccelKindId, CoherenceMode, ModeSet, PartitionId};
 use cohmeleon_exp::{
-    canonical_jsonl, merge_records, CellRecord, CellResult, Executor, Experiment, Serial,
-    ShardExecutor, ShardSpec, SweepGrid, WorkStealing,
+    canonical_jsonl, merge_records, CellRecord, CellResult, Executor, Experiment, PolicySpec,
+    Serial, ShardExecutor, ShardSpec, SweepGrid, WorkStealing,
 };
 use cohmeleon_soc::config::{soc1, soc6};
 use cohmeleon_soc::SocConfig;
@@ -173,6 +178,89 @@ fn run_grid<E: Executor>(grid: &SweepGrid, executor: &E) -> (f64, u64, u64, u64)
     (start.elapsed().as_secs_f64(), events, invocations, sim_cycles)
 }
 
+/// The `router_dispatch` micro-benchmark: `DISPATCH_ROUNDS` decide +
+/// observe rounds spread over a `PerInstance` router's sub-agents.
+/// Fixed-mode sub-agents isolate the *dispatch* cost (key derivation +
+/// agent lookup + forwarding) from agent internals; the allocation-free
+/// pin for the same path is `crates/core/tests/router_alloc.rs`.
+const DISPATCH_INSTANCES: u16 = 12;
+const DISPATCH_ROUNDS: u64 = 200_000;
+
+fn dispatch_router() -> PolicyRouter {
+    let mut router = PolicyRouter::new(AgentScope::PerInstance, 0, |_, _| {
+        Box::new(FixedPolicy::new(CoherenceMode::CohDma))
+    });
+    let topology: Vec<(AccelInstanceId, AccelKindId)> = (0..DISPATCH_INSTANCES)
+        .map(|i| (AccelInstanceId(i), AccelKindId(i % 3)))
+        .collect();
+    router.bind_topology(&topology);
+    router
+}
+
+/// One timed run: returns (wall seconds, decides performed).
+fn run_router_dispatch() -> (f64, u64) {
+    let mut router = dispatch_router();
+    let snapshot = SystemSnapshot::new(
+        ArchParams::new(32 * 1024, 256 * 1024, 2),
+        vec![],
+        64 * 1024,
+        vec![PartitionId(0)],
+    );
+    let measurement = cohmeleon_core::reward::InvocationMeasurement {
+        total_cycles: 10_000,
+        accel_active_cycles: 5_000,
+        accel_comm_cycles: 2_500,
+        offchip_accesses: 100.0,
+        footprint_bytes: 4096,
+    };
+    let start = Instant::now();
+    let mut check = 0usize;
+    for round in 0..DISPATCH_ROUNDS {
+        let i = (round % DISPATCH_INSTANCES as u64) as u16;
+        let d = router.decide(&snapshot, ModeSet::all(), AccelInstanceId(i));
+        check += d.mode.index();
+        router.observe(AccelInstanceId(i), &d, &measurement);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(
+        check,
+        DISPATCH_ROUNDS as usize * CoherenceMode::CohDma.index(),
+        "dispatch returned an unexpected mode"
+    );
+    (wall, DISPATCH_ROUNDS)
+}
+
+/// The soc1 × quick suite with Cohmeleon routed through a Global
+/// `PolicyRouter` instead of running bare — must be bit-identical to
+/// [`suite_grid`]'s cohmeleon cells (the router forwards every call).
+fn routed_suite_grid(params: &GeneratorParams, train_iterations: usize) -> SweepGrid {
+    let config = soc1();
+    let train = generate_app(&config, params, 1);
+    let test = generate_app(&config, params, 2);
+    Experiment::train_test(config, train, test)
+        .policy(PolicySpec::custom("cohmeleon", |_config, iters, seed| {
+            Box::new(AgentBuilder::paper(iters, seed).label("cohmeleon").build_routed())
+        }))
+        .seed(SEED)
+        .train_iterations(train_iterations)
+        .build()
+        .expect("routed suite is non-empty")
+}
+
+/// The identity gate for agent orchestration: the Global-routed cohmeleon
+/// cell must hash exactly like the bare agent's cell in the tracked suite
+/// (same params, same seed) through the full engine.
+fn routed_matches_bare(params: &GeneratorParams, train_iterations: usize) -> bool {
+    let bare = cell_hashes(&suite_grid(soc1(), params, train_iterations), &Serial);
+    let routed = cell_hashes(&routed_suite_grid(params, train_iterations), &Serial);
+    let cohmeleon_index = SUITE
+        .iter()
+        .position(|k| *k == PolicyKind::Cohmeleon)
+        .expect("suite contains cohmeleon");
+    // The routed grid holds exactly the one cohmeleon cell.
+    routed.len() == 1 && routed[0] == bare[cohmeleon_index]
+}
+
 /// Per-cell structural hashes of a grid run, indexed densely.
 fn cell_hashes<E: Executor>(grid: &SweepGrid, executor: &E) -> Vec<u64> {
     let mut hashes = vec![0u64; grid.num_cells()];
@@ -293,9 +381,20 @@ fn smoke(args: &Args) -> ExitCode {
             }
         }
     }
+    // Agent orchestration must be invisible in the Global configuration:
+    // cohmeleon routed through a Global `PolicyRouter` reproduces the
+    // bare agent's cell hash through the full engine.
+    if !routed_matches_bare(&params, 1) {
+        eprintln!("perf_baseline --smoke: Global-routed cohmeleon differs from the bare agent");
+        return ExitCode::FAILURE;
+    }
+    // And the dispatch micro-benchmark itself must run (its determinism
+    // assertion is inside).
+    let (_, dispatch_decides) = run_router_dispatch();
     println!(
         "perf_baseline --smoke: ok ({e1} events, {i1} invocations, {c1} simulated cycles; \
-         executors bit-identical; 2- and 3-shard merges bit-identical)"
+         executors bit-identical; 2- and 3-shard merges bit-identical; \
+         Global-routed cohmeleon bit-identical; {dispatch_decides} router dispatches)"
     );
     if let Some(out) = &args.out_flag {
         // Smoke runs make no timing claims, so no wall-time fields.
@@ -417,6 +516,35 @@ fn main() -> ExitCode {
          vs serial (bit-identical; includes process spawn + rebuild cost)"
     );
 
+    // Router dispatch: PerInstance routing on the sense→decide path
+    // (fixed-mode sub-agents isolate the dispatch cost; the matching
+    // allocation-free pin is crates/core/tests/router_alloc.rs). Verified
+    // bit-identical through the full engine before any number is
+    // recorded: the Global-routed suite must hash like the bare suite.
+    if !routed_matches_bare(&GeneratorParams::quick(), TRAIN_ITERATIONS) {
+        eprintln!(
+            "perf_baseline: Global-routed cohmeleon differs from the bare agent — refusing to record"
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut dispatch_wall = f64::MAX;
+    let mut dispatch_decides = 0u64;
+    for _ in 0..args.reps {
+        let (wall, decides) = run_router_dispatch();
+        dispatch_wall = dispatch_wall.min(wall);
+        dispatch_decides = decides;
+    }
+    let current_dispatch = format!(
+        "{{\"decides\": {dispatch_decides}, \"instances\": {DISPATCH_INSTANCES}, \
+         \"wall_s\": {dispatch_wall:.6}, \"decides_per_s\": {:.0}}}",
+        dispatch_decides as f64 / dispatch_wall
+    );
+    println!(
+        "  router_dispatch: {dispatch_decides} decide/observe rounds over \
+         {DISPATCH_INSTANCES} per-instance agents: {dispatch_wall:.3} s → {:.0} decides/s",
+        dispatch_decides as f64 / dispatch_wall
+    );
+
     let previous = std::fs::read_to_string(args.out()).ok();
     // The first "baseline" object in the file is the top-level soc1 one
     // (soc6_scale is written after it).
@@ -431,6 +559,12 @@ fn main() -> ExitCode {
         .and_then(|sect| extract_object(sect, "baseline"))
         .map(str::to_owned)
         .unwrap_or_else(|| current6.clone());
+    let baseline_dispatch = previous
+        .as_deref()
+        .and_then(|json| extract_object(json, "router_dispatch"))
+        .and_then(|sect| extract_object(sect, "baseline"))
+        .map(str::to_owned)
+        .unwrap_or_else(|| current_dispatch.clone());
 
     let report = format!(
         "{{\n  \"suite\": \"soc1 x quick x [fixed-non-coh-dma, manual, cohmeleon]\",\n  \
@@ -443,7 +577,10 @@ fn main() -> ExitCode {
          \"speedup\": {sweep_speedup:.2}}},\n  \
          \"sweep_shards\": {{\"cells\": {}, \"shards\": {SHARD_COUNT}, \
          \"serial_wall_s\": {serial_wall:.6}, \"shard_wall_s\": {shard_wall:.6}, \
-         \"speedup\": {shard_speedup:.2}}}\n}}\n",
+         \"speedup\": {shard_speedup:.2}}},\n  \
+         \"router_dispatch\": {{\n    \
+         \"suite\": \"per-instance router, fixed sub-agents, decide+observe (alloc-free pin: core router_alloc test)\",\n    \
+         \"baseline\": {baseline_dispatch},\n    \"current\": {current_dispatch}\n  }}\n}}\n",
         sweep_grid.num_cells(),
         sweep_grid.num_cells()
     );

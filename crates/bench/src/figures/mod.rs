@@ -14,9 +14,11 @@
 //! | [`fig9`] | Figure 9 — eight SoC configurations, eight policies |
 //! | [`overhead`] | Section 6 — Cohmeleon's runtime overhead |
 //!
-//! Beyond the paper: [`ablation`] (design-choice ablations) and
+//! Beyond the paper: [`ablation`] (design-choice ablations),
 //! [`learner_ablation`] (the agent design space — state spaces ×
-//! exploration strategies × update rules through the sweep grid).
+//! exploration strategies × update rules through the sweep grid) and
+//! [`weight_sensitivity`] (Figure-6-style reward-weight exploration as
+//! learner-grid cells, crossed with the agent scope).
 
 pub mod ablation;
 pub mod fig2;
@@ -31,3 +33,4 @@ pub mod overhead;
 pub mod table1;
 pub mod table2;
 pub mod table4;
+pub mod weight_sensitivity;

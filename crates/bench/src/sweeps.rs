@@ -15,11 +15,13 @@
 //! [`Experiment::resume_from`]; the `sweep` binary overrides it when
 //! `--out` is given.
 
-use cohmeleon_exp::{Experiment, PolicyKind};
+use cohmeleon_core::agent::AgentBuilder;
+use cohmeleon_core::explore::{Softmax, Ucb1};
+use cohmeleon_exp::{AgentScope, Experiment, LearnerSpec, PolicyKind, PolicySpec, WeightPreset};
 use cohmeleon_soc::config::soc1;
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
 
-use crate::figures::learner_ablation;
+use crate::figures::{learner_ablation, weight_sensitivity};
 use crate::Scale;
 
 /// The available grid names with one-line descriptions (for `--help` and
@@ -37,6 +39,18 @@ pub const GRID_NAMES: &[(&str, &str)] = &[
         "paper",
         "all eight paper policies on soc1 (train/test, one seed)",
     ),
+    (
+        "scoped",
+        "agent orchestration: scope (global/per-kind/per-instance) x weights (paper/balanced)",
+    ),
+    (
+        "weights",
+        "Figure-6-style weight sensitivity: (global/per-kind) x all weight presets",
+    ),
+    (
+        "calibration",
+        "softmax tau0 {0.05,0.1,0.2,0.4} + ucb1 c {0.5,sqrt2,2} vs the eps-greedy baseline",
+    ),
 ];
 
 /// Builds the named experiment at `scale`. The returned builder still
@@ -51,6 +65,9 @@ pub fn named_experiment(name: &str, scale: Scale) -> Result<Experiment, String> 
         "suite" => suite(scale),
         "learners" => learner_ablation::experiment(scale),
         "paper" => paper(scale),
+        "scoped" => scoped(scale),
+        "weights" => weight_sensitivity::experiment(scale),
+        "calibration" => calibration(scale),
         other => {
             let known: Vec<&str> = GRID_NAMES.iter().map(|(n, _)| *n).collect();
             return Err(format!(
@@ -79,6 +96,88 @@ fn suite(scale: Scale) -> Experiment {
         .policy_kinds([PolicyKind::FixedNonCoh, PolicyKind::Manual, PolicyKind::Cohmeleon])
         .seeds([1, 2, 3, 4])
         .train_iterations(scale.pick(2, 1))
+}
+
+/// The scoped-orchestration smoke grid: every [`AgentScope`] × two weight
+/// presets over the paper's component composition — small enough for the
+/// CI resume/shard smoke, wide enough that every routing path (global,
+/// per-kind, per-instance) and a reweighted learner appear as checkpoint
+/// cells.
+fn scoped(scale: Scale) -> Experiment {
+    let config = soc1();
+    let params = scale.pick(
+        GeneratorParams::quick(),
+        GeneratorParams {
+            phases: 1,
+            ..GeneratorParams::quick()
+        },
+    );
+    let train = generate_app(&config, &params, 1);
+    let test = generate_app(&config, &params, 2);
+    Experiment::train_test(config, train, test)
+        .learners(LearnerSpec::scope_weight_grid(
+            &AgentScope::ALL,
+            &[WeightPreset::Paper, WeightPreset::Balanced],
+        ))
+        .seed(5)
+        .train_iterations(scale.pick(2, 1))
+}
+
+/// The Softmax-τ₀ ∈ {0.05, 0.1, 0.2, 0.4} and UCB1-c ∈ {0.5, √2, 2}
+/// calibration points, each an `(stable label, constant)` pair. Labels
+/// are persisted cell-record coordinates — never rename one.
+pub const CALIBRATION_TAU0: [(&str, f64); 4] = [
+    ("softmax-t0.05", 0.05),
+    ("softmax-t0.1", 0.1),
+    ("softmax-t0.2", Softmax::DEFAULT_TAU0),
+    ("softmax-t0.4", 0.4),
+];
+
+/// The UCB1 exploration constants of the calibration grid (see
+/// [`CALIBRATION_TAU0`]). `ucb1-c1.414` is the default c = √2.
+pub const CALIBRATION_C: [(&str, f64); 3] = [
+    ("ucb1-c0.5", 0.5),
+    ("ucb1-c1.414", Ucb1::DEFAULT_C),
+    ("ucb1-c2", 2.0),
+];
+
+/// The exploration-constant calibration grid (ROADMAP "Softmax/UCB
+/// tuning"): the paper composition with Softmax at each τ₀, UCB1 at each
+/// c, and the ε-greedy paper agent as the baseline cell (policy 0), over
+/// three seeds so a constant must win on average, not by luck. The
+/// findings are recorded next to `DEFAULT_TAU0`/`DEFAULT_C` in
+/// `cohmeleon_core::explore`.
+fn calibration(scale: Scale) -> Experiment {
+    let config = soc1();
+    let params = scale.pick(GeneratorParams::coverage(), GeneratorParams::quick());
+    let train = generate_app(&config, &params, 1);
+    let test = generate_app(&config, &params, 2);
+    let softmax_arms = CALIBRATION_TAU0.iter().map(|&(label, tau0)| {
+        PolicySpec::custom(label, move |_config, iters, seed| {
+            Box::new(
+                AgentBuilder::paper(iters, seed)
+                    .exploration(Softmax::new(tau0, iters))
+                    .label(label)
+                    .build(),
+            )
+        })
+    });
+    let ucb_arms = CALIBRATION_C.iter().map(|&(label, c)| {
+        PolicySpec::custom(label, move |_config, iters, seed| {
+            Box::new(
+                AgentBuilder::paper(iters, seed)
+                    .exploration(Ucb1::new(c))
+                    .label(label)
+                    .build(),
+            )
+        })
+    });
+    Experiment::train_test(config, train, test)
+        .policy_kinds([PolicyKind::Cohmeleon])
+        .policies(softmax_arms)
+        .policies(ucb_arms)
+        .seeds([1, 2, 3])
+        .train_iterations(scale.pick(10, 2))
 }
 
 /// The full eight-policy comparison on SoC1.

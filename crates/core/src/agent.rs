@@ -34,6 +34,7 @@ use crate::modes::ModeSet;
 use crate::policy::{Decision, Policy, PolicyComplexity};
 use crate::qlearn::LearningSchedule;
 use crate::reward::{InvocationMeasurement, RewardHistory, RewardWeights};
+use crate::router::{AgentScope, PolicyRouter};
 use crate::snapshot::SystemSnapshot;
 use crate::space::{StateSpace, Table3Space};
 use crate::state::State;
@@ -269,6 +270,22 @@ where
     fn complexity(&self) -> PolicyComplexity {
         PolicyComplexity::Learned
     }
+
+    fn export_table(&self) -> Option<String> {
+        Some(self.store.to_tsv())
+    }
+
+    fn import_table(&mut self, text: &str) -> Result<(), String> {
+        // Validate the full document against this store's cardinality
+        // before touching live state: a malformed line must not leave a
+        // warm agent half-wiped. Only then reset (the TSV carries only
+        // populated rows — import *replaces*, never overlays) and apply.
+        let mut scratch = crate::value::SparseQTable::with_states(self.store.states());
+        crate::value::read_tsv_into(text, &mut scratch)?;
+        self.store.reset();
+        crate::value::read_tsv_into(text, &mut self.store).expect("validated above");
+        Ok(())
+    }
 }
 
 /// Builder-style construction of a [`LearnedPolicy`].
@@ -286,6 +303,7 @@ pub struct AgentBuilder<S = Table3Space, E = EpsilonGreedy, V = QTable, U = Blen
     store: Option<V>,
     update: U,
     weights: RewardWeights,
+    scope: AgentScope,
     train_iterations: usize,
     seed: u64,
 }
@@ -302,6 +320,7 @@ impl AgentBuilder {
             store: None,
             update: BlendUpdate::paper(train_iterations),
             weights: RewardWeights::paper_default(),
+            scope: AgentScope::Global,
             train_iterations: train_iterations.max(1),
             seed,
         }
@@ -322,6 +341,21 @@ impl<S, E, V, U> AgentBuilder<S, E, V, U> {
         self
     }
 
+    /// Overrides the reward weights — the explicit name for the learner
+    /// axis the weight-sensitivity sweeps vary (alias of
+    /// [`weights`](Self::weights)).
+    pub fn reward_weights(self, weights: RewardWeights) -> Self {
+        self.weights(weights)
+    }
+
+    /// Sets the agent scope (default [`AgentScope::Global`]). The scope
+    /// only takes effect through [`build_routed`](Self::build_routed);
+    /// [`build`](Self::build) always assembles the single bare agent.
+    pub fn scope(mut self, scope: AgentScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
     /// Replaces the state space. Any explicitly-set value store is
     /// discarded (it was sized for the previous space); set the store
     /// *after* the space to override it.
@@ -333,6 +367,7 @@ impl<S, E, V, U> AgentBuilder<S, E, V, U> {
             store: None,
             update: self.update,
             weights: self.weights,
+            scope: self.scope,
             train_iterations: self.train_iterations,
             seed: self.seed,
         }
@@ -347,6 +382,7 @@ impl<S, E, V, U> AgentBuilder<S, E, V, U> {
             store: self.store,
             update: self.update,
             weights: self.weights,
+            scope: self.scope,
             train_iterations: self.train_iterations,
             seed: self.seed,
         }
@@ -361,6 +397,7 @@ impl<S, E, V, U> AgentBuilder<S, E, V, U> {
             store: Some(store),
             update: self.update,
             weights: self.weights,
+            scope: self.scope,
             train_iterations: self.train_iterations,
             seed: self.seed,
         }
@@ -375,6 +412,7 @@ impl<S, E, V, U> AgentBuilder<S, E, V, U> {
             store: self.store,
             update,
             weights: self.weights,
+            scope: self.scope,
             train_iterations: self.train_iterations,
             seed: self.seed,
         }
@@ -418,6 +456,37 @@ impl<S, E, V, U> AgentBuilder<S, E, V, U> {
             self.train_iterations,
             self.seed,
         )
+    }
+
+    /// Assembles a [`PolicyRouter`] honoring the builder's
+    /// [`scope`](Self::scope): one agent of this composition per scope key,
+    /// each built from a clone of the builder with the **same** seed, so a
+    /// `PerKind`/`PerInstance` router diverges from the equivalent
+    /// [`AgentScope::Global`] agent only through state partitioning (each
+    /// sub-agent sees exactly its key's invocation subsequence).
+    ///
+    /// Under [`AgentScope::Global`] the router wraps the single agent
+    /// [`build`](Self::build) would produce; routing through it is
+    /// bit-identical to using the bare agent (golden-pinned in
+    /// `tests/learning.rs`).
+    pub fn build_routed(self) -> PolicyRouter
+    where
+        S: StateSpace + Clone + Sync + 'static,
+        E: ExplorationStrategy + Clone + Sync + 'static,
+        V: ValueStore + AutoStore + Clone + Sync + 'static,
+        U: UpdateRule + Clone + Sync + 'static,
+    {
+        let scope = self.scope;
+        let label = self.label.clone();
+        let seed = self.seed;
+        let builder = self;
+        let mut router = PolicyRouter::new(scope, seed, move |_key, seed| {
+            Box::new(builder.clone().seed(seed).build())
+        });
+        if let Some(label) = label {
+            router = router.with_label(label);
+        }
+        router
     }
 }
 

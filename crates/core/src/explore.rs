@@ -214,9 +214,24 @@ impl Softmax {
     /// the linear decay (to a 1% floor; see
     /// [`begin_iteration`](ExplorationStrategy::begin_iteration)) mirrors
     /// the ε schedule so learner-ablation comparisons decay on the same
-    /// clock. It has **not** been calibrated against ε-greedy — a
-    /// τ₀-calibration sweep over the learner grid is an open ROADMAP
-    /// item, so treat cross-strategy ablation gaps as provisional.
+    /// clock.
+    ///
+    /// **Calibration.** The `calibration` sweep grid in
+    /// `cohmeleon-bench` (`sweep run --grid calibration`: τ₀ ∈ {0.05,
+    /// 0.1, 0.2, 0.4} against the ε-greedy baseline, SoC1 × coverage
+    /// workload, 10 training iterations, 3 seeds) measured, normalized to
+    /// ε-greedy (geo-time / geo-mem, lower is better):
+    ///
+    /// | τ₀ | 0.05 | 0.1 | **0.2** | 0.4 |
+    /// |---|---|---|---|---|
+    /// | geo-time | 1.012 | 1.000 | 1.000 | 0.991 |
+    /// | geo-mem | 1.027 | 1.044 | **0.952** | 0.964 |
+    ///
+    /// τ₀ = 0.4 was the best cell on execution time (−0.9%), τ₀ = 0.2 —
+    /// this default — the best on off-chip accesses (−4.8%) and within
+    /// noise on time, so the default stands: on the paper's
+    /// multi-objective reward no tested τ₀ dominates it, and changing it
+    /// would silently shift every persisted softmax learner-grid cell.
     ///
     /// **Overriding it.** The constant is only baked into this
     /// convenience constructor (and therefore into
@@ -311,8 +326,21 @@ impl Ucb1 {
     /// the `Default` impl (and therefore in `LearnerSpec`-driven
     /// sweeps); compose `Ucb1::new(c)` through
     /// [`AgentBuilder::exploration`](crate::agent::AgentBuilder::exploration)
-    /// to ablate it. A c-calibration sweep is an open ROADMAP item, so
-    /// treat cross-strategy ablation gaps as provisional.
+    /// to ablate it.
+    ///
+    /// **Calibration.** The same `calibration` sweep as
+    /// [`Softmax::DEFAULT_TAU0`] (c ∈ {0.5, √2, 2}, SoC1 × coverage, 10
+    /// iterations, 3 seeds, normalized to ε-greedy) measured:
+    ///
+    /// | c | 0.5 | **√2** | 2 |
+    /// |---|---|---|---|
+    /// | geo-time | 0.994 | 1.000 | 0.988 |
+    /// | geo-mem | 1.053 | **0.993** | 1.027 |
+    ///
+    /// c = 2 was the best cell on execution time (−1.2%) but pays +2.7%
+    /// off-chip traffic; c = √2 — this default — was the only cell not
+    /// worse than ε-greedy on *either* objective (time at parity, mem
+    /// −0.7%), so the textbook constant stands.
     pub const DEFAULT_C: f64 = std::f64::consts::SQRT_2;
 
     /// UCB1 with exploration constant `c` (larger explores more; the

@@ -48,6 +48,15 @@
 //! composition and is bit-identical to the pre-redesign hardwired agent
 //! (golden structural-hash and Q-table TSV tests hold it to that).
 //!
+//! On top of the component axes sits the orchestration layer
+//! ([`router`]): a [`router::PolicyRouter`] owns one or more agents
+//! keyed by an [`router::AgentScope`] — one global agent (the paper),
+//! one per accelerator kind, or one per instance — and routes every
+//! `decide`/`observe` to the sub-agent owning the invocation. Reward
+//! weights enter the same composition through
+//! [`agent::AgentBuilder::reward_weights`], making "which reward" and
+//! "which scope" sweepable axes alongside the four component choices.
+//!
 //! # Example
 //!
 //! ```
@@ -87,6 +96,7 @@ pub mod modes;
 pub mod policy;
 pub mod qlearn;
 pub mod reward;
+pub mod router;
 pub mod snapshot;
 pub mod space;
 pub mod state;
@@ -99,6 +109,7 @@ pub use error::CoreError;
 pub use explore::{EpsilonGreedy, ExplorationStrategy, SelectCtx, Softmax, Ucb1};
 pub use modes::{CoherenceMode, ModeSet};
 pub use policy::{Decision, Policy};
+pub use router::{AgentScope, PolicyRouter, ScopeKey};
 pub use snapshot::{ActiveAccel, ArchParams, SystemSnapshot};
 pub use space::{CoarseSpace, ExtendedSpace, StateSpace, Table3Space};
 pub use state::State;

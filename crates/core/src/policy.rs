@@ -16,6 +16,8 @@
 //!   [`LearnedPolicy`] agent stack.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +25,7 @@ use rand::{Rng, SeedableRng};
 use crate::manual::{algorithm1_restricted, ManualThresholds};
 use crate::modes::{CoherenceMode, ModeSet};
 use crate::reward::InvocationMeasurement;
+use crate::router::{AgentScope, PolicyRouter, ScopeKey};
 use crate::snapshot::SystemSnapshot;
 use crate::state::State;
 use crate::{AccelInstanceId, AccelKindId};
@@ -130,6 +133,35 @@ pub trait Policy: Send {
     fn complexity(&self) -> PolicyComplexity {
         PolicyComplexity::Simple
     }
+
+    /// Informs the policy of the embedding system's accelerator topology
+    /// (every `(instance, kind)` pair), before any invocation runs. The
+    /// engine calls this once per application run; implementations must be
+    /// idempotent. Default: ignore — only scope-aware policies (the
+    /// [`PolicyRouter`]) care.
+    fn bind_topology(&mut self, topology: &[(AccelInstanceId, AccelKindId)]) {
+        let _ = topology;
+    }
+
+    /// Serialises the policy's learned state (Q-table TSV for a
+    /// [`LearnedPolicy`], a namespaced multi-agent document for a
+    /// [`PolicyRouter`]). `None` for policies
+    /// with nothing to persist (the default).
+    fn export_table(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state previously produced by
+    /// [`export_table`](Self::export_table).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed text, or for policies with no
+    /// learned state (the default).
+    fn import_table(&mut self, text: &str) -> Result<(), String> {
+        let _ = text;
+        Err("policy has no learned state to import".to_owned())
+    }
 }
 
 fn guard_available(available: ModeSet) {
@@ -222,11 +254,23 @@ impl Policy for FixedPolicy {
 /// A design-time mode per accelerator kind, produced by profiling each
 /// accelerator in isolation across workload sizes (the *fixed heterogeneous*
 /// baseline).
-#[derive(Debug, Clone)]
+///
+/// Per-kind dispatch is not hand-rolled here: the policy is a thin facade
+/// over a [`PolicyRouter`] in
+/// [`AgentScope::PerKind`] whose
+/// sub-agents are [`FixedPolicy`] instances (the profiled mode per kind,
+/// `default` for the catch-all agent), so the kind → agent routing logic
+/// exists exactly once in the codebase. Decisions are byte-identical to
+/// the pre-router implementation: a kind's `FixedPolicy` applies the same
+/// availability fallback the hand-rolled lookup did.
 pub struct FixedHeterogeneousPolicy {
-    assignment: HashMap<AccelKindId, CoherenceMode>,
-    kind_of: HashMap<AccelInstanceId, AccelKindId>,
+    /// Shared with the router's factory (which builds one `FixedPolicy`
+    /// per kind from it); kept here for [`mode_for_kind`](Self::mode_for_kind)
+    /// and for `Clone`. The instance → kind mapping lives in the router
+    /// alone (construction pairs plus anything `bind_topology` added).
+    assignment: Arc<HashMap<AccelKindId, CoherenceMode>>,
     default: CoherenceMode,
+    router: PolicyRouter,
 }
 
 impl FixedHeterogeneousPolicy {
@@ -237,10 +281,26 @@ impl FixedHeterogeneousPolicy {
         kind_of: HashMap<AccelInstanceId, AccelKindId>,
         default: CoherenceMode,
     ) -> FixedHeterogeneousPolicy {
+        let assignment = Arc::new(assignment);
+        let factory_assignment = Arc::clone(&assignment);
+        let mut router = PolicyRouter::new(AgentScope::PerKind, 0, move |key, _seed| {
+            let mode = match key {
+                ScopeKey::Kind(kind) => factory_assignment
+                    .get(&kind)
+                    .copied()
+                    .unwrap_or(default),
+                _ => default,
+            };
+            Box::new(FixedPolicy::new(mode))
+        })
+        .with_label("fixed-hetero");
+        for (instance, kind) in kind_of {
+            router.register(instance, kind);
+        }
         FixedHeterogeneousPolicy {
             assignment,
-            kind_of,
             default,
+            router,
         }
     }
 
@@ -250,9 +310,33 @@ impl FixedHeterogeneousPolicy {
     }
 }
 
+impl Clone for FixedHeterogeneousPolicy {
+    fn clone(&self) -> FixedHeterogeneousPolicy {
+        // Rebuild from the router's *current* registrations (construction
+        // pairs plus anything `bind_topology` added since), so a clone
+        // routes every known instance exactly like the original; fixed
+        // sub-agents hold no learned state, so a rebuild is equivalent.
+        FixedHeterogeneousPolicy::new(
+            (*self.assignment).clone(),
+            self.router.topology().into_iter().collect(),
+            self.default,
+        )
+    }
+}
+
+impl fmt::Debug for FixedHeterogeneousPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FixedHeterogeneousPolicy")
+            .field("assignment", &self.assignment)
+            .field("default", &self.default)
+            .field("router", &self.router)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Policy for FixedHeterogeneousPolicy {
     fn name(&self) -> String {
-        "fixed-hetero".to_owned()
+        self.router.name()
     }
 
     fn decide(
@@ -262,18 +346,14 @@ impl Policy for FixedHeterogeneousPolicy {
         accel: AccelInstanceId,
     ) -> Decision {
         guard_available(available);
-        let preferred = self
-            .kind_of
-            .get(&accel)
-            .and_then(|k| self.assignment.get(k))
-            .copied()
-            .unwrap_or(self.default);
-        let mode = if available.contains(preferred) {
-            preferred
-        } else {
-            available.iter().next().expect("non-empty")
-        };
-        Decision::new(mode, State::from_snapshot(snapshot))
+        self.router.decide(snapshot, available, accel)
+    }
+
+    fn bind_topology(&mut self, topology: &[(AccelInstanceId, AccelKindId)]) {
+        // The design-time assignment is authoritative: registering a
+        // *new* instance routes it to its kind's profiled mode (or the
+        // catch-all default agent), exactly like construction-time pairs.
+        self.router.bind_topology(topology);
     }
 }
 
@@ -380,6 +460,18 @@ impl<P: Policy> Policy for RestrictedPolicy<P> {
 
     fn complexity(&self) -> PolicyComplexity {
         self.inner.complexity()
+    }
+
+    fn bind_topology(&mut self, topology: &[(AccelInstanceId, AccelKindId)]) {
+        self.inner.bind_topology(topology);
+    }
+
+    fn export_table(&self) -> Option<String> {
+        self.inner.export_table()
+    }
+
+    fn import_table(&mut self, text: &str) -> Result<(), String> {
+        self.inner.import_table(text)
     }
 }
 
@@ -496,6 +588,26 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_clone_preserves_bound_topology() {
+        let mut assignment = HashMap::new();
+        assignment.insert(AccelKindId(0), CoherenceMode::FullCoh);
+        let mut p = FixedHeterogeneousPolicy::new(
+            assignment,
+            HashMap::new(),
+            CoherenceMode::NonCohDma,
+        );
+        // An instance registered after construction (what the engine's
+        // topology binding does) must survive a clone: both route it to
+        // its kind's profiled mode, not the catch-all default.
+        p.bind_topology(&[(AccelInstanceId(3), AccelKindId(0))]);
+        let mut q = p.clone();
+        let original = p.decide(&snapshot(1024), ModeSet::all(), AccelInstanceId(3));
+        let cloned = q.decide(&snapshot(1024), ModeSet::all(), AccelInstanceId(3));
+        assert_eq!(original.mode, CoherenceMode::FullCoh);
+        assert_eq!(cloned.mode, original.mode);
+    }
+
+    #[test]
     fn manual_policy_delegates_to_algorithm1() {
         let mut p = ManualPolicy::new(ManualThresholds {
             extra_small_bytes: 4096,
@@ -598,6 +710,18 @@ mod tests {
             0,
         );
         assert_eq!(cohmeleon.name(), "cohmeleon");
+        // The router rebuild must not move the heterogeneous baseline's
+        // name (it appears in every persisted paper-suite record).
+        let hetero =
+            FixedHeterogeneousPolicy::new(HashMap::new(), HashMap::new(), CoherenceMode::NonCohDma);
+        assert_eq!(hetero.name(), "fixed-hetero");
+        // A router's default label composes scope and sub-agent name;
+        // scoped LearnerSpec labels (the `ql[...]` grid coordinates) are
+        // pinned in `cohmeleon-exp`.
+        let routed = crate::agent::AgentBuilder::paper(10, 0)
+            .scope(AgentScope::PerKind)
+            .build_routed();
+        assert_eq!(routed.name(), "per-kind(learned[table3+eps-greedy+dense+blend])");
     }
 
     #[test]

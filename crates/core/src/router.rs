@@ -1,0 +1,624 @@
+//! Agent orchestration: routing decisions through scoped agents.
+//!
+//! Cohmeleon's paper trains one global Q-agent for the whole SoC, but the
+//! best coherence strategy differs per accelerator (Alsop et al., *A Case
+//! for Fine-grain Coherence Specialization in Heterogeneous Systems*).
+//! This module breaks the one-agent assumption behind a single seam: a
+//! [`PolicyRouter`] owns one or more sub-agents keyed by an
+//! [`AgentScope`]:
+//!
+//! * [`AgentScope::Global`] — one agent for everything (the paper's
+//!   configuration; routing through it is bit-identical to using the
+//!   agent directly, which the golden structural-hash tests pin).
+//! * [`AgentScope::PerKind`] — one agent per accelerator *kind*
+//!   (FFT, GEMM, …): instances of a kind share a model.
+//! * [`AgentScope::PerInstance`] — one agent per accelerator tile.
+//!
+//! The router is itself a [`Policy`]: the embedding engine keeps calling
+//! `decide`/`observe` per invocation, and the router forwards each call to
+//! the sub-agent owning that invocation's [`ScopeKey`]. The instance →
+//! kind mapping comes from the engine through [`Policy::bind_topology`]
+//! (the SoC elaboration knows it; the policy layer should not).
+//!
+//! Sub-agents come from a *factory* — any `Fn(ScopeKey, u64) -> Box<dyn
+//! Policy>` — so fixed policies can be routed exactly like learning
+//! agents ([`FixedHeterogeneousPolicy`](crate::policy::FixedHeterogeneousPolicy)
+//! is rebuilt on this router). The factory must be **pure**: the router
+//! probes it once at construction (for the complexity class and default
+//! label) and re-invokes it per key, and deterministic sweeps rely on the
+//! same `(key, seed)` always producing the same agent. Every sub-agent
+//! receives the router's base seed unchanged, so a `PerKind` router with
+//! identical sub-agent seeds diverges from a `Global` agent only through
+//! state partitioning — each sub-agent sees (and learns from) exactly the
+//! subsequence of invocations its key owns.
+//!
+//! For checkpointing, the router aggregates its sub-agents' Q-table TSVs
+//! into one namespaced document ([`PolicyRouter::export_tables`] /
+//! [`PolicyRouter::import_tables`]), one `## agent <key>` section per
+//! learning sub-agent.
+
+use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::modes::ModeSet;
+use crate::policy::{Decision, Policy, PolicyComplexity};
+use crate::reward::InvocationMeasurement;
+use crate::snapshot::SystemSnapshot;
+use crate::{AccelInstanceId, AccelKindId};
+
+/// How decisions are partitioned across agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AgentScope {
+    /// One agent drives every invocation (the paper's configuration).
+    Global,
+    /// One agent per accelerator kind; instances of a kind share it.
+    PerKind,
+    /// One agent per accelerator instance (tile).
+    PerInstance,
+}
+
+impl AgentScope {
+    /// All scopes, coarsest first.
+    pub const ALL: [AgentScope; 3] =
+        [AgentScope::Global, AgentScope::PerKind, AgentScope::PerInstance];
+
+    /// The stable string form (`"global"`, `"per-kind"`,
+    /// `"per-instance"`). Like policy names, these labels are persisted
+    /// sweep coordinates (they appear inside `LearnerSpec` labels) — never
+    /// rename one.
+    pub fn label(self) -> &'static str {
+        match self {
+            AgentScope::Global => "global",
+            AgentScope::PerKind => "per-kind",
+            AgentScope::PerInstance => "per-instance",
+        }
+    }
+}
+
+impl fmt::Display for AgentScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An [`AgentScope`] string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAgentScopeError(String);
+
+impl fmt::Display for ParseAgentScopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid agent scope: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAgentScopeError {}
+
+impl FromStr for AgentScope {
+    type Err = ParseAgentScopeError;
+
+    fn from_str(s: &str) -> Result<AgentScope, ParseAgentScopeError> {
+        match s {
+            "global" => Ok(AgentScope::Global),
+            "per-kind" => Ok(AgentScope::PerKind),
+            "per-instance" => Ok(AgentScope::PerInstance),
+            other => Err(ParseAgentScopeError(other.to_owned())),
+        }
+    }
+}
+
+/// The identity of one sub-agent within a router: which slice of the
+/// invocation stream it owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScopeKey {
+    /// The catch-all agent (sole agent under [`AgentScope::Global`]; the
+    /// fallback for instances whose kind was never registered under
+    /// [`AgentScope::PerKind`]).
+    Global,
+    /// The agent owning one accelerator kind.
+    Kind(AccelKindId),
+    /// The agent owning one accelerator instance.
+    Instance(AccelInstanceId),
+}
+
+impl fmt::Display for ScopeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScopeKey::Global => f.write_str("global"),
+            ScopeKey::Kind(k) => write!(f, "{k}"),
+            ScopeKey::Instance(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl FromStr for ScopeKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ScopeKey, String> {
+        if s == "global" {
+            return Ok(ScopeKey::Global);
+        }
+        if let Some(rest) = s.strip_prefix("kind") {
+            return rest
+                .parse()
+                .map(|n| ScopeKey::Kind(AccelKindId(n)))
+                .map_err(|_| format!("invalid scope key `{s}`"));
+        }
+        if let Some(rest) = s.strip_prefix("acc") {
+            return rest
+                .parse()
+                .map(|n| ScopeKey::Instance(AccelInstanceId(n)))
+                .map_err(|_| format!("invalid scope key `{s}`"));
+        }
+        Err(format!("invalid scope key `{s}`"))
+    }
+}
+
+/// Builds one sub-agent for a [`ScopeKey`] with the given seed. Must be a
+/// pure function of its arguments (see the module docs).
+pub type AgentFactory = Arc<dyn Fn(ScopeKey, u64) -> Box<dyn Policy> + Send + Sync>;
+
+const TABLES_HEADER: &str = "# cohmeleon router tables v1";
+
+/// Routes `decide`/`observe` to one of several sub-agents selected by the
+/// invocation's accelerator instance or kind.
+///
+/// See the [module docs](self) for the orchestration model. Lifecycle
+/// calls ([`Policy::begin_iteration`], [`Policy::freeze`]) broadcast to
+/// every sub-agent, and the router remembers them so agents created later
+/// (an instance first invoked mid-training) join at the current schedule
+/// position.
+pub struct PolicyRouter {
+    label: String,
+    scope: AgentScope,
+    seed: u64,
+    factory: AgentFactory,
+    kind_of: HashMap<AccelInstanceId, AccelKindId>,
+    agents: BTreeMap<ScopeKey, Box<dyn Policy>>,
+    complexity: PolicyComplexity,
+    current_iteration: Option<usize>,
+    frozen: bool,
+}
+
+impl PolicyRouter {
+    /// Creates a router over `factory`-built agents.
+    ///
+    /// The factory is probed once with [`ScopeKey::Global`] to capture the
+    /// agents' [`PolicyComplexity`] and a default display label
+    /// (`"<scope>(<agent name>)"`); under [`AgentScope::Global`] the probe
+    /// *is* the single agent, so construction cost is identical to
+    /// building the agent directly.
+    pub fn new(
+        scope: AgentScope,
+        seed: u64,
+        factory: impl Fn(ScopeKey, u64) -> Box<dyn Policy> + Send + Sync + 'static,
+    ) -> PolicyRouter {
+        let factory: AgentFactory = Arc::new(factory);
+        let probe = factory(ScopeKey::Global, seed);
+        let complexity = probe.complexity();
+        let label = format!("{scope}({})", probe.name());
+        let mut agents = BTreeMap::new();
+        if scope == AgentScope::Global {
+            agents.insert(ScopeKey::Global, probe);
+        }
+        PolicyRouter {
+            label,
+            scope,
+            seed,
+            factory,
+            kind_of: HashMap::new(),
+            agents,
+            complexity,
+            current_iteration: None,
+            frozen: false,
+        }
+    }
+
+    /// Overrides the display label (see the stability contract on
+    /// [`Policy::name`] — labels are persisted sweep coordinates).
+    pub fn with_label(mut self, label: impl Into<String>) -> PolicyRouter {
+        self.label = label.into();
+        self
+    }
+
+    /// The routing scope.
+    pub fn scope(&self) -> AgentScope {
+        self.scope
+    }
+
+    /// The base seed handed to every sub-agent.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Registers one instance → kind association (the engine calls this
+    /// for the whole SoC through [`Policy::bind_topology`]). Under
+    /// `PerKind`/`PerInstance` the owning agent is created eagerly, so a
+    /// bound router exports a section per agent even before the first
+    /// invocation. Idempotent.
+    pub fn register(&mut self, instance: AccelInstanceId, kind: AccelKindId) {
+        self.kind_of.insert(instance, kind);
+        let key = match self.scope {
+            AgentScope::Global => ScopeKey::Global,
+            AgentScope::PerKind => ScopeKey::Kind(kind),
+            AgentScope::PerInstance => ScopeKey::Instance(instance),
+        };
+        self.ensure_agent(key);
+    }
+
+    /// The instance → kind pairs registered so far (construction +
+    /// every [`bind_topology`](Policy::bind_topology)), sorted by
+    /// instance id — everything needed to rebuild an equivalent router.
+    pub fn topology(&self) -> Vec<(AccelInstanceId, AccelKindId)> {
+        let mut pairs: Vec<(AccelInstanceId, AccelKindId)> =
+            self.kind_of.iter().map(|(&i, &k)| (i, k)).collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Number of sub-agents currently materialised.
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// The materialised sub-agent keys, in [`ScopeKey`] order.
+    pub fn agent_keys(&self) -> impl Iterator<Item = ScopeKey> + '_ {
+        self.agents.keys().copied()
+    }
+
+    /// Read access to one sub-agent.
+    pub fn agent(&self, key: ScopeKey) -> Option<&dyn Policy> {
+        self.agents.get(&key).map(|a| a.as_ref() as &dyn Policy)
+    }
+
+    /// The key owning an instance's invocations under this scope.
+    /// An instance with no registered kind routes to [`ScopeKey::Global`]
+    /// under `PerKind` (the catch-all agent).
+    pub fn key_for(&self, instance: AccelInstanceId) -> ScopeKey {
+        match self.scope {
+            AgentScope::Global => ScopeKey::Global,
+            AgentScope::PerKind => self
+                .kind_of
+                .get(&instance)
+                .map_or(ScopeKey::Global, |k| ScopeKey::Kind(*k)),
+            AgentScope::PerInstance => ScopeKey::Instance(instance),
+        }
+    }
+
+    /// Creates the agent for `key` if missing, catching it up to the
+    /// broadcast lifecycle state (current iteration, frozen).
+    fn ensure_agent(&mut self, key: ScopeKey) {
+        if self.agents.contains_key(&key) {
+            return;
+        }
+        let mut agent = (self.factory)(key, self.seed);
+        if let Some(iteration) = self.current_iteration {
+            agent.begin_iteration(iteration);
+        }
+        if self.frozen {
+            agent.freeze();
+        }
+        self.agents.insert(key, agent);
+    }
+
+    /// Serialises every learning sub-agent's value table into one
+    /// namespaced document:
+    ///
+    /// ```text
+    /// # cohmeleon router tables v1 scope=per-kind
+    /// ## agent kind0
+    /// # cohmeleon q-table v1
+    /// 0\t0.5\t0\t0\t0
+    /// ## agent kind1
+    /// ...
+    /// ```
+    ///
+    /// Sub-agents without a table (fixed policies report
+    /// [`Policy::export_table`] `None`) are skipped. Section order follows
+    /// [`ScopeKey`] order, so identical router states serialise to
+    /// identical bytes.
+    pub fn export_tables(&self) -> String {
+        let mut out = format!("{TABLES_HEADER} scope={}\n", self.scope);
+        for (key, agent) in &self.agents {
+            if let Some(tsv) = agent.export_table() {
+                out.push_str(&format!("## agent {key}\n"));
+                out.push_str(&tsv);
+            }
+        }
+        out
+    }
+
+    /// Restores sub-agent tables from [`export_tables`](Self::export_tables)
+    /// text. Each section *replaces* its key's agent (fresh from the
+    /// factory, lifecycle caught up, table restored); agents without a
+    /// section are untouched. The import is atomic: on any error the
+    /// router's state is exactly what it was before the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a missing/mismatched header, a scope
+    /// mismatch, an unparsable or duplicated section key, or a section
+    /// body the owning agent rejects.
+    pub fn import_tables(&mut self, text: &str) -> Result<(), String> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        let Some(rest) = header.strip_prefix(TABLES_HEADER) else {
+            return Err(format!("missing router-tables header (got `{header}`)"));
+        };
+        if let Some(scope) = rest.trim().strip_prefix("scope=") {
+            let scope: AgentScope = scope.parse().map_err(|e| format!("{e}"))?;
+            if scope != self.scope {
+                return Err(format!(
+                    "scope mismatch: tables were exported from a {scope} router, this one is {}",
+                    self.scope
+                ));
+            }
+        }
+        let mut current: Option<(ScopeKey, String)> = None;
+        let mut sections: Vec<(ScopeKey, String)> = Vec::new();
+        for line in lines {
+            if let Some(key) = line.strip_prefix("## agent ") {
+                if let Some(section) = current.take() {
+                    sections.push(section);
+                }
+                current = Some((key.trim().parse()?, String::new()));
+            } else if let Some((_, body)) = &mut current {
+                body.push_str(line);
+                body.push('\n');
+            } else if !line.trim().is_empty() {
+                return Err(format!("content before the first agent section: `{line}`"));
+            }
+        }
+        if let Some(section) = current.take() {
+            sections.push(section);
+        }
+        // Imports *replace* agent state; a duplicated key would make the
+        // last section silently win, so reject it as the corrupt document
+        // it is. Likewise reject keys this scope can never route to —
+        // installing an unreachable "ghost" agent would report success
+        // while every decision still comes from fresh agents.
+        for (i, (key, _)) in sections.iter().enumerate() {
+            if sections[..i].iter().any(|(k, _)| k == key) {
+                return Err(format!("duplicate section for agent {key}"));
+            }
+            let reachable = match self.scope {
+                AgentScope::Global => matches!(key, ScopeKey::Global),
+                // Global is PerKind's catch-all for unregistered instances.
+                AgentScope::PerKind => !matches!(key, ScopeKey::Instance(_)),
+                AgentScope::PerInstance => matches!(key, ScopeKey::Instance(_)),
+            };
+            if !reachable {
+                return Err(format!(
+                    "section for agent {key} is unreachable under {} routing",
+                    self.scope
+                ));
+            }
+        }
+        // Build every replacement agent (fresh from the factory, caught
+        // up to the broadcast lifecycle, table imported) before touching
+        // the live map: an error anywhere leaves the router exactly as it
+        // was, never in a mixed old/new state. A section replaces its
+        // agent wholesale — table restored, transient state (reward
+        // history, RNG position, visit counts) fresh, as after a process
+        // restart; agents without a section are untouched.
+        let mut replacements: Vec<(ScopeKey, Box<dyn Policy>)> = Vec::new();
+        for (key, body) in sections {
+            let mut agent = (self.factory)(key, self.seed);
+            if let Some(iteration) = self.current_iteration {
+                agent.begin_iteration(iteration);
+            }
+            if self.frozen {
+                agent.freeze();
+            }
+            agent
+                .import_table(&body)
+                .map_err(|e| format!("agent {key}: {e}"))?;
+            replacements.push((key, agent));
+        }
+        for (key, agent) in replacements {
+            self.agents.insert(key, agent);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PolicyRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyRouter")
+            .field("label", &self.label)
+            .field("scope", &self.scope)
+            .field("seed", &self.seed)
+            .field("agents", &self.agents.keys().collect::<Vec<_>>())
+            .field("frozen", &self.frozen)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Policy for PolicyRouter {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn decide(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        available: ModeSet,
+        accel: AccelInstanceId,
+    ) -> Decision {
+        let key = self.key_for(accel);
+        // Fast path first: in steady state (every agent exists) dispatch
+        // is a single map traversal; only a miss pays ensure + re-lookup.
+        if let Some(agent) = self.agents.get_mut(&key) {
+            return agent.decide(snapshot, available, accel);
+        }
+        self.ensure_agent(key);
+        self.agents
+            .get_mut(&key)
+            .expect("ensured above")
+            .decide(snapshot, available, accel)
+    }
+
+    fn observe(
+        &mut self,
+        accel: AccelInstanceId,
+        decision: &Decision,
+        measurement: &InvocationMeasurement,
+    ) {
+        let key = self.key_for(accel);
+        if let Some(agent) = self.agents.get_mut(&key) {
+            return agent.observe(accel, decision, measurement);
+        }
+        self.ensure_agent(key);
+        self.agents
+            .get_mut(&key)
+            .expect("ensured above")
+            .observe(accel, decision, measurement);
+    }
+
+    fn begin_iteration(&mut self, iteration: usize) {
+        self.current_iteration = Some(iteration);
+        for agent in self.agents.values_mut() {
+            agent.begin_iteration(iteration);
+        }
+    }
+
+    fn freeze(&mut self) {
+        self.frozen = true;
+        for agent in self.agents.values_mut() {
+            agent.freeze();
+        }
+    }
+
+    fn complexity(&self) -> PolicyComplexity {
+        self.complexity
+    }
+
+    fn bind_topology(&mut self, topology: &[(AccelInstanceId, AccelKindId)]) {
+        for &(instance, kind) in topology {
+            self.register(instance, kind);
+        }
+    }
+
+    fn export_table(&self) -> Option<String> {
+        Some(self.export_tables())
+    }
+
+    fn import_table(&mut self, text: &str) -> Result<(), String> {
+        self.import_tables(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::CoherenceMode;
+    use crate::policy::FixedPolicy;
+    use crate::snapshot::ArchParams;
+    use crate::PartitionId;
+
+    fn snapshot(footprint: u64) -> SystemSnapshot {
+        SystemSnapshot::new(
+            ArchParams::new(32 * 1024, 256 * 1024, 2),
+            vec![],
+            footprint,
+            vec![PartitionId(0)],
+        )
+    }
+
+    #[test]
+    fn scope_labels_round_trip() {
+        for scope in AgentScope::ALL {
+            assert_eq!(scope.label().parse::<AgentScope>().unwrap(), scope);
+        }
+        assert!("per-socket".parse::<AgentScope>().is_err());
+    }
+
+    #[test]
+    fn scope_keys_round_trip() {
+        for key in [
+            ScopeKey::Global,
+            ScopeKey::Kind(AccelKindId(3)),
+            ScopeKey::Instance(AccelInstanceId(11)),
+        ] {
+            assert_eq!(key.to_string().parse::<ScopeKey>().unwrap(), key);
+        }
+        assert!("tile7".parse::<ScopeKey>().is_err());
+        assert!("kindx".parse::<ScopeKey>().is_err());
+    }
+
+    #[test]
+    fn global_router_has_one_agent_from_construction() {
+        let router = PolicyRouter::new(AgentScope::Global, 0, |_, _| {
+            Box::new(FixedPolicy::new(CoherenceMode::CohDma))
+        });
+        assert_eq!(router.num_agents(), 1);
+        assert_eq!(router.name(), "global(fixed-coh-dma)");
+        assert_eq!(router.complexity(), PolicyComplexity::Simple);
+    }
+
+    #[test]
+    fn per_kind_routing_follows_the_bound_topology() {
+        let mut router = PolicyRouter::new(AgentScope::PerKind, 0, |key, _| {
+            let mode = match key {
+                ScopeKey::Kind(AccelKindId(0)) => CoherenceMode::NonCohDma,
+                ScopeKey::Kind(_) => CoherenceMode::FullCoh,
+                _ => CoherenceMode::LlcCohDma,
+            };
+            Box::new(FixedPolicy::new(mode))
+        });
+        router.bind_topology(&[
+            (AccelInstanceId(0), AccelKindId(0)),
+            (AccelInstanceId(1), AccelKindId(0)),
+            (AccelInstanceId(2), AccelKindId(1)),
+        ]);
+        assert_eq!(router.num_agents(), 2);
+        let d = |r: &mut PolicyRouter, i: u16| {
+            r.decide(&snapshot(1024), ModeSet::all(), AccelInstanceId(i)).mode
+        };
+        assert_eq!(d(&mut router, 0), CoherenceMode::NonCohDma);
+        assert_eq!(d(&mut router, 1), CoherenceMode::NonCohDma);
+        assert_eq!(d(&mut router, 2), CoherenceMode::FullCoh);
+        // Unregistered instances fall back to the catch-all agent.
+        assert_eq!(d(&mut router, 9), CoherenceMode::LlcCohDma);
+        assert_eq!(router.num_agents(), 3);
+    }
+
+    #[test]
+    fn per_instance_creates_one_agent_per_tile() {
+        let mut router = PolicyRouter::new(AgentScope::PerInstance, 0, |_, _| {
+            Box::new(FixedPolicy::new(CoherenceMode::CohDma))
+        });
+        for i in 0..4 {
+            router.decide(&snapshot(1024), ModeSet::all(), AccelInstanceId(i));
+        }
+        assert_eq!(router.num_agents(), 4);
+        let keys: Vec<ScopeKey> = router.agent_keys().collect();
+        assert_eq!(keys[0], ScopeKey::Instance(AccelInstanceId(0)));
+    }
+
+    #[test]
+    fn import_rejects_foreign_documents() {
+        let mut router = PolicyRouter::new(AgentScope::PerKind, 0, |_, _| {
+            Box::new(FixedPolicy::new(CoherenceMode::CohDma))
+        });
+        assert!(router.import_tables("# cohmeleon q-table v1\n").is_err());
+        assert!(router
+            .import_tables("# cohmeleon router tables v1 scope=per-instance\n")
+            .is_err());
+        assert!(router
+            .import_tables("# cohmeleon router tables v1 scope=per-kind\nstray line\n")
+            .is_err());
+        assert!(router
+            .import_tables("# cohmeleon router tables v1 scope=per-kind\n## agent bogus9\n")
+            .is_err());
+        // A per-kind router can never route to an instance-keyed agent:
+        // installing it would silently succeed while never being used.
+        assert!(router
+            .import_tables("# cohmeleon router tables v1 scope=per-kind\n## agent acc3\n")
+            .is_err());
+    }
+}

@@ -34,6 +34,12 @@ pub trait ValueStore: Send {
     /// Writes `Q(state, action)`.
     fn set_entry(&mut self, state: usize, action: usize, value: f64);
 
+    /// Resets every entry to the untrained zero state (the cardinality is
+    /// unchanged). Used before restoring a serialised table, whose text
+    /// only carries populated rows — without the reset, importing into a
+    /// non-fresh store would *overlay* rather than *replace*.
+    fn reset(&mut self);
+
     /// Number of entries holding a non-zero value — a rough measure of how
     /// much of the state space training has visited.
     fn populated_entries(&self) -> usize;
@@ -56,6 +62,9 @@ impl ValueStore for Box<dyn ValueStore> {
     }
     fn set_entry(&mut self, state: usize, action: usize, value: f64) {
         (**self).set_entry(state, action, value);
+    }
+    fn reset(&mut self) {
+        (**self).reset();
     }
     fn populated_entries(&self) -> usize {
         (**self).populated_entries()
@@ -97,6 +106,46 @@ pub fn best_entry<V: ValueStore + ?Sized>(
 
 fn tsv_header() -> String {
     String::from("# cohmeleon q-table v1\n")
+}
+
+/// Parses Q-table TSV text (the [`ValueStore::to_tsv`] format) into any
+/// store, writing each parsed entry through [`ValueStore::set_entry`] —
+/// the store-agnostic counterpart of [`QTable::from_tsv_with_states`],
+/// used by [`Policy::import_table`](crate::policy::Policy::import_table)
+/// to restore agents whose store type is erased.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed rows, state
+/// indices outside `store.states()`, or non-finite values.
+pub fn read_tsv_into<V: ValueStore + ?Sized>(text: &str, store: &mut V) -> Result<(), String> {
+    let states = store.states();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 1 + CoherenceMode::COUNT {
+            return Err(format!("line {}: expected 5 fields", lineno + 1));
+        }
+        let s: usize = fields[0]
+            .parse()
+            .map_err(|_| format!("line {}: bad state index", lineno + 1))?;
+        if s >= states {
+            return Err(format!("line {}: state {s} out of range", lineno + 1));
+        }
+        for (a, field) in fields[1..].iter().enumerate() {
+            let v: f64 = field
+                .parse()
+                .map_err(|_| format!("line {}: bad value", lineno + 1))?;
+            if !v.is_finite() {
+                return Err(format!("line {}: non-finite value", lineno + 1));
+            }
+            store.set_entry(s, a, v);
+        }
+    }
+    Ok(())
 }
 
 fn tsv_row(out: &mut String, state: usize, row: &[f64]) {
@@ -234,31 +283,7 @@ impl QTable {
     /// against `states`.
     pub fn from_tsv_with_states(text: &str, states: usize) -> Result<QTable, String> {
         let mut table = QTable::with_states(states);
-        for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let fields: Vec<&str> = line.split('\t').collect();
-            if fields.len() != 1 + CoherenceMode::COUNT {
-                return Err(format!("line {}: expected 5 fields", lineno + 1));
-            }
-            let s: usize = fields[0]
-                .parse()
-                .map_err(|_| format!("line {}: bad state index", lineno + 1))?;
-            if s >= states {
-                return Err(format!("line {}: state {s} out of range", lineno + 1));
-            }
-            for (a, field) in fields[1..].iter().enumerate() {
-                let v: f64 = field
-                    .parse()
-                    .map_err(|_| format!("line {}: bad value", lineno + 1))?;
-                if !v.is_finite() {
-                    return Err(format!("line {}: non-finite value", lineno + 1));
-                }
-                table.q[s * CoherenceMode::COUNT + a] = v;
-            }
-        }
+        read_tsv_into(text, &mut table)?;
         Ok(table)
     }
 }
@@ -281,6 +306,9 @@ impl ValueStore for QTable {
     }
     fn set_entry(&mut self, state: usize, action: usize, value: f64) {
         self.set_index(state, action, value);
+    }
+    fn reset(&mut self) {
+        self.q.fill(0.0);
     }
     fn populated_entries(&self) -> usize {
         QTable::populated_entries(self)
@@ -340,6 +368,10 @@ impl ValueStore for SparseQTable {
 
     fn set_entry(&mut self, state: usize, action: usize, value: f64) {
         self.map.insert((state, action), value);
+    }
+
+    fn reset(&mut self) {
+        self.map.clear();
     }
 
     fn populated_entries(&self) -> usize {

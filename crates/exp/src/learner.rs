@@ -31,10 +31,13 @@ use serde::{Deserialize, Serialize};
 use cohmeleon_core::agent::LearnedPolicy;
 use cohmeleon_core::explore::{EpsilonGreedy, ExplorationStrategy, Softmax, Ucb1};
 use cohmeleon_core::reward::RewardWeights;
+use cohmeleon_core::router::{PolicyRouter, ScopeKey};
 use cohmeleon_core::space::{CoarseSpace, ExtendedSpace, StateSpace, Table3Space};
 use cohmeleon_core::update::{BlendUpdate, DiscountedUpdate, UpdateRule};
 use cohmeleon_core::value::{QTable, SparseQTable, ValueStore};
 use cohmeleon_core::Policy;
+
+pub use cohmeleon_core::router::AgentScope;
 
 /// Which state-space discretizer the agent senses through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -168,12 +171,76 @@ impl UpdateKind {
     }
 }
 
+/// Which reward weighting `(x, y, z)` the agent trains against — the
+/// learner axis behind the paper's Figure-6 design-space exploration,
+/// expressed as named presets so weight sweeps are serializable grid
+/// cells (see the `weight_sensitivity` harness in `cohmeleon-bench`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightPreset {
+    /// The paper's cross-SoC configuration: 67.5% execution time, 7.5%
+    /// communication ratio, 25% off-chip accesses.
+    Paper,
+    /// Execution time only: `(100, 0, 0)` — Figure 6's pure-latency
+    /// corner.
+    Exec,
+    /// Equal thirds: `(1, 1, 1)` normalised.
+    Balanced,
+    /// The paper's second Pareto-optimal point: `(12.5, 12.5, 75)`.
+    MemHeavy,
+    /// Off-chip accesses only: `(0, 0, 100)` — the corner the paper found
+    /// significantly worse on execution time.
+    Mem,
+}
+
+impl WeightPreset {
+    /// All presets, paper first.
+    pub const ALL: [WeightPreset; 5] = [
+        WeightPreset::Paper,
+        WeightPreset::Exec,
+        WeightPreset::Balanced,
+        WeightPreset::MemHeavy,
+        WeightPreset::Mem,
+    ];
+
+    /// The stable string form (a persisted label component — never rename).
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightPreset::Paper => "paper",
+            WeightPreset::Exec => "exec",
+            WeightPreset::Balanced => "balanced",
+            WeightPreset::MemHeavy => "mem-heavy",
+            WeightPreset::Mem => "mem",
+        }
+    }
+
+    /// The concrete reward weights this preset names.
+    pub fn weights(self) -> RewardWeights {
+        let (x, y, z) = match self {
+            WeightPreset::Paper => return RewardWeights::paper_default(),
+            WeightPreset::Exec => (100.0, 0.0, 0.0),
+            WeightPreset::Balanced => (1.0, 1.0, 1.0),
+            WeightPreset::MemHeavy => (12.5, 12.5, 75.0),
+            WeightPreset::Mem => (0.0, 0.0, 100.0),
+        };
+        RewardWeights::new(x, y, z).expect("presets are valid weightings")
+    }
+}
+
 /// One cell of the learner design space, as plain serializable data.
 ///
 /// `LearnerSpec::paper()` names the composition the paper evaluates;
 /// [`grid`](Self::grid) enumerates Cartesian sweeps for ablation
-/// harnesses. The string form round-trips through `Display`/`FromStr`
-/// (`"extended/ucb1/sparse/discounted"`).
+/// harnesses. Beyond the four component axes, a spec carries two
+/// orchestration axes: the [`AgentScope`] (does one agent drive the whole
+/// SoC, or one per accelerator kind/instance?) and the [`WeightPreset`]
+/// (which reward weighting the agent trains against).
+///
+/// The string form round-trips through `Display`/`FromStr`. For the
+/// default orchestration (global scope, paper weights) it is the
+/// four-segment form existing checkpoints were written with
+/// (`"extended/ucb1/sparse/discounted"`); non-default scope/weights
+/// append their segments (`"table3/eps-greedy/dense/blend/per-kind/mem"`),
+/// so pre-existing labels stay byte-identical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LearnerSpec {
     /// The state-space discretizer.
@@ -184,21 +251,57 @@ pub struct LearnerSpec {
     pub store: StoreKind,
     /// The update rule.
     pub update: UpdateKind,
+    /// How agents are partitioned across accelerators.
+    pub scope: AgentScope,
+    /// The reward weighting the agent trains against.
+    pub weights: WeightPreset,
 }
 
 impl LearnerSpec {
-    /// The paper's composition: Table-3 / ε-greedy / dense / blend.
+    /// The paper's composition: Table-3 / ε-greedy / dense / blend, one
+    /// global agent, paper reward weights.
     pub fn paper() -> LearnerSpec {
         LearnerSpec {
             state_space: StateSpaceKind::Table3,
             exploration: ExplorationKind::EpsilonGreedy,
             store: StoreKind::Dense,
             update: UpdateKind::Blend,
+            scope: AgentScope::Global,
+            weights: WeightPreset::Paper,
         }
+    }
+
+    /// This spec with a different [`AgentScope`].
+    pub fn with_scope(self, scope: AgentScope) -> LearnerSpec {
+        LearnerSpec { scope, ..self }
+    }
+
+    /// This spec with a different [`WeightPreset`].
+    pub fn with_weights(self, weights: WeightPreset) -> LearnerSpec {
+        LearnerSpec { weights, ..self }
+    }
+
+    /// The Cartesian product of scopes × weight presets over the paper's
+    /// component composition, scope-major — the input to the scoped
+    /// orchestration and weight-sensitivity sweeps.
+    pub fn scope_weight_grid(
+        scopes: &[AgentScope],
+        weights: &[WeightPreset],
+    ) -> Vec<LearnerSpec> {
+        let mut specs = Vec::with_capacity(scopes.len() * weights.len());
+        for &scope in scopes {
+            for &preset in weights {
+                specs.push(LearnerSpec::paper().with_scope(scope).with_weights(preset));
+            }
+        }
+        specs
     }
 
     /// The Cartesian product of the given axis values, in
     /// state-space-major order — the input to a learner-ablation sweep.
+    /// All cells use the default orchestration (global scope, paper
+    /// weights); compose with [`with_scope`](Self::with_scope) /
+    /// [`with_weights`](Self::with_weights) to move them.
     pub fn grid(
         spaces: &[StateSpaceKind],
         explorations: &[ExplorationKind],
@@ -214,6 +317,7 @@ impl LearnerSpec {
                         exploration,
                         store,
                         update,
+                        ..LearnerSpec::paper()
                     });
                 }
             }
@@ -233,10 +337,12 @@ impl LearnerSpec {
         }
     }
 
-    /// Builds the agent for one grid cell. The paper composition builds
-    /// the concrete `CohmeleonPolicy`; every other spec assembles a
-    /// dyn-composed [`LearnedPolicy`].
-    pub fn build(&self, train_iterations: usize, seed: u64) -> Box<dyn Policy> {
+    /// Builds one (sub-)agent of this composition — what a [`Global`]
+    /// cell runs directly and what a scoped cell's router builds per
+    /// [`ScopeKey`].
+    ///
+    /// [`Global`]: AgentScope::Global
+    fn build_agent(&self, train_iterations: usize, seed: u64) -> Box<dyn Policy> {
         use cohmeleon_core::policy::CohmeleonPolicy;
         use cohmeleon_core::qlearn::LearningSchedule;
 
@@ -255,10 +361,35 @@ impl LearnerSpec {
             self.exploration.build(train_iterations),
             store,
             self.update.build(train_iterations),
-            RewardWeights::paper_default(),
+            self.weights.weights(),
             train_iterations,
             seed,
         ))
+    }
+
+    /// Builds the agent for one grid cell. The paper composition builds
+    /// the concrete `CohmeleonPolicy`; every other [`Global`]-scoped spec
+    /// assembles a dyn-composed [`LearnedPolicy`]; `PerKind`/`PerInstance`
+    /// specs wrap the composition in a
+    /// [`PolicyRouter`] — one sub-agent of the same composition (same
+    /// seed) per scope key, created as the engine binds the SoC topology.
+    ///
+    /// [`Global`]: AgentScope::Global
+    pub fn build(&self, train_iterations: usize, seed: u64) -> Box<dyn Policy> {
+        match self.scope {
+            AgentScope::Global => self.build_agent(train_iterations, seed),
+            scope => {
+                // Sub-agents are built as the *global* variant of this
+                // spec (partitioning is the router's job, not the
+                // sub-agent's), every one from the same seed: divergence
+                // from the global cell comes only from state partitioning.
+                let sub = self.with_scope(AgentScope::Global);
+                let factory = move |_key: ScopeKey, sub_seed: u64| {
+                    sub.build_agent(train_iterations, sub_seed)
+                };
+                Box::new(PolicyRouter::new(scope, seed, factory).with_label(self.label()))
+            }
+        }
     }
 }
 
@@ -271,7 +402,14 @@ impl fmt::Display for LearnerSpec {
             self.exploration.label(),
             self.store.label(),
             self.update.label()
-        )
+        )?;
+        // The default orchestration keeps the historical four-segment
+        // form, so labels persisted before the scope/weights axes existed
+        // stay byte-identical (they are checkpoint coordinates).
+        if self.scope != AgentScope::Global || self.weights != WeightPreset::Paper {
+            write!(f, "/{}/{}", self.scope.label(), self.weights.label())?;
+        }
+        Ok(())
     }
 }
 
@@ -316,14 +454,42 @@ impl FromStr for LearnerSpec {
             "discounted" => UpdateKind::Discounted,
             _ => return Err(err()),
         };
-        if parts.next().is_some() {
+        // Orchestration segments are optional (the four-segment form is
+        // the pre-scope wire format and stays valid): `/<scope>/<weights>`
+        // in that order, each individually omissible since the token sets
+        // are disjoint.
+        let mut scope = AgentScope::Global;
+        let mut weights = WeightPreset::Paper;
+        let extras: Vec<&str> = parts.collect();
+        if extras.len() > 2 {
             return Err(err());
+        }
+        let mut seen_scope = false;
+        let mut seen_weights = false;
+        for extra in extras {
+            if let Ok(s) = extra.parse::<AgentScope>() {
+                if seen_scope || seen_weights {
+                    return Err(err());
+                }
+                scope = s;
+                seen_scope = true;
+            } else if let Some(p) = WeightPreset::ALL.iter().find(|p| p.label() == extra) {
+                if seen_weights {
+                    return Err(err());
+                }
+                weights = *p;
+                seen_weights = true;
+            } else {
+                return Err(err());
+            }
         }
         Ok(LearnerSpec {
             state_space,
             exploration,
             store,
             update,
+            scope,
+            weights,
         })
     }
 }
@@ -376,5 +542,83 @@ mod tests {
         let spec: LearnerSpec = "extended/ucb1/sparse/discounted".parse().unwrap();
         let policy = spec.build(2, 1);
         assert_eq!(policy.name(), "ql[extended/ucb1/sparse/discounted]");
+    }
+
+    #[test]
+    fn orchestration_axes_round_trip() {
+        for spec in LearnerSpec::scope_weight_grid(&AgentScope::ALL, &WeightPreset::ALL) {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<LearnerSpec>().unwrap(), spec, "{text}");
+        }
+        // Partial forms: a lone scope or lone weights segment parses.
+        let s: LearnerSpec = "table3/eps-greedy/dense/blend/per-kind".parse().unwrap();
+        assert_eq!(s, LearnerSpec::paper().with_scope(AgentScope::PerKind));
+        let s: LearnerSpec = "table3/eps-greedy/dense/blend/mem".parse().unwrap();
+        assert_eq!(s, LearnerSpec::paper().with_weights(WeightPreset::Mem));
+        // Wrong order, duplicates and junk are rejected.
+        assert!("table3/eps-greedy/dense/blend/mem/per-kind"
+            .parse::<LearnerSpec>()
+            .is_err());
+        assert!("table3/eps-greedy/dense/blend/per-kind/per-kind"
+            .parse::<LearnerSpec>()
+            .is_err());
+        assert!("table3/eps-greedy/dense/blend/per-core/paper"
+            .parse::<LearnerSpec>()
+            .is_err());
+        assert!("table3/eps-greedy/dense/blend/per-kind/paper/extra"
+            .parse::<LearnerSpec>()
+            .is_err());
+    }
+
+    #[test]
+    fn default_orchestration_keeps_the_historical_wire_format() {
+        // Labels are checkpoint coordinates: the paper cell and every
+        // pre-existing four-segment label must be byte-identical to what
+        // the pre-scope code produced.
+        assert_eq!(LearnerSpec::paper().to_string(), "table3/eps-greedy/dense/blend");
+        assert_eq!(LearnerSpec::paper().label(), "cohmeleon");
+        let old: LearnerSpec = "extended/ucb1/sparse/discounted".parse().unwrap();
+        assert_eq!(old.to_string(), "extended/ucb1/sparse/discounted");
+        assert_eq!(old.scope, AgentScope::Global);
+        assert_eq!(old.weights, WeightPreset::Paper);
+        // Scoped/reweighted labels are pinned too (new coordinates).
+        assert_eq!(
+            LearnerSpec::paper().with_scope(AgentScope::PerKind).label(),
+            "ql[table3/eps-greedy/dense/blend/per-kind/paper]"
+        );
+        assert_eq!(
+            LearnerSpec::paper().with_weights(WeightPreset::MemHeavy).label(),
+            "ql[table3/eps-greedy/dense/blend/global/mem-heavy]"
+        );
+    }
+
+    #[test]
+    fn scoped_specs_build_routers() {
+        let spec = LearnerSpec::paper()
+            .with_scope(AgentScope::PerInstance)
+            .with_weights(WeightPreset::Balanced);
+        let policy = spec.build(2, 9);
+        assert_eq!(policy.name(), spec.label());
+        // The router reports the learned complexity class, so the engine
+        // charges the same decide-phase overhead as for a bare agent.
+        assert_eq!(
+            policy.complexity(),
+            cohmeleon_core::policy::PolicyComplexity::Learned
+        );
+    }
+
+    #[test]
+    fn scope_weight_grid_enumerates_scope_major() {
+        let specs = LearnerSpec::scope_weight_grid(
+            &[AgentScope::Global, AgentScope::PerKind],
+            &[WeightPreset::Paper, WeightPreset::Mem],
+        );
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0], LearnerSpec::paper());
+        assert_eq!(specs[1].weights, WeightPreset::Mem);
+        assert_eq!(specs[2].scope, AgentScope::PerKind);
+        let labels: std::collections::HashSet<String> =
+            specs.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4, "labels must be distinct grid coordinates");
     }
 }

@@ -105,7 +105,7 @@ pub use grid::{
     Scenario, SweepGrid,
 };
 pub use learner::{
-    ExplorationKind, LearnerSpec, StateSpaceKind, StoreKind, UpdateKind,
+    AgentScope, ExplorationKind, LearnerSpec, StateSpaceKind, StoreKind, UpdateKind, WeightPreset,
 };
 pub use policies::{build_policy, policy_suite, PolicyKind};
 pub use shard::{merge_files, merge_records, MergeError, ShardError, ShardExecutor, ShardSpec};

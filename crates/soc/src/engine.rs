@@ -208,6 +208,16 @@ pub fn run_app_with_options(
     seed: u64,
     options: EngineOptions,
 ) -> AppResult {
+    // Hand the policy the SoC's accelerator topology before anything runs:
+    // scope-aware policies (`PolicyRouter`) route per-kind/per-instance
+    // decisions from it; everything else ignores it (`bind_topology` is a
+    // default no-op, so this is invisible to the paper policies).
+    let topology: Vec<(AccelInstanceId, cohmeleon_core::AccelKindId)> = soc
+        .accel_infos()
+        .iter()
+        .map(|info| (info.instance, info.kind))
+        .collect();
+    policy.bind_topology(&topology);
     let mut engine = Engine::new(soc, policy, seed);
     engine.options = options;
     // Event-queue arena: each runnable thread keeps exactly one event in

@@ -10,7 +10,8 @@
 //! Run with: `cargo run --release --example learner_sweep`
 
 use cohmeleon_repro::exp::{
-    Experiment, JsonlSink, LearnerSpec, StateSpaceKind, StoreKind, UpdateKind, WorkStealing,
+    AgentScope, Experiment, JsonlSink, LearnerSpec, StateSpaceKind, StoreKind, UpdateKind,
+    WeightPreset, WorkStealing,
 };
 use cohmeleon_repro::soc::config::soc1;
 use cohmeleon_repro::workloads::generator::{generate_app, GeneratorParams};
@@ -41,6 +42,11 @@ fn main() {
             }
         }),
     );
+    // The orchestration axes ride the same grid: the paper composition
+    // with one agent per accelerator kind, and with a memory-leaning
+    // reward — each its own resumable, shardable cell.
+    specs.push(LearnerSpec::paper().with_scope(AgentScope::PerKind));
+    specs.push(LearnerSpec::paper().with_weights(WeightPreset::MemHeavy));
 
     let grid = Experiment::train_test(config, train_app, test_app)
         .learners(specs.iter().copied())

@@ -47,11 +47,14 @@
 //!   the composable learning-agent stack (`StateSpace` ×
 //!   `ExplorationStrategy` × `ValueStore` × `UpdateRule` behind
 //!   `LearnedPolicy`/`AgentBuilder`; `CohmeleonPolicy` is the
-//!   bit-identical paper-default composition).
+//!   bit-identical paper-default composition), plus the agent
+//!   orchestration layer (`PolicyRouter` routing decisions through
+//!   global / per-kind / per-instance agents).
 //! * [`exp`] — experiment orchestration: the `Experiment` builder, sweep
 //!   grids, `Serial`/`WorkStealing` executors, streaming result sinks
 //!   (including `JsonlSink`/`CsvSink` persistence), and sweepable
-//!   `LearnerSpec` agent configurations.
+//!   `LearnerSpec` agent configurations (component, scope and
+//!   reward-weight axes).
 //! * [`soc`] — the simulated SoC substrate (tiles, Table-4 configurations,
 //!   hardware monitors, the accelerator-invocation API).
 //! * [`accel`] — accelerator communication models and the traffic generator.

@@ -74,6 +74,19 @@ fn golden_default_agent_matches_pre_redesign_cohmeleon() {
     assert_eq!(result_built.structural_hash(), 0x49cb7da5f2419441);
     let _ = policy;
 
+    // The agent-orchestration refactor must be invisible in the paper's
+    // configuration: routing the same agent through a `Global`-scoped
+    // `PolicyRouter` (what a scoped `LearnerSpec` builds) reproduces the
+    // identical hash — the router forwards every decide/observe bit for
+    // bit.
+    let routed = AgentBuilder::paper(3, 7).label("cohmeleon").build_routed();
+    let (result_routed, _) = run(Box::new(routed));
+    assert_eq!(
+        result_routed.structural_hash(),
+        0x49cb7da5f2419441,
+        "Global-scoped routing changed modeled behaviour"
+    );
+
     // Re-run the direct agent to extract the trained table for the TSV pin
     // (the boxed run above type-erased it).
     let mut tsv_policy = CohmeleonPolicy::new(
@@ -83,6 +96,31 @@ fn golden_default_agent_matches_pre_redesign_cohmeleon() {
     );
     run_protocol(&config, &train, &test, &mut tsv_policy, 3, 7);
     assert_eq!(tsv_policy.table().to_tsv(), expected_tsv);
+}
+
+#[test]
+fn per_kind_router_trains_one_agent_per_kind() {
+    use cohmeleon_repro::core::router::AgentScope;
+
+    let config = soc1();
+    let train = generate_app(&config, &GeneratorParams::quick(), 1);
+    let test = generate_app(&config, &GeneratorParams::quick(), 2);
+    let mut router = AgentBuilder::paper(2, 7)
+        .scope(AgentScope::PerKind)
+        .build_routed();
+    let result = run_protocol(&config, &train, &test, &mut router, 2, 7);
+    assert!(result.total_duration() > 0);
+    // The engine bound the SoC topology: one sub-agent per accelerator
+    // kind exists (not one per instance, not a single global one).
+    let kinds: std::collections::HashSet<_> =
+        config.accels.iter().map(|t| t.spec.kind).collect();
+    assert_eq!(router.num_agents(), kinds.len());
+    let tables = router.export_tables();
+    assert_eq!(
+        tables.matches("## agent kind").count(),
+        kinds.len(),
+        "every per-kind agent serialises its own section:\n{tables}"
+    );
 }
 
 #[test]
