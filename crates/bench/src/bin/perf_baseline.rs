@@ -44,6 +44,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use cohmeleon_bench::policies::PolicyKind;
+use cohmeleon_bench::tracked::{
+    soc6_params, suite_grid, sweep_grid, SEED, SUITE, TRAIN_ITERATIONS,
+};
 use cohmeleon_core::agent::AgentBuilder;
 use cohmeleon_core::policy::{FixedPolicy, Policy};
 use cohmeleon_core::router::{AgentScope, PolicyRouter};
@@ -54,16 +57,20 @@ use cohmeleon_exp::{
     Serial, ShardExecutor, ShardSpec, SweepGrid, WorkStealing,
 };
 use cohmeleon_soc::config::{soc1, soc6};
-use cohmeleon_soc::SocConfig;
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
-use cohmeleon_workloads::sizes::SizeClass;
 
-/// Policies in the fixed suites, in run order.
-const SUITE: [PolicyKind; 3] = [PolicyKind::FixedNonCoh, PolicyKind::Manual, PolicyKind::Cohmeleon];
-const TRAIN_ITERATIONS: usize = 2;
-const SEED: u64 = 7;
-/// Seeds of the executor-speedup grid (cells = seeds × policies).
-const SWEEP_SEEDS: [u64; 4] = [1, 2, 3, 4];
+/// The committed baseline record smoke mode guards against (regression
+/// and bit-identity checks); distinct from `--out`, which smoke only
+/// writes.
+const BASELINE_FILE: &str = "BENCH_hotpath.json";
+
+/// Logical CPUs visible to this process, recorded alongside every
+/// measurement: wall-clock numbers are only comparable between runs that
+/// saw the same parallelism (and the `sweep_*` speedups are bounded by
+/// it).
+fn cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
 
 struct Args {
     smoke: bool,
@@ -119,48 +126,6 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(args)
 }
-
-/// The generator preset of the soc6-scale suite: Large/Extra-Large
-/// datasets against soc6's LLC, so recalls, evictions and DRAM bursts
-/// dominate (the cache-thrashing regime the quick suite never enters).
-fn soc6_params() -> GeneratorParams {
-    GeneratorParams {
-        phases: 2,
-        threads: (2, 4),
-        chain_len: (1, 2),
-        loops: (1, 2),
-        size_mix: vec![SizeClass::Large, SizeClass::ExtraLarge],
-        check_per_mille: 250,
-    }
-}
-
-/// Builds the tracked single-seed suite grid for one SoC.
-fn suite_grid(config: SocConfig, params: &GeneratorParams, train_iterations: usize) -> SweepGrid {
-    let train = generate_app(&config, params, 1);
-    let test = generate_app(&config, params, 2);
-    Experiment::train_test(config, train, test)
-        .policy_kinds(SUITE)
-        .seed(SEED)
-        .train_iterations(train_iterations)
-        .build()
-        .expect("tracked suite is non-empty")
-}
-
-/// The executor/shard measurement grid (soc1 × quick over
-/// [`SWEEP_SEEDS`]). Deterministic so a `--shard` worker process
-/// rebuilds exactly the grid its parent is measuring.
-fn sweep_grid() -> SweepGrid {
-    let config = soc1();
-    let train = generate_app(&config, &GeneratorParams::quick(), 1);
-    let test = generate_app(&config, &GeneratorParams::quick(), 2);
-    Experiment::train_test(config, train, test)
-        .policy_kinds(SUITE)
-        .seeds(SWEEP_SEEDS)
-        .train_iterations(TRAIN_ITERATIONS)
-        .build()
-        .expect("sweep grid is non-empty")
-}
-
 
 /// One measured run of `grid` under `executor`. Returns (wall seconds,
 /// simulation events, invocations, total simulated cycles) — everything
@@ -278,9 +243,10 @@ fn measurement_json(wall_s: f64, events: u64, invocations: u64, sim_cycles: u64)
         s,
         "{{\"wall_s\": {wall_s:.6}, \"sim_events\": {events}, \"events_per_s\": {:.0}, \
          \"invocations\": {invocations}, \"sim_cycles\": {sim_cycles}, \
-         \"sim_cycles_per_s\": {:.3e}}}",
+         \"sim_cycles_per_s\": {:.3e}, \"cpus\": {}}}",
         events as f64 / wall_s,
         sim_cycles as f64 / wall_s,
+        cpus(),
     );
     s
 }
@@ -391,10 +357,88 @@ fn smoke(args: &Args) -> ExitCode {
     // And the dispatch micro-benchmark itself must run (its determinism
     // assertion is inside).
     let (_, dispatch_decides) = run_router_dispatch();
+
+    // Tracked soc6-scale suite (the cache-thrashing regime): deterministic
+    // counters must reproduce the committed baseline bit for bit, and the
+    // measured throughput must stay within 10% of it. The throughput
+    // guard is wall-clock and therefore only meaningful on the machine
+    // that recorded the baseline — set COHMELEON_SKIP_PERF_GUARD=1 to
+    // skip it (the bit-identity check always runs).
+    let grid6 = suite_grid(soc6(), &soc6_params(), TRAIN_ITERATIONS);
+    let mut wall6 = f64::MAX;
+    let mut pins6 = (0u64, 0u64, 0u64);
+    for rep in 0..3 {
+        let (w, e, i, c) = run_grid(&grid6, &Serial);
+        if rep > 0 && pins6 != (e, i, c) {
+            eprintln!(
+                "perf_baseline --smoke: nondeterministic soc6 suite: \
+                 {:?} vs {:?}",
+                pins6,
+                (e, i, c)
+            );
+            return ExitCode::FAILURE;
+        }
+        wall6 = wall6.min(w);
+        pins6 = (e, i, c);
+    }
+    match std::fs::read_to_string(BASELINE_FILE) {
+        Ok(json) => {
+            let Some(baseline6) = extract_object(&json, "soc6_scale")
+                .and_then(|sect| extract_object(sect, "baseline"))
+                .map(str::to_owned)
+            else {
+                eprintln!(
+                    "perf_baseline --smoke: {BASELINE_FILE} has no soc6_scale baseline — \
+                     run the full benchmark once to record it"
+                );
+                return ExitCode::FAILURE;
+            };
+            let pinned = |field: &str| extract_field(&baseline6, field).map(|v| v as u64);
+            let expected = (
+                pinned("sim_events").unwrap_or(0),
+                pinned("invocations").unwrap_or(0),
+                pinned("sim_cycles").unwrap_or(0),
+            );
+            if pins6 != expected {
+                eprintln!(
+                    "perf_baseline --smoke: soc6 suite diverged from the committed baseline: \
+                     got {pins6:?}, expected {expected:?} (events, invocations, cycles) — \
+                     modeled behaviour changed; regenerate {BASELINE_FILE} only for \
+                     *intentional* model changes"
+                );
+                return ExitCode::FAILURE;
+            }
+            let guard_skipped = std::env::var_os("COHMELEON_SKIP_PERF_GUARD").is_some();
+            let events_per_s = pins6.0 as f64 / wall6;
+            if let Some(base_eps) = extract_field(&baseline6, "events_per_s") {
+                if !guard_skipped && events_per_s < 0.9 * base_eps {
+                    eprintln!(
+                        "perf_baseline --smoke: soc6 throughput regressed >10%: \
+                         {events_per_s:.0} events/s vs baseline {base_eps:.0} \
+                         (COHMELEON_SKIP_PERF_GUARD=1 skips this on machines that \
+                         did not record the baseline)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "  soc6-scale: {:.0} events/s vs baseline {base_eps:.0} ({})",
+                    events_per_s,
+                    if guard_skipped { "guard skipped" } else { "within guard" }
+                );
+            }
+        }
+        Err(_) => {
+            // Fresh checkout without a recorded baseline: nothing to
+            // compare against; determinism was still asserted above.
+            println!("  soc6-scale: no {BASELINE_FILE}, baseline checks skipped");
+        }
+    }
+
     println!(
         "perf_baseline --smoke: ok ({e1} events, {i1} invocations, {c1} simulated cycles; \
-         executors bit-identical; 2- and 3-shard merges bit-identical; \
-         Global-routed cohmeleon bit-identical; {dispatch_decides} router dispatches)"
+         soc6 {}/{}/{}; executors bit-identical; 2- and 3-shard merges bit-identical; \
+         Global-routed cohmeleon bit-identical; {dispatch_decides} router dispatches)",
+        pins6.0, pins6.1, pins6.2
     );
     if let Some(out) = &args.out_flag {
         // Smoke runs make no timing claims, so no wall-time fields.
@@ -468,6 +512,13 @@ fn main() -> ExitCode {
     }
     let threads = WorkStealing::new().thread_count(sweep_grid.num_cells());
     let sweep_speedup = serial_wall / steal_wall;
+    let current_sweep = format!(
+        "{{\"cells\": {}, \"threads\": {threads}, \"cpus\": {}, \
+         \"serial_wall_s\": {serial_wall:.6}, \"worksteal_wall_s\": {steal_wall:.6}, \
+         \"speedup\": {sweep_speedup:.2}}}",
+        sweep_grid.num_cells(),
+        cpus()
+    );
     println!(
         "  sweep: {} cells, {threads} threads: serial {serial_wall:.3} s, \
          work-stealing {steal_wall:.3} s → {sweep_speedup:.2}x (bit-identical)",
@@ -511,6 +562,13 @@ fn main() -> ExitCode {
     }
     let _ = std::fs::remove_dir_all(&shard_dir);
     let shard_speedup = serial_wall / shard_wall;
+    let current_shards = format!(
+        "{{\"cells\": {}, \"shards\": {SHARD_COUNT}, \"cpus\": {}, \
+         \"serial_wall_s\": {serial_wall:.6}, \"shard_wall_s\": {shard_wall:.6}, \
+         \"speedup\": {shard_speedup:.2}}}",
+        sweep_grid.num_cells(),
+        cpus()
+    );
     println!(
         "  sweep: {SHARD_COUNT} worker processes: {shard_wall:.3} s → {shard_speedup:.2}x \
          vs serial (bit-identical; includes process spawn + rebuild cost)"
@@ -536,8 +594,9 @@ fn main() -> ExitCode {
     }
     let current_dispatch = format!(
         "{{\"decides\": {dispatch_decides}, \"instances\": {DISPATCH_INSTANCES}, \
-         \"wall_s\": {dispatch_wall:.6}, \"decides_per_s\": {:.0}}}",
-        dispatch_decides as f64 / dispatch_wall
+         \"wall_s\": {dispatch_wall:.6}, \"decides_per_s\": {:.0}, \"cpus\": {}}}",
+        dispatch_decides as f64 / dispatch_wall,
+        cpus()
     );
     println!(
         "  router_dispatch: {dispatch_decides} decide/observe rounds over \
@@ -565,6 +624,23 @@ fn main() -> ExitCode {
         .and_then(|sect| extract_object(sect, "baseline"))
         .map(str::to_owned)
         .unwrap_or_else(|| current_dispatch.clone());
+    // The sweep sections follow the same preserve-baseline-on-rerun scheme
+    // as `router_dispatch`: the first recorded measurement sticks, later
+    // runs only refresh `current`. Files written by older versions kept a
+    // single flat object per sweep section — those carry no baseline, so
+    // the current run seeds it.
+    let baseline_sweep = previous
+        .as_deref()
+        .and_then(|json| extract_object(json, "sweep_executor"))
+        .and_then(|sect| extract_object(sect, "baseline"))
+        .map(str::to_owned)
+        .unwrap_or_else(|| current_sweep.clone());
+    let baseline_shards = previous
+        .as_deref()
+        .and_then(|json| extract_object(json, "sweep_shards"))
+        .and_then(|sect| extract_object(sect, "baseline"))
+        .map(str::to_owned)
+        .unwrap_or_else(|| current_shards.clone());
 
     let report = format!(
         "{{\n  \"suite\": \"soc1 x quick x [fixed-non-coh-dma, manual, cohmeleon]\",\n  \
@@ -572,17 +648,15 @@ fn main() -> ExitCode {
          \"soc6_scale\": {{\n    \
          \"suite\": \"soc6 x large/extra-large x [fixed-non-coh-dma, manual, cohmeleon]\",\n    \
          \"baseline\": {baseline6},\n    \"current\": {current6}\n  }},\n  \
-         \"sweep_executor\": {{\"cells\": {}, \"threads\": {threads}, \
-         \"serial_wall_s\": {serial_wall:.6}, \"worksteal_wall_s\": {steal_wall:.6}, \
-         \"speedup\": {sweep_speedup:.2}}},\n  \
-         \"sweep_shards\": {{\"cells\": {}, \"shards\": {SHARD_COUNT}, \
-         \"serial_wall_s\": {serial_wall:.6}, \"shard_wall_s\": {shard_wall:.6}, \
-         \"speedup\": {shard_speedup:.2}}},\n  \
+         \"sweep_executor\": {{\n    \
+         \"suite\": \"soc1 x quick x 3 policies x 4 seeds, Serial vs WorkStealing\",\n    \
+         \"baseline\": {baseline_sweep},\n    \"current\": {current_sweep}\n  }},\n  \
+         \"sweep_shards\": {{\n    \
+         \"suite\": \"same grid, 2 worker processes via ShardExecutor (spawn + rebuild included)\",\n    \
+         \"baseline\": {baseline_shards},\n    \"current\": {current_shards}\n  }},\n  \
          \"router_dispatch\": {{\n    \
          \"suite\": \"per-instance router, fixed sub-agents, decide+observe (alloc-free pin: core router_alloc test)\",\n    \
-         \"baseline\": {baseline_dispatch},\n    \"current\": {current_dispatch}\n  }}\n}}\n",
-        sweep_grid.num_cells(),
-        sweep_grid.num_cells()
+         \"baseline\": {baseline_dispatch},\n    \"current\": {current_dispatch}\n  }}\n}}\n"
     );
     if let Err(e) = std::fs::write(args.out(), &report) {
         eprintln!("perf_baseline: cannot write {}: {e}", args.out());

@@ -84,6 +84,7 @@ pub fn run(scale: Scale) -> Data {
             PolicySpec::custom("oracle off-chip attribution", full_system).with_options(
                 EngineOptions {
                     attribution: Attribution::GroundTruth,
+                    ..EngineOptions::default()
                 },
             ),
         )

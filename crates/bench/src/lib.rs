@@ -20,6 +20,7 @@ pub mod figures;
 pub mod scale;
 pub mod sweeps;
 pub mod table;
+pub mod tracked;
 
 /// The policy suite now lives in `cohmeleon-exp` (the experiment grid
 /// builds policies from [`PolicyKind`] values); re-exported here under its

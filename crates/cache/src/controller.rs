@@ -42,6 +42,10 @@ pub struct AddressMap {
     num_partitions: u16,
     /// Size of one partition's region, in lines.
     region_lines: u64,
+    /// `log2(region_lines)` when the region size is a power of two (the
+    /// default always is), letting [`partition_of`](Self::partition_of)
+    /// shift instead of divide; `u32::MAX` otherwise.
+    region_shift: u32,
 }
 
 impl AddressMap {
@@ -56,9 +60,15 @@ impl AddressMap {
     /// Panics if `num_partitions` is zero.
     pub fn new(num_partitions: u16) -> AddressMap {
         assert!(num_partitions > 0, "at least one memory partition required");
+        let region_lines = Self::DEFAULT_REGION_LINES;
         AddressMap {
             num_partitions,
-            region_lines: Self::DEFAULT_REGION_LINES,
+            region_lines,
+            region_shift: if region_lines.is_power_of_two() {
+                region_lines.trailing_zeros()
+            } else {
+                u32::MAX
+            },
         }
     }
 
@@ -73,7 +83,11 @@ impl AddressMap {
     ///
     /// Panics if the line lies beyond the last partition's region.
     pub fn partition_of(&self, line: LineAddr) -> PartitionId {
-        let p = line.0 / self.region_lines;
+        let p = if self.region_shift != u32::MAX {
+            line.0 >> self.region_shift
+        } else {
+            line.0 / self.region_lines
+        };
         assert!(
             p < u64::from(self.num_partitions),
             "line {line} outside the {}-partition address space",
@@ -152,9 +166,9 @@ impl CoherenceController {
     /// back-invalidation of LLC victims, and dirty L2 victim writebacks.
     pub fn l2_access(&mut self, cache: CacheId, line: LineAddr, write: bool) -> AccessEffects {
         let mut fx = AccessEffects::new();
-        let l2_set = self.l2s[cache.0 as usize].geometry().set_of(line);
+        let l2_set = self.l2s[cache.0 as usize].set_of(line);
         let p = self.map.partition_of(line).0 as usize;
-        let llc_set = self.llcs[p].geometry().set_of(line);
+        let llc_set = self.llcs[p].set_of(line);
         self.l2_access_at(cache, l2_set, llc_set, p, line, write, true, &mut fx);
         fx
     }
@@ -164,9 +178,9 @@ impl CoherenceController {
     /// fetching its previous contents from DRAM.
     pub fn l2_store_streaming(&mut self, cache: CacheId, line: LineAddr) -> AccessEffects {
         let mut fx = AccessEffects::new();
-        let l2_set = self.l2s[cache.0 as usize].geometry().set_of(line);
+        let l2_set = self.l2s[cache.0 as usize].set_of(line);
         let p = self.map.partition_of(line).0 as usize;
-        let llc_set = self.llcs[p].geometry().set_of(line);
+        let llc_set = self.llcs[p].set_of(line);
         self.l2_access_at(cache, l2_set, llc_set, p, line, true, false, &mut fx);
         fx
     }
@@ -211,10 +225,10 @@ impl CoherenceController {
             return (fx, 0);
         }
         let p = self.range_partition(first, count);
-        let l2_sets = self.l2s[cache.0 as usize].geometry().sets();
-        let llc_sets = self.llcs[p].geometry().sets();
-        let mut l2_set = self.l2s[cache.0 as usize].geometry().set_of(first);
-        let mut llc_set = self.llcs[p].geometry().set_of(first);
+        let l2_sets = self.l2s[cache.0 as usize].sets();
+        let llc_sets = self.llcs[p].sets();
+        let mut l2_set = self.l2s[cache.0 as usize].set_of(first);
+        let mut llc_set = self.llcs[p].set_of(first);
         let mut hits = 0u64;
         for i in 0..count {
             let line = first.offset(i);
@@ -415,7 +429,7 @@ impl CoherenceController {
     pub fn coh_dma_access(&mut self, line: LineAddr, write: bool) -> AccessEffects {
         let mut fx = AccessEffects::new();
         let p = self.map.partition_of(line).0 as usize;
-        let llc_set = self.llcs[p].geometry().set_of(line);
+        let llc_set = self.llcs[p].set_of(line);
         self.coh_dma_access_at(p, llc_set, line, write, &mut fx);
         fx
     }
@@ -436,8 +450,8 @@ impl CoherenceController {
             return fx;
         }
         let p = self.range_partition(first, count);
-        let sets = self.llcs[p].geometry().sets();
-        let mut set = self.llcs[p].geometry().set_of(first);
+        let sets = self.llcs[p].sets();
+        let mut set = self.llcs[p].set_of(first);
         for i in 0..count {
             self.coh_dma_access_at(p, set, first.offset(i), write, &mut fx);
             set += 1;
@@ -508,7 +522,7 @@ impl CoherenceController {
     pub fn llc_coh_dma_access(&mut self, line: LineAddr, write: bool) -> AccessEffects {
         let mut fx = AccessEffects::new();
         let p = self.map.partition_of(line).0 as usize;
-        let llc_set = self.llcs[p].geometry().set_of(line);
+        let llc_set = self.llcs[p].set_of(line);
         self.llc_coh_dma_access_at(p, llc_set, line, write, &mut fx);
         fx
     }
@@ -527,8 +541,8 @@ impl CoherenceController {
             return fx;
         }
         let p = self.range_partition(first, count);
-        let sets = self.llcs[p].geometry().sets();
-        let mut set = self.llcs[p].geometry().set_of(first);
+        let sets = self.llcs[p].sets();
+        let mut set = self.llcs[p].set_of(first);
         for i in 0..count {
             self.llc_coh_dma_access_at(p, set, first.offset(i), write, &mut fx);
             set += 1;

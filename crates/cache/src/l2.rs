@@ -31,6 +31,17 @@ impl L2Cache {
         self.tags.geometry()
     }
 
+    /// Number of sets (cached; no division).
+    pub fn sets(&self) -> u64 {
+        self.tags.sets()
+    }
+
+    /// The set a line maps to (masked, not divided, for power-of-two set
+    /// counts).
+    pub fn set_of(&self, line: LineAddr) -> u64 {
+        self.tags.set_of(line)
+    }
+
     /// Looks up `line`, updating LRU; returns its MESI state if present.
     pub fn lookup(&mut self, line: LineAddr) -> Option<&mut MesiState> {
         self.tags.lookup(line)
@@ -53,7 +64,7 @@ impl L2Cache {
 
     /// The MESI state at a way returned by a hit probe (read-only).
     pub fn state_at(&self, way: usize) -> MesiState {
-        self.tags.entry_at(way).expect("way holds a line").state
+        *self.tags.state_at(way)
     }
 
     /// Completes a fill at a miss probe's way, returning the victim.
@@ -68,7 +79,7 @@ impl L2Cache {
 
     /// Looks up `line` without perturbing LRU or counters.
     pub fn peek(&self, line: LineAddr) -> Option<MesiState> {
-        self.tags.peek(line).map(|e| e.state)
+        self.tags.peek(line).copied()
     }
 
     /// Inserts `line` in `state`, returning the evicted victim if any.
@@ -87,7 +98,7 @@ impl L2Cache {
     }
 
     /// Iterates resident lines.
-    pub fn iter(&self) -> impl Iterator<Item = &Entry<MesiState>> {
+    pub fn iter(&self) -> impl Iterator<Item = Entry<MesiState>> + '_ {
         self.tags.iter()
     }
 

@@ -147,6 +147,17 @@ impl LlcPartition {
         self.tags.geometry()
     }
 
+    /// Number of sets (cached; no division).
+    pub fn sets(&self) -> u64 {
+        self.tags.sets()
+    }
+
+    /// The set a line maps to (masked, not divided, for power-of-two set
+    /// counts).
+    pub fn set_of(&self, line: LineAddr) -> u64 {
+        self.tags.set_of(line)
+    }
+
     /// Looks up a line (LRU-updating).
     pub fn lookup(&mut self, line: LineAddr) -> Option<&mut LlcEntry> {
         self.tags.lookup(line)
@@ -179,7 +190,7 @@ impl LlcPartition {
 
     /// Looks up a line without perturbing LRU.
     pub fn peek(&self, line: LineAddr) -> Option<LlcEntry> {
-        self.tags.peek(line).map(|e| e.state)
+        self.tags.peek(line).copied()
     }
 
     /// Inserts a line, returning the evicted victim if any.
@@ -198,7 +209,7 @@ impl LlcPartition {
     }
 
     /// Iterates resident lines.
-    pub fn iter(&self) -> impl Iterator<Item = &Entry<LlcEntry>> {
+    pub fn iter(&self) -> impl Iterator<Item = Entry<LlcEntry>> + '_ {
         self.tags.iter()
     }
 

@@ -4,8 +4,22 @@
 //! the LLC partitions (payload: directory entry) are built on this array, so
 //! capacity and conflict behaviour — the source of the warm-data and
 //! thrashing effects in the paper's Figure 2 — are structural.
+//!
+//! # Layout
+//!
+//! The array is structure-of-arrays: line tags, LRU stamps and payloads live
+//! in three parallel `Vec`s indexed by global way (`set × ways + way`). A
+//! probe — the operation every modeled line access performs — scans only the
+//! dense tag vector (8 bytes per way), so an LLC probe of a 16-way set
+//! touches 2 cache lines instead of the ~12 an array-of-structs layout
+//! costs. Payload and LRU stamps are touched only at the hit/fill way.
+//! Set mapping is a cached mask when the set count is a power of two (all
+//! evaluation SoCs), avoiding the division in `CacheGeometry::set_of`.
 
 use crate::geometry::{CacheGeometry, LineAddr};
+
+/// Tag value marking an invalid (empty) way.
+const INVALID: u64 = u64::MAX;
 
 /// One resident line: its address and the cache-specific payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,13 +28,6 @@ pub struct Entry<S> {
     pub line: LineAddr,
     /// Cache-specific state (MESI state, directory entry, …).
     pub state: S,
-}
-
-#[derive(Debug, Clone)]
-struct Way<S> {
-    entry: Option<Entry<S>>,
-    /// Monotonic use stamp; smallest = least recently used.
-    lru: u64,
 }
 
 /// The outcome of a single-scan [`TagArray::probe`]: either the way holding
@@ -39,7 +46,18 @@ pub struct Probe {
 #[derive(Debug, Clone)]
 pub struct TagArray<S> {
     geometry: CacheGeometry,
-    ways: Vec<Way<S>>,
+    /// Cached `geometry.sets()` (a division at construction, not per access).
+    sets: u64,
+    /// `sets - 1` when `sets` is a power of two; set mapping is then a mask.
+    set_mask: u64,
+    /// Whether `set_mask` is usable (power-of-two set count).
+    pow2: bool,
+    /// Line tag per global way; `INVALID` marks an empty way.
+    tags: Vec<u64>,
+    /// Monotonic use stamp per global way; smallest = least recently used.
+    lrus: Vec<u64>,
+    /// Payload per global way; `Some` exactly where `tags` is valid.
+    states: Vec<Option<S>>,
     clock: u64,
     valid: u64,
     /// Valid-way count per set; lets flushes and iteration skip empty sets
@@ -47,23 +65,44 @@ pub struct TagArray<S> {
     set_valid: Vec<u32>,
 }
 
+/// Scan of one set's tags for `needle`: the first matching way offset.
+#[inline]
+fn scan(tags: &[u64], needle: u64) -> Option<usize> {
+    tags.iter().position(|&t| t == needle)
+}
+
+/// Index of the minimum over one set's LRU stamps (first on ties).
+#[inline]
+fn min_index(lrus: &[u64]) -> usize {
+    let mut best = lrus[0];
+    let mut idx = 0usize;
+    for (i, &l) in lrus.iter().enumerate().skip(1) {
+        if l < best {
+            best = l;
+            idx = i;
+        }
+    }
+    idx
+}
+
 impl<S> TagArray<S> {
     /// An empty array with the given geometry.
     pub fn new(geometry: CacheGeometry) -> TagArray<S> {
-        let n = (geometry.sets() * u64::from(geometry.ways)) as usize;
-        let mut ways = Vec::with_capacity(n);
-        for _ in 0..n {
-            ways.push(Way {
-                entry: None,
-                lru: 0,
-            });
-        }
+        let sets = geometry.sets();
+        let n = (sets * u64::from(geometry.ways)) as usize;
+        let mut states = Vec::with_capacity(n);
+        states.resize_with(n, || None);
         TagArray {
             geometry,
-            ways,
+            sets,
+            set_mask: sets.wrapping_sub(1),
+            pow2: sets.is_power_of_two(),
+            tags: vec![INVALID; n],
+            lrus: vec![0; n],
+            states,
             clock: 0,
             valid: 0,
-            set_valid: vec![0; geometry.sets() as usize],
+            set_valid: vec![0; sets as usize],
         }
     }
 
@@ -72,29 +111,44 @@ impl<S> TagArray<S> {
         self.geometry
     }
 
+    /// Number of sets (cached; no division).
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// The set a line maps to — [`CacheGeometry::set_of`] without the
+    /// per-call division when the set count is a power of two.
+    #[inline]
+    pub fn set_of(&self, line: LineAddr) -> u64 {
+        if self.pow2 {
+            line.0 & self.set_mask
+        } else {
+            line.0 % self.sets
+        }
+    }
+
     /// Number of currently valid lines.
     pub fn valid_lines(&self) -> u64 {
         self.valid
     }
 
-    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
-        let set = self.geometry.set_of(line) as usize;
-        let ways = self.geometry.ways as usize;
-        set * ways..(set + 1) * ways
+    #[inline]
+    fn set_base(&self, set: u64) -> usize {
+        set as usize * self.geometry.ways as usize
     }
 
-    /// Looks up a line without touching LRU state.
-    pub fn peek(&self, line: LineAddr) -> Option<&Entry<S>> {
-        self.ways[self.set_range(line)]
-            .iter()
-            .filter_map(|w| w.entry.as_ref())
-            .find(|e| e.line == line)
+    /// Looks up a line without touching LRU state; returns its payload.
+    pub fn peek(&self, line: LineAddr) -> Option<&S> {
+        let base = self.set_base(self.set_of(line));
+        let ways = self.geometry.ways as usize;
+        let i = scan(&self.tags[base..base + ways], line.0)?;
+        self.states[base + i].as_ref()
     }
 
     /// Looks up a line, updating LRU on hit, and returns a mutable reference
     /// to its state.
     pub fn lookup(&mut self, line: LineAddr) -> Option<&mut S> {
-        let set = self.geometry.set_of(line);
+        let set = self.set_of(line);
         let probe = self.probe_in_set(set, line);
         if probe.hit {
             Some(self.state_at_mut(probe.way))
@@ -111,7 +165,7 @@ impl<S> TagArray<S> {
     /// anything. Pair with [`insert_at`](Self::insert_at) to complete a
     /// fill without rescanning the set.
     pub fn probe(&mut self, line: LineAddr) -> Probe {
-        let set = self.geometry.set_of(line);
+        let set = self.set_of(line);
         self.probe_in_set(set, line)
     }
 
@@ -120,40 +174,29 @@ impl<S> TagArray<S> {
     /// Batched range walks compute set indices incrementally (consecutive
     /// lines map to consecutive sets) instead of dividing per line.
     pub fn probe_in_set(&mut self, set: u64, line: LineAddr) -> Probe {
-        debug_assert_eq!(set, self.geometry.set_of(line), "set index mismatch");
+        debug_assert_eq!(set, self.set_of(line), "set index mismatch");
         self.clock += 1;
         let clock = self.clock;
         let ways = self.geometry.ways as usize;
-        let base = set as usize * ways;
-        let mut free: Option<usize> = None;
-        let mut victim = base;
-        let mut victim_lru = u64::MAX;
-        for (i, w) in self.ways[base..base + ways].iter_mut().enumerate() {
-            match &w.entry {
-                Some(e) if e.line == line => {
-                    w.lru = clock;
-                    return Probe {
-                        hit: true,
-                        way: base + i,
-                    };
-                }
-                Some(_) => {
-                    if free.is_none() && w.lru < victim_lru {
-                        victim_lru = w.lru;
-                        victim = base + i;
-                    }
-                }
-                None => {
-                    if free.is_none() {
-                        free = Some(base + i);
-                    }
-                }
-            }
+        let base = self.set_base(set);
+        let tags = &self.tags[base..base + ways];
+        // Hit scan touches only the dense tag vector.
+        if let Some(i) = scan(tags, line.0) {
+            self.lrus[base + i] = clock;
+            return Probe {
+                hit: true,
+                way: base + i,
+            };
         }
-        Probe {
-            hit: false,
-            way: free.unwrap_or(victim),
-        }
+        // Miss: first free way if any, else the LRU victim (first on ties).
+        // The per-set valid count says which scan applies, so a full set
+        // (the steady state) never scans for a free way it does not have.
+        let way = if self.set_valid[set as usize] < ways as u32 {
+            base + scan(tags, INVALID).expect("set_valid promised a free way")
+        } else {
+            base + min_index(&self.lrus[base..base + ways])
+        };
+        Probe { hit: false, way }
     }
 
     /// The state at a way returned by a hit probe.
@@ -162,12 +205,16 @@ impl<S> TagArray<S> {
     ///
     /// Panics if the way is invalid.
     pub fn state_at_mut(&mut self, way: usize) -> &mut S {
-        &mut self.ways[way].entry.as_mut().expect("way holds a line").state
+        self.states[way].as_mut().expect("way holds a line")
     }
 
-    /// The entry at a way, if any (no LRU update).
-    pub fn entry_at(&self, way: usize) -> Option<&Entry<S>> {
-        self.ways[way].entry.as_ref()
+    /// The state at a way returned by a hit probe (read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way is invalid.
+    pub fn state_at(&self, way: usize) -> &S {
+        self.states[way].as_ref().expect("way holds a line")
     }
 
     /// Completes a fill at the way a miss probe returned, evicting its
@@ -180,24 +227,31 @@ impl<S> TagArray<S> {
     pub fn insert_at(&mut self, probe: Probe, line: LineAddr, state: S) -> Option<Entry<S>> {
         debug_assert!(!probe.hit, "insert_at requires a miss probe");
         debug_assert!(self.peek(line).is_none(), "inserting resident line {line}");
+        debug_assert_ne!(line.0, INVALID, "line address collides with the invalid tag");
         self.clock += 1;
         let clock = self.clock;
-        let set = self.geometry.set_of(line) as usize;
+        let set = self.set_of(line) as usize;
         let ways = self.geometry.ways as usize;
         let mut way = probe.way;
-        if self.ways[way].entry.is_some() && self.set_valid[set] < ways as u32 {
+        if self.tags[way] != INVALID && self.set_valid[set] < ways as u32 {
             // An interleaved invalidation freed a way after the probe chose
             // an eviction victim: take the free way instead.
             let base = set * ways;
             way = base
-                + self.ways[base..base + ways]
-                    .iter()
-                    .position(|w| w.entry.is_none())
+                + scan(&self.tags[base..base + ways], INVALID)
                     .expect("set_valid promised a free way");
         }
-        let slot = &mut self.ways[way];
-        let victim = slot.entry.replace(Entry { line, state });
-        slot.lru = clock;
+        let victim = if self.tags[way] != INVALID {
+            Some(Entry {
+                line: LineAddr(self.tags[way]),
+                state: self.states[way].take().expect("valid way holds a state"),
+            })
+        } else {
+            None
+        };
+        self.tags[way] = line.0;
+        self.states[way] = Some(state);
+        self.lrus[way] = clock;
         if victim.is_none() {
             self.valid += 1;
             self.set_valid[set] += 1;
@@ -213,7 +267,7 @@ impl<S> TagArray<S> {
     /// Panics in debug builds if the line is already present; callers must
     /// use [`lookup`](Self::lookup) first.
     pub fn insert(&mut self, line: LineAddr, state: S) -> Option<Entry<S>> {
-        let set = self.geometry.set_of(line);
+        let set = self.set_of(line);
         let probe = self.probe_in_set(set, line);
         debug_assert!(!probe.hit, "inserting resident line {line}");
         self.insert_at(probe, line, state)
@@ -221,17 +275,20 @@ impl<S> TagArray<S> {
 
     /// Removes a line if present, returning its entry.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Entry<S>> {
-        let set = self.geometry.set_of(line) as usize;
+        let set = self.set_of(line) as usize;
         if self.set_valid[set] == 0 {
             return None;
         }
-        let range = self.set_range(line);
-        let way = self.ways[range]
-            .iter_mut()
-            .find(|w| w.entry.as_ref().is_some_and(|e| e.line == line))?;
+        let ways = self.geometry.ways as usize;
+        let base = set * ways;
+        let way = base + scan(&self.tags[base..base + ways], line.0)?;
         self.valid -= 1;
         self.set_valid[set] -= 1;
-        way.entry.take()
+        self.tags[way] = INVALID;
+        Some(Entry {
+            line,
+            state: self.states[way].take().expect("valid way holds a state"),
+        })
     }
 
     /// Removes every line, invoking `f` on each removed entry (e.g. to count
@@ -245,8 +302,13 @@ impl<S> TagArray<S> {
             }
             let mut remaining = *count;
             *count = 0;
-            for w in &mut self.ways[set * ways..(set + 1) * ways] {
-                if let Some(entry) = w.entry.take() {
+            for way in set * ways..(set + 1) * ways {
+                if self.tags[way] != INVALID {
+                    let entry = Entry {
+                        line: LineAddr(self.tags[way]),
+                        state: self.states[way].take().expect("valid way holds a state"),
+                    };
+                    self.tags[way] = INVALID;
                     f(entry);
                     remaining -= 1;
                     if remaining == 0 {
@@ -257,25 +319,25 @@ impl<S> TagArray<S> {
         }
         self.valid = 0;
     }
+}
 
+impl<S: Copy> TagArray<S> {
     /// Iterates over all resident entries (no LRU update), skipping empty
     /// sets.
-    pub fn iter(&self) -> impl Iterator<Item = &Entry<S>> {
+    pub fn iter(&self) -> impl Iterator<Item = Entry<S>> + '_ {
         let ways = self.geometry.ways as usize;
         self.set_valid
             .iter()
             .enumerate()
             .filter(|(_, count)| **count > 0)
             .flat_map(move |(set, _)| {
-                self.ways[set * ways..(set + 1) * ways]
-                    .iter()
-                    .filter_map(|w| w.entry.as_ref())
+                (set * ways..(set + 1) * ways)
+                    .filter(|&way| self.tags[way] != INVALID)
+                    .map(move |way| Entry {
+                        line: LineAddr(self.tags[way]),
+                        state: self.states[way].expect("valid way holds a state"),
+                    })
             })
-    }
-
-    /// Iterates mutably over all resident entries (no LRU update).
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Entry<S>> {
-        self.ways.iter_mut().filter_map(|w| w.entry.as_mut())
     }
 }
 
@@ -357,7 +419,7 @@ mod tests {
         let mut t = small();
         t.insert(LineAddr(0), 1);
         *t.lookup(LineAddr(0)).unwrap() = 42;
-        assert_eq!(t.peek(LineAddr(0)).unwrap().state, 42);
+        assert_eq!(*t.peek(LineAddr(0)).unwrap(), 42);
     }
 
     #[test]
@@ -385,5 +447,19 @@ mod tests {
         assert_eq!(t.valid_lines(), 512);
         // The 513th line must evict.
         assert!(t.insert(LineAddr(512), ()).is_some());
+    }
+
+    #[test]
+    fn non_power_of_two_sets_still_map_correctly() {
+        // 3 sets × 2 ways: set mapping falls back to modulo.
+        let mut t: TagArray<u32> = TagArray::new(CacheGeometry::new(3 * 2 * 64, 2, 64));
+        assert_eq!(t.sets(), 3);
+        for i in 0..6 {
+            t.insert(LineAddr(i), i as u32);
+        }
+        assert_eq!(t.valid_lines(), 6);
+        for i in 0..6 {
+            assert_eq!(t.peek(LineAddr(i)), Some(&(i as u32)), "line {i}");
+        }
     }
 }

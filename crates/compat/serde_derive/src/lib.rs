@@ -8,14 +8,17 @@
 
 use proc_macro::TokenStream;
 
-/// Expands to nothing; satisfies `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
+/// Expands to nothing; satisfies `#[derive(Serialize)]`. Registers the
+/// `#[serde(...)]` helper attribute so field annotations like
+/// `#[serde(skip)]` compile exactly as they do under real serde.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
-#[proc_macro_derive(Deserialize)]
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`. Registers the
+/// `#[serde(...)]` helper attribute like the `Serialize` stand-in.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }

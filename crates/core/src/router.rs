@@ -37,8 +37,6 @@
 //! [`PolicyRouter::import_tables`]), one `## agent <key>` section per
 //! learning sub-agent.
 
-use std::collections::HashMap;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -177,12 +175,27 @@ pub struct PolicyRouter {
     scope: AgentScope,
     seed: u64,
     factory: AgentFactory,
-    kind_of: HashMap<AccelInstanceId, AccelKindId>,
-    agents: BTreeMap<ScopeKey, Box<dyn Policy>>,
+    /// Dense instance → kind table (index = instance id; `None` =
+    /// unregistered). Instance ids are small per-SoC ordinals, so the
+    /// table stays tiny and dispatch is one array load instead of a hash.
+    kind_of: Vec<Option<AccelKindId>>,
+    /// Sub-agents sorted by [`ScopeKey`] (the iteration order
+    /// `export_tables` serialises in).
+    agents: Vec<(ScopeKey, Box<dyn Policy>)>,
+    /// Slot of the [`ScopeKey::Global`] agent in `agents` (`NO_SLOT` =
+    /// not materialised), and dense per-kind / per-instance slot tables.
+    /// Rebuilt after every (rare) agent insertion so the per-decision
+    /// dispatch is O(1) indexed loads.
+    slot_global: u32,
+    slot_of_kind: Vec<u32>,
+    slot_of_instance: Vec<u32>,
     complexity: PolicyComplexity,
     current_iteration: Option<usize>,
     frozen: bool,
 }
+
+/// Slot sentinel: no agent materialised for that key.
+const NO_SLOT: u32 = u32::MAX;
 
 impl PolicyRouter {
     /// Creates a router over `factory`-built agents.
@@ -201,21 +214,80 @@ impl PolicyRouter {
         let probe = factory(ScopeKey::Global, seed);
         let complexity = probe.complexity();
         let label = format!("{scope}({})", probe.name());
-        let mut agents = BTreeMap::new();
+        let mut agents = Vec::new();
         if scope == AgentScope::Global {
-            agents.insert(ScopeKey::Global, probe);
+            agents.push((ScopeKey::Global, probe));
         }
-        PolicyRouter {
+        let mut router = PolicyRouter {
             label,
             scope,
             seed,
             factory,
-            kind_of: HashMap::new(),
+            kind_of: Vec::new(),
             agents,
+            slot_global: NO_SLOT,
+            slot_of_kind: Vec::new(),
+            slot_of_instance: Vec::new(),
             complexity,
             current_iteration: None,
             frozen: false,
+        };
+        router.rebuild_slots();
+        router
+    }
+
+    /// Recomputes the dense key → slot tables from the sorted agent list.
+    /// Called after every insertion (slots shift); insertions happen only
+    /// at registration/import time, never on the per-decision path.
+    fn rebuild_slots(&mut self) {
+        self.slot_global = NO_SLOT;
+        self.slot_of_kind.fill(NO_SLOT);
+        self.slot_of_instance.fill(NO_SLOT);
+        for (slot, (key, _)) in self.agents.iter().enumerate() {
+            let slot = slot as u32;
+            match *key {
+                ScopeKey::Global => self.slot_global = slot,
+                ScopeKey::Kind(k) => {
+                    let i = k.0 as usize;
+                    if i >= self.slot_of_kind.len() {
+                        self.slot_of_kind.resize(i + 1, NO_SLOT);
+                    }
+                    self.slot_of_kind[i] = slot;
+                }
+                ScopeKey::Instance(a) => {
+                    let i = a.0 as usize;
+                    if i >= self.slot_of_instance.len() {
+                        self.slot_of_instance.resize(i + 1, NO_SLOT);
+                    }
+                    self.slot_of_instance[i] = slot;
+                }
+            }
         }
+    }
+
+    /// The slot of the agent owning `instance`'s invocations, if it is
+    /// already materialised — the O(1) steady-state dispatch path.
+    #[inline]
+    fn slot_for(&self, instance: AccelInstanceId) -> Option<usize> {
+        let slot = match self.scope {
+            AgentScope::Global => self.slot_global,
+            AgentScope::PerKind => {
+                match self.kind_of.get(instance.0 as usize).copied().flatten() {
+                    Some(kind) => self
+                        .slot_of_kind
+                        .get(kind.0 as usize)
+                        .copied()
+                        .unwrap_or(NO_SLOT),
+                    None => self.slot_global,
+                }
+            }
+            AgentScope::PerInstance => self
+                .slot_of_instance
+                .get(instance.0 as usize)
+                .copied()
+                .unwrap_or(NO_SLOT),
+        };
+        (slot != NO_SLOT).then_some(slot as usize)
     }
 
     /// Overrides the display label (see the stability contract on
@@ -241,7 +313,11 @@ impl PolicyRouter {
     /// bound router exports a section per agent even before the first
     /// invocation. Idempotent.
     pub fn register(&mut self, instance: AccelInstanceId, kind: AccelKindId) {
-        self.kind_of.insert(instance, kind);
+        let i = instance.0 as usize;
+        if i >= self.kind_of.len() {
+            self.kind_of.resize(i + 1, None);
+        }
+        self.kind_of[i] = Some(kind);
         let key = match self.scope {
             AgentScope::Global => ScopeKey::Global,
             AgentScope::PerKind => ScopeKey::Kind(kind),
@@ -254,10 +330,11 @@ impl PolicyRouter {
     /// every [`bind_topology`](Policy::bind_topology)), sorted by
     /// instance id — everything needed to rebuild an equivalent router.
     pub fn topology(&self) -> Vec<(AccelInstanceId, AccelKindId)> {
-        let mut pairs: Vec<(AccelInstanceId, AccelKindId)> =
-            self.kind_of.iter().map(|(&i, &k)| (i, k)).collect();
-        pairs.sort_unstable();
-        pairs
+        self.kind_of
+            .iter()
+            .enumerate()
+            .filter_map(|(i, kind)| kind.map(|k| (AccelInstanceId(i as u16), k)))
+            .collect()
     }
 
     /// Number of sub-agents currently materialised.
@@ -267,12 +344,15 @@ impl PolicyRouter {
 
     /// The materialised sub-agent keys, in [`ScopeKey`] order.
     pub fn agent_keys(&self) -> impl Iterator<Item = ScopeKey> + '_ {
-        self.agents.keys().copied()
+        self.agents.iter().map(|(key, _)| *key)
     }
 
     /// Read access to one sub-agent.
     pub fn agent(&self, key: ScopeKey) -> Option<&dyn Policy> {
-        self.agents.get(&key).map(|a| a.as_ref() as &dyn Policy)
+        self.agents
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|slot| self.agents[slot].1.as_ref() as &dyn Policy)
     }
 
     /// The key owning an instance's invocations under this scope.
@@ -283,18 +363,21 @@ impl PolicyRouter {
             AgentScope::Global => ScopeKey::Global,
             AgentScope::PerKind => self
                 .kind_of
-                .get(&instance)
-                .map_or(ScopeKey::Global, |k| ScopeKey::Kind(*k)),
+                .get(instance.0 as usize)
+                .copied()
+                .flatten()
+                .map_or(ScopeKey::Global, ScopeKey::Kind),
             AgentScope::PerInstance => ScopeKey::Instance(instance),
         }
     }
 
     /// Creates the agent for `key` if missing, catching it up to the
-    /// broadcast lifecycle state (current iteration, frozen).
+    /// broadcast lifecycle state (current iteration, frozen). Keeps the
+    /// agent list sorted and the dense slot tables current.
     fn ensure_agent(&mut self, key: ScopeKey) {
-        if self.agents.contains_key(&key) {
+        let Err(pos) = self.agents.binary_search_by_key(&key, |(k, _)| *k) else {
             return;
-        }
+        };
         let mut agent = (self.factory)(key, self.seed);
         if let Some(iteration) = self.current_iteration {
             agent.begin_iteration(iteration);
@@ -302,7 +385,8 @@ impl PolicyRouter {
         if self.frozen {
             agent.freeze();
         }
-        self.agents.insert(key, agent);
+        self.agents.insert(pos, (key, agent));
+        self.rebuild_slots();
     }
 
     /// Serialises every learning sub-agent's value table into one
@@ -330,6 +414,18 @@ impl PolicyRouter {
             }
         }
         out
+    }
+
+    /// Installs `agent` under `key`, replacing any existing agent for that
+    /// key (import semantics). Keeps the sorted order and slot tables.
+    fn install_agent(&mut self, key: ScopeKey, agent: Box<dyn Policy>) {
+        match self.agents.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(slot) => self.agents[slot].1 = agent,
+            Err(pos) => {
+                self.agents.insert(pos, (key, agent));
+                self.rebuild_slots();
+            }
+        }
     }
 
     /// Restores sub-agent tables from [`export_tables`](Self::export_tables)
@@ -420,7 +516,7 @@ impl PolicyRouter {
             replacements.push((key, agent));
         }
         for (key, agent) in replacements {
-            self.agents.insert(key, agent);
+            self.install_agent(key, agent);
         }
         Ok(())
     }
@@ -432,7 +528,7 @@ impl fmt::Debug for PolicyRouter {
             .field("label", &self.label)
             .field("scope", &self.scope)
             .field("seed", &self.seed)
-            .field("agents", &self.agents.keys().collect::<Vec<_>>())
+            .field("agents", &self.agent_keys().collect::<Vec<_>>())
             .field("frozen", &self.frozen)
             .finish_non_exhaustive()
     }
@@ -449,17 +545,17 @@ impl Policy for PolicyRouter {
         available: ModeSet,
         accel: AccelInstanceId,
     ) -> Decision {
-        let key = self.key_for(accel);
         // Fast path first: in steady state (every agent exists) dispatch
-        // is a single map traversal; only a miss pays ensure + re-lookup.
-        if let Some(agent) = self.agents.get_mut(&key) {
-            return agent.decide(snapshot, available, accel);
-        }
-        self.ensure_agent(key);
-        self.agents
-            .get_mut(&key)
-            .expect("ensured above")
-            .decide(snapshot, available, accel)
+        // is two indexed loads; only a miss pays ensure + re-lookup.
+        let slot = match self.slot_for(accel) {
+            Some(slot) => slot,
+            None => {
+                let key = self.key_for(accel);
+                self.ensure_agent(key);
+                self.slot_for(accel).expect("ensured above")
+            }
+        };
+        self.agents[slot].1.decide(snapshot, available, accel)
     }
 
     fn observe(
@@ -468,27 +564,27 @@ impl Policy for PolicyRouter {
         decision: &Decision,
         measurement: &InvocationMeasurement,
     ) {
-        let key = self.key_for(accel);
-        if let Some(agent) = self.agents.get_mut(&key) {
-            return agent.observe(accel, decision, measurement);
-        }
-        self.ensure_agent(key);
-        self.agents
-            .get_mut(&key)
-            .expect("ensured above")
-            .observe(accel, decision, measurement);
+        let slot = match self.slot_for(accel) {
+            Some(slot) => slot,
+            None => {
+                let key = self.key_for(accel);
+                self.ensure_agent(key);
+                self.slot_for(accel).expect("ensured above")
+            }
+        };
+        self.agents[slot].1.observe(accel, decision, measurement);
     }
 
     fn begin_iteration(&mut self, iteration: usize) {
         self.current_iteration = Some(iteration);
-        for agent in self.agents.values_mut() {
+        for (_, agent) in &mut self.agents {
             agent.begin_iteration(iteration);
         }
     }
 
     fn freeze(&mut self) {
         self.frozen = true;
-        for agent in self.agents.values_mut() {
+        for (_, agent) in &mut self.agents {
             agent.freeze();
         }
     }

@@ -75,9 +75,25 @@ impl ActiveAccel {
     }
 }
 
+/// Per-partition aggregates of the active set, indexed by
+/// [`PartitionId`]. Built by [`SystemSnapshot::build_aggregates`]; lets the
+/// sense path answer its per-partition questions with one array load per
+/// needed partition instead of a pass over every active accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PartitionLoad {
+    /// Active non-coherent-DMA accelerators touching this partition.
+    pub non_coh: u32,
+    /// Active accelerators whose mode routes through this LLC partition.
+    pub to_llc: u32,
+    /// Sum of active footprint shares on this partition, in bytes.
+    /// Accumulated in active-list (instance-id) order, so it is bit-equal
+    /// to the on-demand sum the slow path computes.
+    pub footprint: f64,
+}
+
 /// A snapshot of system status taken when a target accelerator is about to
 /// be invoked. Input to every [`Policy`](crate::policy::Policy).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SystemSnapshot {
     /// Architecture constants of the SoC this snapshot was taken on.
     pub arch: ArchParams,
@@ -87,6 +103,27 @@ pub struct SystemSnapshot {
     pub target_footprint: u64,
     /// The memory partitions the target invocation's dataset maps to.
     pub target_partitions: Vec<PartitionId>,
+    /// Dense per-partition aggregates (index = `PartitionId.0`); empty
+    /// until [`build_aggregates`](Self::build_aggregates) runs. Must be
+    /// rebuilt (or left empty) after any mutation of `active`; the
+    /// generation-stamped scratch in
+    /// [`StatusTracker`](crate::status::StatusTracker) does exactly that.
+    #[serde(skip)]
+    pub(crate) agg: Vec<PartitionLoad>,
+    /// Active fully-coherent accelerators; valid iff `agg` is non-empty.
+    #[serde(skip)]
+    pub(crate) fully_coh: u32,
+}
+
+/// Aggregates are a derived cache, not part of a snapshot's identity: two
+/// snapshots are equal iff their logical fields are.
+impl PartialEq for SystemSnapshot {
+    fn eq(&self, other: &SystemSnapshot) -> bool {
+        self.arch == other.arch
+            && self.active == other.active
+            && self.target_footprint == other.target_footprint
+            && self.target_partitions == other.target_partitions
+    }
 }
 
 impl SystemSnapshot {
@@ -111,6 +148,53 @@ impl SystemSnapshot {
             active,
             target_footprint,
             target_partitions,
+            agg: Vec::new(),
+            fully_coh: 0,
+        }
+    }
+
+    /// Builds the dense per-partition aggregate table from the current
+    /// active list, making every per-partition sense query O(needed
+    /// partitions) instead of O(active × partitions).
+    ///
+    /// Footprint shares are accumulated in active-list order, so each
+    /// partition's sum performs the identical f64 additions the on-demand
+    /// path performs (skipped zero contributions are exact no-ops for
+    /// non-negative footprints) — sensed states are bit-identical either
+    /// way. Callers that mutate `active` afterwards must rebuild.
+    pub fn build_aggregates(&mut self) {
+        self.agg.clear();
+        self.agg
+            .resize(self.arch.num_partitions, PartitionLoad::default());
+        self.fully_coh = 0;
+        for a in &self.active {
+            if a.mode == CoherenceMode::FullCoh {
+                self.fully_coh += 1;
+            }
+            let non_coh = a.mode == CoherenceMode::NonCohDma;
+            let to_llc = a.mode.accesses_llc();
+            let share = a.footprint_bytes as f64 / a.partitions.len() as f64;
+            for &p in &a.partitions {
+                let i = p.0 as usize;
+                if i >= self.agg.len() {
+                    self.agg.resize(i + 1, PartitionLoad::default());
+                }
+                let slot = &mut self.agg[i];
+                slot.non_coh += u32::from(non_coh);
+                slot.to_llc += u32::from(to_llc);
+                slot.footprint += share;
+            }
+        }
+    }
+
+    /// The per-partition aggregate table, if
+    /// [`build_aggregates`](Self::build_aggregates) has run (indexed by
+    /// `PartitionId.0`).
+    pub fn partition_loads(&self) -> Option<&[PartitionLoad]> {
+        if self.agg.is_empty() {
+            None
+        } else {
+            Some(&self.agg)
         }
     }
 
@@ -133,13 +217,25 @@ impl SystemSnapshot {
     /// *Fully coh acc* attribute of Table 3: total number of active
     /// fully-coherent accelerators.
     pub fn fully_coherent_count(&self) -> usize {
+        if !self.agg.is_empty() {
+            return self.fully_coh as usize;
+        }
         self.active_in_mode(CoherenceMode::FullCoh)
+    }
+
+    /// The aggregate slot for a partition (zero if no active accelerator
+    /// touches it — exactly what a pass over the active list would find).
+    fn load_of(&self, p: PartitionId) -> PartitionLoad {
+        self.agg.get(p.0 as usize).copied().unwrap_or_default()
     }
 
     /// *Non coh acc per tile* of Table 3: average number of non-coherent
     /// accelerators communicating with each memory partition needed by the
     /// target invocation.
     pub fn avg_non_coh_per_needed_partition(&self) -> f64 {
+        if !self.agg.is_empty() {
+            return self.avg_over_needed_partitions(|p| self.load_of(p).non_coh as f64);
+        }
         self.avg_over_needed_partitions(|p| {
             self.active
                 .iter()
@@ -152,6 +248,9 @@ impl SystemSnapshot {
     /// requests reach each LLC partition needed by the target invocation
     /// (every mode except non-coherent DMA routes through the LLC).
     pub fn avg_to_llc_per_needed_partition(&self) -> f64 {
+        if !self.agg.is_empty() {
+            return self.avg_over_needed_partitions(|p| self.load_of(p).to_llc as f64);
+        }
         self.avg_over_needed_partitions(|p| {
             self.active
                 .iter()
@@ -165,6 +264,10 @@ impl SystemSnapshot {
     /// each cache-hierarchy partition needed by the target invocation.
     pub fn avg_needed_partition_footprint(&self) -> f64 {
         let target_share = self.target_footprint as f64 / self.target_partitions.len() as f64;
+        if !self.agg.is_empty() {
+            return self
+                .avg_over_needed_partitions(|p| self.load_of(p).footprint + target_share);
+        }
         self.avg_over_needed_partitions(|p| {
             let others: f64 = self.active.iter().map(|a| a.footprint_on(p)).sum();
             others + target_share
@@ -280,6 +383,57 @@ mod tests {
         assert_eq!(a.footprint_on(PartitionId(0)), 32.0 * 1024.0);
         assert_eq!(a.footprint_on(PartitionId(1)), 32.0 * 1024.0);
         assert_eq!(a.footprint_on(PartitionId(9)), 0.0);
+    }
+
+    #[test]
+    fn aggregates_match_on_demand_answers_bit_for_bit() {
+        // A mix that exercises every attribute: all four modes, multi- and
+        // single-partition datasets, and fractional per-partition shares.
+        let mut s = SystemSnapshot::new(
+            arch(),
+            vec![
+                active(1, CoherenceMode::FullCoh, 48, &[0]),
+                active(2, CoherenceMode::NonCohDma, 33, &[0, 1]),
+                active(3, CoherenceMode::LlcCohDma, 7, &[1]),
+                active(4, CoherenceMode::CohDma, 129, &[0]),
+                active(5, CoherenceMode::NonCohDma, 500, &[1]),
+            ],
+            100 * 1024,
+            vec![PartitionId(0), PartitionId(1)],
+        );
+        let slow = (
+            s.fully_coherent_count(),
+            s.avg_non_coh_per_needed_partition(),
+            s.avg_to_llc_per_needed_partition(),
+            s.avg_needed_partition_footprint(),
+        );
+        s.build_aggregates();
+        assert!(s.partition_loads().is_some());
+        let fast = (
+            s.fully_coherent_count(),
+            s.avg_non_coh_per_needed_partition(),
+            s.avg_to_llc_per_needed_partition(),
+            s.avg_needed_partition_footprint(),
+        );
+        // Bit-for-bit, not approximately: the sense path must discretize
+        // identically with or without the aggregate table.
+        assert_eq!(slow.0, fast.0);
+        assert_eq!(slow.1.to_bits(), fast.1.to_bits());
+        assert_eq!(slow.2.to_bits(), fast.2.to_bits());
+        assert_eq!(slow.3.to_bits(), fast.3.to_bits());
+    }
+
+    #[test]
+    fn aggregates_do_not_affect_snapshot_equality() {
+        let mut a = SystemSnapshot::new(
+            arch(),
+            vec![active(1, CoherenceMode::FullCoh, 48, &[0])],
+            4096,
+            vec![PartitionId(0)],
+        );
+        let b = a.clone();
+        a.build_aggregates();
+        assert_eq!(a, b);
     }
 
     #[test]

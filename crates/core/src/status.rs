@@ -49,6 +49,8 @@ impl StatusTracker {
                 active: Vec::new(),
                 target_footprint: 0,
                 target_partitions: Vec::new(),
+                agg: Vec::new(),
+                fully_coh: 0,
             },
             scratch_generation: u64::MAX,
         }
@@ -165,6 +167,9 @@ impl StatusTracker {
         );
         if self.scratch_generation != self.generation {
             self.scratch.active.clone_from(&self.active);
+            // Aggregate once per active-set change; every decision against
+            // an unchanged system then senses in O(needed partitions).
+            self.scratch.build_aggregates();
             self.scratch_generation = self.generation;
         }
         self.scratch.target_footprint = target_footprint;

@@ -888,6 +888,7 @@ mod tests {
                 })
                 .with_options(EngineOptions {
                     attribution: Attribution::GroundTruth,
+                    ..EngineOptions::default()
                 }),
             )
             .seed(4)

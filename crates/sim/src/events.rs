@@ -150,6 +150,31 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Removes every event scheduled at the earliest pending timestamp,
+    /// appending them to `out` in exactly the order repeated [`pop`](Self::pop)
+    /// calls would return them (FIFO among equal timestamps), and advances
+    /// [`now`](Self::now) to that timestamp. Returns the drained timestamp,
+    /// or `None` if the queue was empty.
+    ///
+    /// One batch costs the same heap pops as the per-pop loop, but lets the
+    /// caller process a whole simulated cycle in a single pass — no
+    /// re-peeking between events and no per-event borrow juggling. `out` is
+    /// not cleared: callers reuse a scratch buffer across batches.
+    pub fn pop_batch_at(&mut self, out: &mut Vec<E>) -> Option<Cycle> {
+        let entry = self.heap.pop()?;
+        let at = entry.at;
+        self.now = at;
+        out.push(entry.event);
+        while let Some(peek) = self.heap.peek() {
+            if peek.at != at {
+                break;
+            }
+            let next = self.heap.pop().expect("peeked entry exists");
+            out.push(next.event);
+        }
+        Some(at)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -252,6 +277,95 @@ mod tests {
         q.schedule(Cycle(4), ());
         assert_eq!(q.peek_time(), Some(Cycle(4)));
         assert_eq!(q.now(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn pop_batch_at_drains_one_timestamp_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), 'a');
+        q.schedule(Cycle(3), 'x');
+        q.schedule(Cycle(5), 'b');
+        q.schedule(Cycle(3), 'y');
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch_at(&mut batch), Some(Cycle(3)));
+        assert_eq!(batch, vec!['x', 'y']);
+        assert_eq!(q.now(), Cycle(3));
+        batch.clear();
+        assert_eq!(q.pop_batch_at(&mut batch), Some(Cycle(5)));
+        assert_eq!(batch, vec!['a', 'b']);
+        batch.clear();
+        assert_eq!(q.pop_batch_at(&mut batch), None);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_at_allows_scheduling_at_drained_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(4), 1);
+        let mut batch = Vec::new();
+        q.pop_batch_at(&mut batch);
+        // A handler may schedule a zero-delay follow-up at the drained
+        // time; it lands in the *next* batch, exactly as with pop().
+        q.schedule(Cycle(4), 2);
+        batch.clear();
+        assert_eq!(q.pop_batch_at(&mut batch), Some(Cycle(4)));
+        assert_eq!(batch, vec![2]);
+    }
+
+    /// Property: over randomized schedules (with mid-drain insertions),
+    /// batch draining yields the exact event sequence per-pop draining
+    /// yields. This is the bit-identity contract the engine relies on.
+    #[test]
+    fn pop_batch_at_is_bit_identical_to_per_pop_order() {
+        let mut rng = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            // xorshift64* — deterministic, no external crates.
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        for _case in 0..50 {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            let mut id = 0u32;
+            for _ in 0..40 {
+                // Clustered timestamps force plenty of equal-time ties.
+                q.schedule(Cycle(next() % 8), id);
+                id += 1;
+            }
+            let mut per_pop = q.clone();
+            let mut rng_a = next();
+            let mut rng_b = rng_a; // identical decision streams
+
+            // Drain both queues fully, occasionally scheduling follow-ups
+            // (same pseudo-random choices on both sides).
+            let mut batch_seq = Vec::new();
+            let mut scratch = Vec::new();
+            while let Some(at) = q.pop_batch_at(&mut scratch) {
+                for &e in &scratch {
+                    batch_seq.push((at, e));
+                    rng_a = rng_a.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if rng_a >> 60 == 0 && id < 100 {
+                        q.schedule(at + Cycle(rng_a % 4), id);
+                        id += 1;
+                    }
+                }
+                scratch.clear();
+            }
+
+            let mut id = 40u32; // mirror: ids continue from the same point
+            let mut pop_seq = Vec::new();
+            while let Some((at, e)) = per_pop.pop() {
+                pop_seq.push((at, e));
+                rng_b = rng_b.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if rng_b >> 60 == 0 && id < 100 {
+                    per_pop.schedule(at + Cycle(rng_b % 4), id);
+                    id += 1;
+                }
+            }
+
+            assert_eq!(batch_seq, pop_seq, "drain orders diverged");
+        }
     }
 
     #[test]

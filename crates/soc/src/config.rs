@@ -9,7 +9,7 @@
 
 use cohmeleon_accel::{catalog, AccelSpec};
 use cohmeleon_core::snapshot::ArchParams;
-use cohmeleon_core::{CoherenceMode, ModeSet};
+use cohmeleon_core::{AccelInstanceId, AccelKindId, CoherenceMode, ModeSet};
 use cohmeleon_noc::{Coord, NocConfig};
 
 /// One accelerator tile: its communication spec and whether the tile
@@ -61,10 +61,58 @@ pub struct SocConfig {
     pub accels: Vec<AccelTile>,
 }
 
+/// Dense accelerator topology tables derived from a [`SocConfig`]:
+/// instance → kind and kind → first instance, indexed by the raw ids.
+/// Built once per config (instance ids are the positions in
+/// [`SocConfig::accels`], so the tables are exact, not sparse maps).
+#[derive(Debug, Clone)]
+pub struct DenseTopology {
+    /// Kind of each accelerator instance (index = instance id).
+    pub kind_of: Vec<AccelKindId>,
+    /// First instance of each kind (index = kind id; `None` = no instance
+    /// of that kind on this SoC).
+    pub first_instance: Vec<Option<AccelInstanceId>>,
+}
+
+impl DenseTopology {
+    /// The registered (instance, kind) pairs in instance-id order — the
+    /// shape [`Policy::bind_topology`](cohmeleon_core::policy::Policy::bind_topology)
+    /// consumes.
+    pub fn pairs(&self) -> Vec<(AccelInstanceId, AccelKindId)> {
+        self.kind_of
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (AccelInstanceId(i as u16), k))
+            .collect()
+    }
+}
+
 impl SocConfig {
     /// Architecture parameters as seen by the Cohmeleon sense layer.
     pub fn arch_params(&self) -> ArchParams {
         ArchParams::new(self.l2_bytes, self.llc_slice_bytes, self.mem_tiles)
+    }
+
+    /// Builds the dense instance/kind topology tables (one pass over the
+    /// accelerator list; no per-call map allocation for consumers).
+    pub fn dense_topology(&self) -> DenseTopology {
+        let mut kind_of = Vec::with_capacity(self.accels.len());
+        let mut first_instance: Vec<Option<AccelInstanceId>> = Vec::new();
+        for (i, tile) in self.accels.iter().enumerate() {
+            let kind = tile.spec.kind;
+            kind_of.push(kind);
+            let k = kind.0 as usize;
+            if k >= first_instance.len() {
+                first_instance.resize(k + 1, None);
+            }
+            if first_instance[k].is_none() {
+                first_instance[k] = Some(AccelInstanceId(i as u16));
+            }
+        }
+        DenseTopology {
+            kind_of,
+            first_instance,
+        }
     }
 
     /// Total LLC capacity.

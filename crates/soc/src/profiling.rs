@@ -32,16 +32,18 @@ pub fn profile_heterogeneous(
     sweep: &[u64],
     seed: u64,
 ) -> FixedHeterogeneousPolicy {
-    let mut kind_of: HashMap<AccelInstanceId, AccelKindId> = HashMap::new();
-    let mut first_instance: HashMap<AccelKindId, AccelInstanceId> = HashMap::new();
-    for (i, tile) in config.accels.iter().enumerate() {
-        let instance = AccelInstanceId(i as u16);
-        kind_of.insert(instance, tile.spec.kind);
-        first_instance.entry(tile.spec.kind).or_insert(instance);
-    }
+    // Dense topology tables indexed by the raw instance/kind ids — one
+    // pass over the config, no per-call map churn, and a deterministic
+    // kind-id profiling order (each kind's sweep runs on a fresh SoC, so
+    // order cannot change any assignment).
+    let topology = config.dense_topology();
 
-    let mut assignment: HashMap<AccelKindId, CoherenceMode> = HashMap::new();
-    for (&kind, &instance) in &first_instance {
+    let mut assignment: Vec<Option<CoherenceMode>> = vec![None; topology.first_instance.len()];
+    for (k, &instance) in topology.first_instance.iter().enumerate() {
+        let Some(instance) = instance else {
+            continue;
+        };
+        let kind = AccelKindId(k as u16);
         let available = config.accels[instance.0 as usize].available_modes();
         let mut best: Option<(CoherenceMode, f64)> = None;
         for mode in available.iter() {
@@ -70,9 +72,20 @@ pub fn profile_heterogeneous(
                 best = Some((mode, mean));
             }
         }
-        assignment.insert(kind, best.expect("at least one mode available").0);
+        assignment[k] = Some(best.expect("at least one mode available").0);
     }
 
+    // The policy's public constructor takes maps; build them once from the
+    // dense tables (construction cost, not sense-path cost).
+    let assignment: HashMap<AccelKindId, CoherenceMode> = assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(k, m)| m.map(|mode| (AccelKindId(k as u16), mode)))
+        .collect();
+    let kind_of: HashMap<AccelInstanceId, AccelKindId> = topology
+        .pairs()
+        .into_iter()
+        .collect();
     FixedHeterogeneousPolicy::new(assignment, kind_of, CoherenceMode::NonCohDma)
 }
 
