@@ -18,7 +18,13 @@
 //! *processes* (re-executions of this binary) through `ShardExecutor`,
 //! verifies the merged record stream bit-identical to Serial, and records
 //! the multi-process speedup (`sweep_shards`) — spawn and grid-rebuild
-//! overhead included, so on a 1-CPU machine expect ≤ 1.0x.
+//! overhead included, so on a 1-CPU machine expect ≤ 1.0x. A fifth runs
+//! the same grid through the fleet coordinator (in-process queen + one
+//! loopback worker), verifies the checkpoint file byte-identical to
+//! Serial's canonical stream, and records the per-cell dispatch overhead
+//! (`fleet_dispatch`) — protocol round-trips, record validation and the
+//! fsync-per-record checkpoint discipline, everything the fleet adds on
+//! top of the raw simulation (see PERFORMANCE.md for methodology).
 //!
 //! ```text
 //! perf_baseline [--smoke] [--out FILE] [--reps N]
@@ -56,6 +62,7 @@ use cohmeleon_exp::{
     canonical_jsonl, merge_records, CellRecord, CellResult, Executor, Experiment, PolicySpec,
     Serial, ShardExecutor, ShardSpec, SweepGrid, WorkStealing,
 };
+use cohmeleon_fleet::{run_queen, run_worker, QueenOptions, WorkerOptions};
 use cohmeleon_soc::config::{soc1, soc6};
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
 
@@ -226,6 +233,47 @@ fn routed_matches_bare(params: &GeneratorParams, train_iterations: usize) -> boo
     routed.len() == 1 && routed[0] == bare[cohmeleon_index]
 }
 
+/// One fleet run of `grid`: an in-process queen and one loopback worker
+/// thread, fresh checkpoint. Returns the wall time and the finished
+/// checkpoint's bytes (the caller verifies them against Serial's
+/// canonical stream before recording anything).
+fn run_fleet_dispatch(grid: &SweepGrid) -> Result<(f64, String), String> {
+    let path = std::env::temp_dir().join(format!(
+        "cohmeleon-perf-fleet-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .to_string();
+    let options = QueenOptions::new("tracked", false);
+    let start = Instant::now();
+    let report = std::thread::scope(|scope| {
+        let queen = scope.spawn(|| run_queen(grid, listener, &path, &options));
+        let worker = scope.spawn(|| {
+            run_worker(&addr, |_, _| Ok(grid.clone()), &WorkerOptions::new("local"))
+        });
+        worker
+            .join()
+            .expect("worker thread")
+            .map_err(|e| format!("worker: {e}"))?;
+        queen
+            .join()
+            .expect("queen thread")
+            .map_err(|e| format!("queen: {e}"))
+    })?;
+    let wall = start.elapsed().as_secs_f64();
+    if !report.complete {
+        return Err("fleet run did not complete the grid".into());
+    }
+    let bytes = std::fs::read_to_string(&path).map_err(|e| format!("read checkpoint: {e}"))?;
+    let _ = std::fs::remove_file(&path);
+    Ok((wall, bytes))
+}
+
 /// Per-cell structural hashes of a grid run, indexed densely.
 fn cell_hashes<E: Executor>(grid: &SweepGrid, executor: &E) -> Vec<u64> {
     let mut hashes = vec![0u64; grid.num_cells()];
@@ -347,6 +395,19 @@ fn smoke(args: &Args) -> ExitCode {
             }
         }
     }
+    // The fleet path (queen + loopback worker) must land the identical
+    // bytes the Serial run canonicalises to — dispatch is pure plumbing.
+    match run_fleet_dispatch(&grid) {
+        Ok((_wall, bytes)) if bytes == canon => {}
+        Ok(_) => {
+            eprintln!("perf_baseline --smoke: fleet checkpoint is not bit-identical to Serial");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("perf_baseline --smoke: fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     // Agent orchestration must be invisible in the Global configuration:
     // cohmeleon routed through a Global `PolicyRouter` reproduces the
     // bare agent's cell hash through the full engine.
@@ -440,6 +501,7 @@ fn smoke(args: &Args) -> ExitCode {
          Global-routed cohmeleon bit-identical; {dispatch_decides} router dispatches)",
         pins6.0, pins6.1, pins6.2
     );
+    println!("  fleet: queen + loopback worker checkpoint bit-identical to Serial");
     if let Some(out) = &args.out_flag {
         // Smoke runs make no timing claims, so no wall-time fields.
         let body = format!("{{\"sim_events\": {e1}, \"invocations\": {i1}, \"sim_cycles\": {c1}}}");
@@ -574,6 +636,42 @@ fn main() -> ExitCode {
          vs serial (bit-identical; includes process spawn + rebuild cost)"
     );
 
+    // Fleet dispatch overhead on the same grid: an in-process queen and
+    // one loopback worker vs the direct serial run. Everything above the
+    // raw simulation — protocol round-trips, validation, the
+    // fsync-per-record checkpoint — shows up as overhead per cell. The
+    // checkpoint bytes are verified identical to Serial's canonical
+    // stream before any number is recorded.
+    let mut fleet_wall = f64::MAX;
+    for _ in 0..args.reps {
+        match run_fleet_dispatch(&sweep_grid) {
+            Ok((wall, bytes)) if bytes == serial_canon => fleet_wall = fleet_wall.min(wall),
+            Ok(_) => {
+                eprintln!(
+                    "perf_baseline: fleet checkpoint differs from Serial — refusing to record"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf_baseline: fleet run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let fleet_overhead_us =
+        (fleet_wall - serial_wall).max(0.0) / sweep_grid.num_cells() as f64 * 1e6;
+    let current_fleet = format!(
+        "{{\"cells\": {}, \"serial_wall_s\": {serial_wall:.6}, \
+         \"fleet_wall_s\": {fleet_wall:.6}, \"overhead_us_per_cell\": {fleet_overhead_us:.1}, \
+         \"cpus\": {}}}",
+        sweep_grid.num_cells(),
+        cpus()
+    );
+    println!(
+        "  fleet: queen + 1 loopback worker: {fleet_wall:.3} s vs serial {serial_wall:.3} s \
+         → {fleet_overhead_us:.1} µs/cell dispatch overhead (bit-identical)"
+    );
+
     // Router dispatch: PerInstance routing on the sense→decide path
     // (fixed-mode sub-agents isolate the dispatch cost; the matching
     // allocation-free pin is crates/core/tests/router_alloc.rs). Verified
@@ -641,6 +739,12 @@ fn main() -> ExitCode {
         .and_then(|sect| extract_object(sect, "baseline"))
         .map(str::to_owned)
         .unwrap_or_else(|| current_shards.clone());
+    let baseline_fleet = previous
+        .as_deref()
+        .and_then(|json| extract_object(json, "fleet_dispatch"))
+        .and_then(|sect| extract_object(sect, "baseline"))
+        .map(str::to_owned)
+        .unwrap_or_else(|| current_fleet.clone());
 
     let report = format!(
         "{{\n  \"suite\": \"soc1 x quick x [fixed-non-coh-dma, manual, cohmeleon]\",\n  \
@@ -654,6 +758,9 @@ fn main() -> ExitCode {
          \"sweep_shards\": {{\n    \
          \"suite\": \"same grid, 2 worker processes via ShardExecutor (spawn + rebuild included)\",\n    \
          \"baseline\": {baseline_shards},\n    \"current\": {current_shards}\n  }},\n  \
+         \"fleet_dispatch\": {{\n    \
+         \"suite\": \"same grid, in-process queen + 1 loopback worker vs direct Serial (protocol + validation + fsync overhead)\",\n    \
+         \"baseline\": {baseline_fleet},\n    \"current\": {current_fleet}\n  }},\n  \
          \"router_dispatch\": {{\n    \
          \"suite\": \"per-instance router, fixed sub-agents, decide+observe (alloc-free pin: core router_alloc test)\",\n    \
          \"baseline\": {baseline_dispatch},\n    \"current\": {current_dispatch}\n  }}\n}}\n"

@@ -3,10 +3,13 @@
 //!
 //! ```text
 //! sweep run    --grid NAME [--out PATH] [--executor serial|work-stealing]
-//!              [--max-cells N] [--fresh] [--shard I/N]
+//!              [--max-cells N] [--fresh] [--shard I/N] [--reuse OLD.jsonl]
 //! sweep resume --grid NAME [--out PATH] [--executor ...]
 //! sweep shard  --grid NAME --shards N [--out PATH] [--dir DIR]
 //! sweep merge  --out PATH [--grid NAME] FILE...
+//! sweep queen  --grid NAME --listen ADDR [--resume PATH] [--chunk N]
+//!              [--ttl-ms MS] [--max-cells N] [--fresh]
+//! sweep worker --connect ADDR [--name LABEL] [--retry-ms MS]
 //! ```
 //!
 //! * `run` is resumable by default: cells already in the checkpoint at
@@ -25,9 +28,22 @@
 //! * `merge` folds already-written shard/partial files into one
 //!   canonical stream; with `--grid` it also verifies completeness
 //!   against that grid.
+//! * `queen` serves the named grid over TCP to `worker` processes on
+//!   other hosts (or this one): contiguous cell ranges are leased out,
+//!   completed records stream back and are checkpointed exactly as `run`
+//!   does, silent workers get their shards speculatively re-leased, and
+//!   a killed queen re-run on the same `--resume` path picks up where it
+//!   stopped. `worker` connects, rebuilds the grid the queen names, and
+//!   works leases until the queen says done. See the "Fleet" section of
+//!   docs/ARCHITECTURE.md.
+//! * `run --reuse OLD.jsonl` seeds the checkpoint from a *different*
+//!   (smaller) grid's finished file by content key (scenario label,
+//!   policy label, seed), so growing a grid recomputes only new cells.
 //!
 //! Grid names are deterministic functions of `(name, COHMELEON_FAST)` —
-//! see `cohmeleon_bench::sweeps` for why that is load-bearing.
+//! see `cohmeleon_bench::sweeps` for why that is load-bearing. The
+//! queen's scale wins for fleet runs: workers rebuild at whatever scale
+//! the queen's HELLO names, regardless of their own environment.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -35,13 +51,14 @@ use std::process::ExitCode;
 use cohmeleon_bench::sweeps::{named_experiment, GRID_NAMES};
 use cohmeleon_bench::Scale;
 use cohmeleon_exp::{
-    canonical_jsonl, merge_files, ResumeOutcome, Serial, ShardExecutor, ShardSpec, SweepGrid,
-    WorkStealing,
+    canonical_jsonl, merge_files, Checkpoint, ResumeOutcome, Serial, ShardExecutor, ShardSpec,
+    SweepGrid, WorkStealing,
 };
+use cohmeleon_fleet::{run_queen, run_worker, QueenOptions, WorkerOptions};
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage:\n  sweep run    --grid NAME [--out PATH] [--executor serial|work-stealing]\n               [--max-cells N] [--fresh] [--shard I/N]\n  sweep resume --grid NAME [--out PATH] [--executor ...]\n  sweep shard  --grid NAME --shards N [--out PATH] [--dir DIR]\n  sweep merge  --out PATH [--grid NAME] FILE...\n\ngrids (COHMELEON_FAST=1 for reduced scale):\n",
+        "usage:\n  sweep run    --grid NAME [--out PATH] [--executor serial|work-stealing]\n               [--max-cells N] [--fresh] [--shard I/N] [--reuse OLD.jsonl]\n  sweep resume --grid NAME [--out PATH] [--executor ...]\n  sweep shard  --grid NAME --shards N [--out PATH] [--dir DIR]\n  sweep merge  --out PATH [--grid NAME] FILE...\n  sweep queen  --grid NAME --listen ADDR [--resume PATH] [--chunk N]\n               [--ttl-ms MS] [--max-cells N] [--fresh]\n  sweep worker --connect ADDR [--name LABEL] [--retry-ms MS]\n\ngrids (COHMELEON_FAST=1 for reduced scale):\n",
     );
     for (name, what) in GRID_NAMES {
         out.push_str(&format!("  {name:<10} {what}\n"));
@@ -94,6 +111,8 @@ fn main() -> ExitCode {
         "run" | "resume" => cmd_run(rest),
         "shard" => cmd_shard(rest),
         "merge" => cmd_merge(rest),
+        "queen" => cmd_queen(rest),
+        "worker" => cmd_worker(rest),
         "--help" | "-h" | "help" => {
             print!("{}", usage());
             return ExitCode::SUCCESS;
@@ -133,6 +152,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut max_cells = usize::MAX;
     let mut fresh = false;
     let mut shard: Option<ShardSpec> = None;
+    let mut reuse: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -157,6 +177,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                         .map_err(|e: cohmeleon_exp::shard::ParseShardSpecError| e.to_string())?,
                 );
             }
+            "--reuse" => {
+                reuse = Some(PathBuf::from(it.next().ok_or("--reuse needs a path")?));
+            }
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
@@ -167,6 +190,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         // Without this, a worker would clobber the grid's default
         // checkpoint file with one shard's slice.
         return Err("--shard requires an explicit --out".into());
+    }
+    if shard.is_some() && reuse.is_some() {
+        return Err("--reuse seeds a checkpoint; shard workers don't keep one".into());
     }
     let (grid, out) = build_grid(&common)?;
 
@@ -193,6 +219,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(format!("cannot remove {}: {e}", out.display())),
         }
+    }
+
+    if let Some(old) = &reuse {
+        let report = Checkpoint::reuse_from(&out, old, &grid)
+            .map_err(|e| format!("--reuse {}: {e}", old.display()))?;
+        println!(
+            "sweep: reused {} cells from {} ({} unmatched, {} already present)",
+            report.reused,
+            old.display(),
+            report.unmatched,
+            report.already
+        );
     }
 
     let outcome = common
@@ -278,6 +316,165 @@ fn cmd_shard(args: &[String]) -> Result<(), String> {
         records.len(),
         out.display(),
         dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_queen(args: &[String]) -> Result<(), String> {
+    let mut common = CommonArgs {
+        grid: String::new(),
+        out: None,
+        executor: Exec::Serial, // unused: workers execute the cells
+    };
+    let mut listen = String::new();
+    let mut chunk: Option<usize> = None;
+    let mut ttl_ms = 10_000u64;
+    let mut max_cells = usize::MAX;
+    let mut fresh = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--grid" => common.grid = it.next().ok_or("--grid needs a name")?.clone(),
+            "--listen" => listen = it.next().ok_or("--listen needs host:port")?.clone(),
+            // --resume and --out are synonyms: both name the checkpoint.
+            "--resume" | "--out" => {
+                common.out = Some(PathBuf::from(it.next().ok_or("--resume needs a path")?));
+            }
+            "--chunk" => {
+                chunk = Some(
+                    it.next()
+                        .ok_or("--chunk needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--chunk: {e}"))?,
+                );
+            }
+            "--ttl-ms" => {
+                ttl_ms = it
+                    .next()
+                    .ok_or("--ttl-ms needs milliseconds")?
+                    .parse()
+                    .map_err(|e| format!("--ttl-ms: {e}"))?;
+            }
+            "--max-cells" => {
+                max_cells = it
+                    .next()
+                    .ok_or("--max-cells needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--max-cells: {e}"))?;
+            }
+            "--fresh" => fresh = true,
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if common.grid.is_empty() {
+        return Err(format!("--grid is required\n{}", usage()));
+    }
+    if listen.is_empty() {
+        return Err(format!("--listen is required\n{}", usage()));
+    }
+    let (grid, out) = build_grid(&common)?;
+    if fresh {
+        match std::fs::remove_file(&out) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot remove {}: {e}", out.display())),
+        }
+    }
+
+    let listener = std::net::TcpListener::bind(&listen)
+        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or(listen);
+    let options = QueenOptions {
+        chunk,
+        ttl: std::time::Duration::from_millis(ttl_ms),
+        max_cells,
+        ..QueenOptions::new(&common.grid, matches!(Scale::from_env(), Scale::Fast))
+    };
+    println!(
+        "sweep: queen serving `{}` ({} cells) on {addr}; connect workers with `sweep worker --connect {addr}`",
+        common.grid,
+        grid.num_cells()
+    );
+    let report = run_queen(&grid, listener, &out, &options)
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "sweep: queen `{}`: {} reused, {} run by {} worker(s), {} duplicate(s) reconciled, {} speculative lease(s) → {}",
+        common.grid,
+        report.reused,
+        report.ran,
+        report.workers,
+        report.duplicates,
+        report.speculative,
+        out.display()
+    );
+    if !report.complete {
+        println!(
+            "sweep: interrupted at --max-cells {max_cells}; finish with `sweep queen --grid {} --listen {} --resume {}` (or `sweep resume`)",
+            common.grid,
+            addr,
+            out.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let mut connect = String::new();
+    let mut options = WorkerOptions::new(format!("worker-{}", std::process::id()));
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = it.next().ok_or("--connect needs host:port")?.clone(),
+            "--name" => options.name = it.next().ok_or("--name needs a label")?.clone(),
+            "--retry-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--retry-ms needs milliseconds")?
+                    .parse()
+                    .map_err(|e| format!("--retry-ms: {e}"))?;
+                options.connect_retry = std::time::Duration::from_millis(ms);
+            }
+            // Fault injection for the CI smoke and tests: die mid-lease
+            // after N records, without a DONE. Deliberately undocumented
+            // in the usage text.
+            "--fail-after" => {
+                options.fail_after = Some(
+                    it.next()
+                        .ok_or("--fail-after needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--fail-after: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if connect.is_empty() {
+        return Err(format!("--connect is required\n{}", usage()));
+    }
+
+    // Rebuild whatever grid the queen names, at the queen's scale — the
+    // worker's own COHMELEON_FAST is deliberately ignored so a fleet
+    // can't be torn by mismatched environments.
+    let resolve = |name: &str, fast: bool| {
+        named_experiment(name, if fast { Scale::Fast } else { Scale::Full })?
+            .build()
+            .map_err(|e| e.to_string())
+    };
+    let report = run_worker(&connect, resolve, &options).map_err(|e| format!("{connect}: {e}"))?;
+    println!(
+        "sweep: worker `{}` on `{}`: {} cells over {} lease(s){}",
+        options.name,
+        report.grid,
+        report.cells,
+        report.leases,
+        if report.aborted {
+            " — aborted by --fail-after"
+        } else {
+            ""
+        }
     );
     Ok(())
 }

@@ -22,6 +22,14 @@
 //!   order, so the final artifact is **bit-identical** to an
 //!   uninterrupted [`Serial`](crate::Serial) run no matter how many times
 //!   the sweep was interrupted or which executor ran it.
+//! * [`CheckpointWriter`] and [`finalize_canonical`] — the write half,
+//!   public so other drivers (the fleet queen in `cohmeleon-fleet`
+//!   streams records in over TCP) can speak the identical on-disk
+//!   discipline and land on the identical canonical bytes.
+//! * [`Checkpoint::reuse_from`] — grown-grid reuse: seed a new grid's
+//!   checkpoint from an *old* grid's file by [`ContentKey`] (labels +
+//!   effective seed, which survive index shifts), so adding a seed or a
+//!   policy recomputes only the new cells.
 //!
 //! The write discipline is: the file is opened in *append* mode and each
 //! record is written as a single `write_all` of `line + "\n"` followed by
@@ -52,10 +60,30 @@ use crate::sink::{CellRecord, ResultSink};
 /// canonical record stream well-defined without the grid in hand.
 pub type CellCoord = (usize, usize, usize);
 
+/// A cell's *content-stable* coordinate: `(scenario label, policy label,
+/// effective seed)`.
+///
+/// Unlike [`CellCoord`], this key survives the grid being *grown*: adding
+/// a seed, a policy, or a scenario shifts dense indices around, but a
+/// cell's labels and effective seed — which are what determine its result
+/// — do not move. [`Checkpoint::reuse_from`] keys on this to carry
+/// completed cells from an old grid's file into a grown grid's
+/// checkpoint. The key is only meaningful within one experiment family
+/// (same workloads and generator parameters behind the labels); reusing a
+/// file from an unrelated experiment that happens to share labels is the
+/// caller's bug, exactly as it is for resuming one.
+pub type ContentKey = (String, String, u64);
+
 impl CellRecord {
     /// This record's [`CellCoord`].
     pub fn coord(&self) -> CellCoord {
         (self.scenario_index, self.policy_index, self.seed_index)
+    }
+
+    /// This record's [`ContentKey`]: `(scenario, policy, seed)` by label
+    /// and effective value rather than by axis index.
+    pub fn content_key(&self) -> ContentKey {
+        (self.scenario.clone(), self.policy.clone(), self.seed)
     }
 }
 
@@ -170,8 +198,14 @@ fn invalid_data(message: String) -> io::Error {
 /// Checks that `record` could have been produced by a cell of `grid`:
 /// coordinates in range, scenario/policy labels matching the grid's axes,
 /// and the effective seed matching [`SweepGrid::cell_seed`]. This is what
-/// stops a checkpoint from silently resuming *someone else's* sweep.
-pub(crate) fn validate_record(record: &CellRecord, grid: &SweepGrid) -> Result<(), String> {
+/// stops a checkpoint from silently resuming *someone else's* sweep — and
+/// what a fleet queen runs on every `RECORD` a worker streams back before
+/// the line is persisted.
+///
+/// # Errors
+///
+/// A message naming the first mismatching coordinate, label or seed.
+pub fn validate_record(record: &CellRecord, grid: &SweepGrid) -> Result<(), String> {
     let (s, p, k) = record.coord();
     if s >= grid.scenarios().len() || p >= grid.policies().len() || k >= grid.seeds().len() {
         return Err(format!(
@@ -281,6 +315,13 @@ impl Checkpoint {
         self.dropped_tail
     }
 
+    /// Byte length of the on-disk prefix made of complete lines — what
+    /// [`CheckpointWriter::open`] truncates to before appending, so a
+    /// torn tail never leaks into the stream.
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+
     /// How many byte-identical duplicate lines were collapsed.
     pub fn duplicates(&self) -> usize {
         self.duplicates
@@ -300,6 +341,108 @@ impl Checkpoint {
             .map(|(i, _)| i)
             .collect()
     }
+
+    /// Seeds the checkpoint at `path` (for a run of `grid`) with every
+    /// cell of the *old* run at `old_path` whose [`ContentKey`] matches a
+    /// cell of `grid` — so a **grown** grid (one more seed, policy, or
+    /// scenario) reuses every overlapping result instead of recomputing
+    /// the world.
+    ///
+    /// Matching is by content, not position: a reused record's three
+    /// index fields are rewritten to the cell's coordinates on the *new*
+    /// grid before it is appended, so the seeded checkpoint is
+    /// indistinguishable from one the new grid produced itself, and the
+    /// eventual finished file is byte-identical to a from-scratch run.
+    /// Old records with no matching cell (a policy that was dropped, say)
+    /// are counted in [`ReuseReport::unmatched`] and skipped; cells
+    /// already present in the checkpoint at `path` are left alone and
+    /// counted in [`ReuseReport::already`].
+    ///
+    /// The old file is loaded with the same tolerance as a resume: a torn
+    /// tail is dropped, identical duplicate lines collapse. Call this
+    /// *before* [`SweepGrid::run_resumable`]; the run then only owes the
+    /// genuinely new cells.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or appending; `InvalidData` for mid-file
+    /// corruption in the old file, for old records that disagree with the
+    /// new grid's derived seed under their labels, or for conflicting
+    /// duplicates in either file.
+    pub fn reuse_from(
+        path: impl AsRef<Path>,
+        old_path: impl AsRef<Path>,
+        grid: &SweepGrid,
+    ) -> io::Result<ReuseReport> {
+        let path = path.as_ref();
+        let old_text = std::fs::read_to_string(old_path.as_ref())?;
+        let scanned = scan_jsonl_tail(&old_text).map_err(invalid_data)?;
+
+        // Index the old run by content key. The old grid is not in hand
+        // (and need not be): labels + effective seed are the identity.
+        let mut by_key: HashMap<ContentKey, CellRecord> = HashMap::new();
+        for record in scanned.records {
+            match by_key.entry(record.content_key()) {
+                std::collections::hash_map::Entry::Occupied(existing) => {
+                    // Identity excludes the index fields, which racing
+                    // attempts could not have disagreed on anyway — but
+                    // compare the full record so silent payload
+                    // divergence is an error, not a coin flip.
+                    if *existing.get() != record {
+                        return Err(invalid_data(format!(
+                            "old run has conflicting records for ({}, {}, seed {})",
+                            record.scenario, record.policy, record.seed
+                        )));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(record);
+                }
+            }
+        }
+
+        let checkpoint = Checkpoint::load(path, grid)?;
+        let mut writer = CheckpointWriter::open(path, checkpoint.valid_len)?;
+        let mut report = ReuseReport::default();
+        let mut matched: std::collections::HashSet<ContentKey> =
+            std::collections::HashSet::new();
+        for cell in grid.cells() {
+            let coord = (cell.scenario, cell.policy, cell.seed);
+            let key: ContentKey = (
+                grid.scenarios()[cell.scenario].label.clone(),
+                grid.policies()[cell.policy].policy_label().to_string(),
+                grid.cell_seed(cell),
+            );
+            let Some(old) = by_key.get(&key) else { continue };
+            matched.insert(key);
+            if checkpoint.contains(coord) {
+                report.already += 1;
+                continue;
+            }
+            // Remap the dense coordinates to where this cell lives on
+            // the grown grid; everything content-bearing is untouched.
+            let mut record = old.clone();
+            record.scenario_index = cell.scenario;
+            record.policy_index = cell.policy;
+            record.seed_index = cell.seed;
+            validate_record(&record, grid).map_err(invalid_data)?;
+            writer.append(&record)?;
+            report.reused += 1;
+        }
+        report.unmatched = by_key.len() - matched.len();
+        Ok(report)
+    }
+}
+
+/// What [`Checkpoint::reuse_from`] carried over.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseReport {
+    /// Old cells appended into the new checkpoint (remapped coords).
+    pub reused: usize,
+    /// Old cells with no matching cell on the new grid, skipped.
+    pub unmatched: usize,
+    /// New-grid cells already present in the checkpoint, left alone.
+    pub already: usize,
 }
 
 /// What a resumable run did, and the complete record set if it finished.
@@ -321,11 +464,58 @@ pub struct ResumeOutcome {
     pub complete: bool,
 }
 
-/// A [`ResultSink`] that appends one durable JSONL line per cell: a
-/// single `write_all` followed by `sync_data`, so a kill can tear at most
-/// the line in flight.
+/// The durable append handle of a partial run: one fsynced JSONL line
+/// per record, opened on a clean line boundary.
+///
+/// This is the write half of the checkpoint discipline
+/// ([`SweepGrid::run_resumable`] and the fleet queen both speak it): open
+/// in append mode truncated to the checkpoint's
+/// [`valid_len`](Checkpoint::valid_len) (cutting off any torn tail), then
+/// append each record as a single `write_all` of `line + "\n"` followed
+/// by `File::sync_data` — a kill at any instant loses at most the line in
+/// flight, which the next [`Checkpoint::load`] tolerates.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: File,
+}
+
+impl CheckpointWriter {
+    /// Opens `path` for durable appends, truncated to `valid_len` (from
+    /// the [`Checkpoint`] just loaded) so writing resumes on a line
+    /// boundary. Creates the file if missing (`valid_len` 0).
+    ///
+    /// # Errors
+    ///
+    /// The underlying open/truncate I/O error.
+    pub fn open(path: impl AsRef<Path>, valid_len: u64) -> io::Result<CheckpointWriter> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.as_ref())?;
+        // Cut off the torn tail (if any) so appends start on a line
+        // boundary (append mode repositions to the new EOF by itself).
+        file.set_len(valid_len)?;
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Appends one record as a durable line: a single `write_all`
+    /// followed by `sync_data`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying write/fsync I/O error; the line may be torn on
+    /// disk, which the next load drops and re-runs.
+    pub fn append(&mut self, record: &CellRecord) -> io::Result<()> {
+        let line = format!("{}\n", record.to_json());
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// A [`ResultSink`] that appends one durable JSONL line per cell through
+/// a [`CheckpointWriter`].
 struct AppendSink<'a> {
-    file: &'a mut File,
+    writer: &'a mut CheckpointWriter,
     records: &'a mut Vec<CellRecord>,
     ran: &'a mut usize,
 }
@@ -333,13 +523,11 @@ struct AppendSink<'a> {
 impl ResultSink for AppendSink<'_> {
     fn on_cell(&mut self, result: crate::grid::CellResult) {
         let record = CellRecord::from_cell(&result);
-        let line = format!("{}\n", record.to_json());
         // Write errors panic, as for JsonlSink: a sweep that silently
         // loses results is worse than one that stops.
-        self.file
-            .write_all(line.as_bytes())
+        self.writer
+            .append(&record)
             .expect("append checkpoint record");
-        self.file.sync_data().expect("fsync checkpoint record");
         self.records.push(record);
         *self.ran += 1;
     }
@@ -350,7 +538,11 @@ impl ResultSink for AppendSink<'_> {
 /// `path` — a kill during finalisation leaves either the old
 /// (append-ordered, still resumable) file or the new canonical one,
 /// never a mix.
-fn finalize_canonical(path: &Path, records: &[CellRecord]) -> io::Result<()> {
+///
+/// # Errors
+///
+/// The underlying write/fsync/rename I/O error.
+pub fn finalize_canonical(path: &Path, records: &[CellRecord]) -> io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
@@ -418,21 +610,17 @@ impl SweepGrid {
         // two processes resuming the same checkpoint interleave whole
         // lines, never bytes — their duplicated cells then collapse on
         // the next load instead of corrupting the file.
-        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-        // Cut off the torn tail (if any) so appends start on a line
-        // boundary (append mode repositions to the new EOF by itself).
-        file.set_len(valid_len)?;
+        let mut writer = CheckpointWriter::open(path, valid_len)?;
         let mut ran = 0usize;
         {
             let mut sink = AppendSink {
-                file: &mut file,
+                writer: &mut writer,
                 records: &mut records,
                 ran: &mut ran,
             };
             self.execute_subset(todo, executor, &mut sink);
         }
-        file.sync_data()?;
-        drop(file);
+        drop(writer);
 
         sort_canonical(&mut records);
         if complete {

@@ -97,7 +97,8 @@ pub mod shard;
 pub mod sink;
 
 pub use checkpoint::{
-    canonical_jsonl, scan_jsonl_tail, CellCoord, Checkpoint, ResumeOutcome, ScannedRun,
+    canonical_jsonl, finalize_canonical, scan_jsonl_tail, validate_record, CellCoord, Checkpoint,
+    CheckpointWriter, ContentKey, ResumeOutcome, ReuseReport, ScannedRun,
 };
 pub use executor::{Executor, Serial, WorkStealing};
 pub use grid::{

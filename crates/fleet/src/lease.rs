@@ -1,0 +1,328 @@
+//! The queen's lease table: who owes which cells, and until when.
+//!
+//! A **lease** is a contiguous run of dense cell indices granted to one
+//! worker with a deadline. Completed cells retire from every lease that
+//! covers them; a lease whose worker goes silent past its deadline is
+//! eligible for **speculative re-lease** — its remaining cells are carved
+//! into a fresh lease for another worker *without* being taken from the
+//! original (both may finish; cells are pure functions of their
+//! coordinates, so the duplicate completions are byte-identical and the
+//! record ledger collapses them). The table never loses a cell: work
+//! returns to the unleased pool when a lease is released with cells still
+//! outstanding and no surviving twin.
+//!
+//! Every method takes `now` explicitly so expiry is unit-testable with a
+//! synthetic clock.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+/// One granted lease: a worker's claim on a set of cells until `deadline`.
+#[derive(Debug, Clone)]
+pub struct Lease {
+    /// The wire id workers tag `RECORD`/`DONE`/`HEARTBEAT` with.
+    pub id: u64,
+    /// The worker's self-reported name (reporting only).
+    pub worker: String,
+    /// First dense index of the granted contiguous run.
+    pub start: usize,
+    /// Length of the granted run.
+    pub len: usize,
+    /// Cells of the run not yet completed (by anyone).
+    outstanding: BTreeSet<usize>,
+    /// Silence past this instant makes the lease eligible for
+    /// speculative re-lease.
+    deadline: Instant,
+}
+
+/// The queen's answer to a `LEASE` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grant {
+    /// Run dense cells `start..start + len` under lease `id`.
+    Lease {
+        /// The new lease's id.
+        id: u64,
+        /// First dense cell index.
+        start: usize,
+        /// Number of cells.
+        len: usize,
+    },
+    /// Every pending cell is leased to a live worker — back off and ask
+    /// again.
+    Wait,
+    /// Every cell is complete.
+    Complete,
+}
+
+/// The mutable heart of the queen: pending cells, the unleased pool, and
+/// the active leases.
+#[derive(Debug)]
+pub struct LeaseTable {
+    /// Cells not yet completed by anyone.
+    incomplete: BTreeSet<usize>,
+    /// Incomplete cells not covered by any active lease.
+    unleased: BTreeSet<usize>,
+    leases: HashMap<u64, Lease>,
+    next_id: u64,
+    chunk: usize,
+    ttl: Duration,
+    speculative: usize,
+}
+
+impl LeaseTable {
+    /// Builds a table over the pending dense indices, granting at most
+    /// `chunk` cells per lease with deadline `ttl` from grant time.
+    pub fn new(pending: impl IntoIterator<Item = usize>, chunk: usize, ttl: Duration) -> LeaseTable {
+        let incomplete: BTreeSet<usize> = pending.into_iter().collect();
+        LeaseTable {
+            unleased: incomplete.clone(),
+            incomplete,
+            leases: HashMap::new(),
+            next_id: 0,
+            chunk: chunk.max(1),
+            ttl,
+            speculative: 0,
+        }
+    }
+
+    /// Whether every cell has completed.
+    pub fn is_complete(&self) -> bool {
+        self.incomplete.is_empty()
+    }
+
+    /// How many speculative (twin) leases have been granted.
+    pub fn speculative(&self) -> usize {
+        self.speculative
+    }
+
+    /// Number of live leases.
+    pub fn active_leases(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Answers a worker's `LEASE` request at time `now`.
+    ///
+    /// Preference order: a contiguous run carved from the unleased pool;
+    /// else a speculative re-lease carved from the most-overdue expired
+    /// lease's outstanding cells (the original keeps them too — first
+    /// completion wins — and gets its deadline pushed out so the same
+    /// cells are not immediately re-speculated a third time); else
+    /// [`Grant::Wait`].
+    pub fn grant(&mut self, worker: &str, now: Instant) -> Grant {
+        if self.is_complete() {
+            return Grant::Complete;
+        }
+        if let Some((start, len)) = carve(&self.unleased, self.chunk) {
+            for index in start..start + len {
+                self.unleased.remove(&index);
+            }
+            return Grant::Lease {
+                id: self.insert_lease(worker, start, len, now),
+                start,
+                len,
+            };
+        }
+        // Nothing unleased: look for an expired lease to double-dispatch.
+        let overdue = self
+            .leases
+            .values()
+            .filter(|l| l.deadline <= now && !l.outstanding.is_empty())
+            .min_by_key(|l| l.deadline)
+            .map(|l| l.id);
+        if let Some(old_id) = overdue {
+            let old = self.leases.get_mut(&old_id).expect("lease just found");
+            let (start, len) = carve(&old.outstanding, self.chunk).expect("non-empty outstanding");
+            old.deadline = now + self.ttl;
+            self.speculative += 1;
+            return Grant::Lease {
+                id: self.insert_lease(worker, start, len, now),
+                start,
+                len,
+            };
+        }
+        Grant::Wait
+    }
+
+    fn insert_lease(&mut self, worker: &str, start: usize, len: usize, now: Instant) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.leases.insert(
+            id,
+            Lease {
+                id,
+                worker: worker.to_string(),
+                start,
+                len,
+                outstanding: (start..start + len).collect(),
+                deadline: now + self.ttl,
+            },
+        );
+        id
+    }
+
+    /// Records cell `index` as completed, reported under `lease_id`.
+    ///
+    /// The cell retires from the incomplete set, the unleased pool, and
+    /// *every* lease's outstanding set (speculative twins included); a
+    /// lease drained to empty is removed. The reporting lease — the
+    /// worker is evidently alive — gets its deadline refreshed. Returns
+    /// whether the cell was still incomplete (`false` = a duplicate from
+    /// a speculative twin or an unknown lease, both fine).
+    pub fn complete_cell(&mut self, index: usize, lease_id: u64, now: Instant) -> bool {
+        let fresh = self.incomplete.remove(&index);
+        self.unleased.remove(&index);
+        for lease in self.leases.values_mut() {
+            lease.outstanding.remove(&index);
+        }
+        self.leases.retain(|_, l| !l.outstanding.is_empty());
+        if let Some(lease) = self.leases.get_mut(&lease_id) {
+            lease.deadline = now + self.ttl;
+        }
+        fresh
+    }
+
+    /// Refreshes `lease_id`'s deadline. Returns whether the lease is
+    /// still live.
+    pub fn heartbeat(&mut self, lease_id: u64, now: Instant) -> bool {
+        match self.leases.get_mut(&lease_id) {
+            Some(lease) => {
+                lease.deadline = now + self.ttl;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops lease `lease_id` (worker finished it, or its connection
+    /// died). Any cells still outstanding return to the unleased pool —
+    /// unless a surviving twin lease covers them, in which case that twin
+    /// keeps the claim and the pool stays clean of double-grants.
+    pub fn release(&mut self, lease_id: u64) {
+        let Some(lease) = self.leases.remove(&lease_id) else {
+            return;
+        };
+        for index in lease.outstanding {
+            let covered = self
+                .leases
+                .values()
+                .any(|l| l.outstanding.contains(&index));
+            if self.incomplete.contains(&index) && !covered {
+                self.unleased.insert(index);
+            }
+        }
+    }
+}
+
+/// Finds the longest contiguous run starting at the set's first element,
+/// capped at `chunk`. Returns `(start, len)`, or `None` if empty.
+fn carve(set: &BTreeSet<usize>, chunk: usize) -> Option<(usize, usize)> {
+    let start = *set.iter().next()?;
+    let mut len = 1;
+    while len < chunk && set.contains(&(start + len)) {
+        len += 1;
+    }
+    Some((start, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: Duration = Duration::from_secs(10);
+
+    fn lease(grant: Grant) -> (u64, usize, usize) {
+        match grant {
+            Grant::Lease { id, start, len } => (id, start, len),
+            other => panic!("expected a lease, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn carves_contiguous_runs_capped_at_chunk() {
+        let mut table = LeaseTable::new([0, 1, 2, 3, 5, 6], 3, TTL);
+        let now = Instant::now();
+        assert_eq!(lease(table.grant("a", now)), (1, 0, 3));
+        // 3 is contiguous but alone (4 is not pending).
+        assert_eq!(lease(table.grant("b", now)), (2, 3, 1));
+        assert_eq!(lease(table.grant("c", now)), (3, 5, 2));
+        assert_eq!(table.grant("d", now), Grant::Wait);
+    }
+
+    #[test]
+    fn completion_drains_leases_and_finishes_the_grid() {
+        let mut table = LeaseTable::new([0, 1], 4, TTL);
+        let now = Instant::now();
+        let (id, start, len) = lease(table.grant("a", now));
+        assert_eq!((start, len), (0, 2));
+        assert!(table.complete_cell(0, id, now));
+        assert!(!table.is_complete());
+        assert!(table.complete_cell(1, id, now));
+        assert!(table.is_complete());
+        assert_eq!(table.active_leases(), 0);
+        assert_eq!(table.grant("b", now), Grant::Complete);
+    }
+
+    #[test]
+    fn expired_lease_is_speculatively_re_leased() {
+        let mut table = LeaseTable::new([0, 1, 2], 4, TTL);
+        let t0 = Instant::now();
+        let (slow, _, _) = lease(table.grant("slow", t0));
+
+        // Before the deadline the cells stay claimed.
+        assert_eq!(table.grant("fast", t0 + TTL / 2), Grant::Wait);
+
+        // Past it, a twin lease is carved from the same cells.
+        let t1 = t0 + TTL + Duration::from_millis(1);
+        let (twin, start, len) = lease(table.grant("fast", t1));
+        assert_ne!(twin, slow);
+        assert_eq!((start, len), (0, 3));
+        assert_eq!(table.speculative(), 1);
+
+        // The original's deadline was pushed out: no third dispatch yet.
+        assert_eq!(table.grant("third", t1 + Duration::from_millis(1)), Grant::Wait);
+
+        // First completion wins, whichever lease reports it; duplicates
+        // from the twin are recognised as such.
+        assert!(table.complete_cell(0, twin, t1));
+        assert!(!table.complete_cell(0, slow, t1));
+        assert!(table.complete_cell(1, slow, t1));
+        assert!(table.complete_cell(2, slow, t1));
+        assert!(table.is_complete());
+    }
+
+    #[test]
+    fn heartbeat_defers_expiry() {
+        let mut table = LeaseTable::new([0], 1, TTL);
+        let t0 = Instant::now();
+        let (id, _, _) = lease(table.grant("a", t0));
+        assert!(table.heartbeat(id, t0 + TTL));
+        // Would have expired at t0 + TTL without the heartbeat.
+        assert_eq!(table.grant("b", t0 + TTL + Duration::from_millis(1)), Grant::Wait);
+        assert!(!table.heartbeat(999, t0));
+    }
+
+    #[test]
+    fn release_returns_uncovered_cells_to_the_pool() {
+        let mut table = LeaseTable::new([0, 1], 2, TTL);
+        let t0 = Instant::now();
+        let (id, _, _) = lease(table.grant("a", t0));
+        table.complete_cell(0, id, t0);
+        // Torn connection: the worker vanishes with cell 1 outstanding.
+        table.release(id);
+        // The survivor gets exactly the leftover cell.
+        assert_eq!(lease(table.grant("b", t0)), (2, 1, 1));
+    }
+
+    #[test]
+    fn release_leaves_twinned_cells_with_the_survivor() {
+        let mut table = LeaseTable::new([0], 1, TTL);
+        let t0 = Instant::now();
+        let (slow, _, _) = lease(table.grant("slow", t0));
+        let t1 = t0 + TTL + Duration::from_millis(1);
+        let (_twin, _, _) = lease(table.grant("fast", t1));
+        // The slow worker's connection dies; its cell is still claimed by
+        // the twin, so it must NOT return to the unleased pool.
+        table.release(slow);
+        assert_eq!(table.grant("third", t1), Grant::Wait);
+    }
+}

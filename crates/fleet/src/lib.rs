@@ -1,0 +1,45 @@
+//! # cohmeleon-fleet
+//!
+//! The multi-host sweep coordinator: a **queen** process owns a named
+//! grid and its checkpoint file, listens on TCP, and leases contiguous
+//! runs of dense cell indices to **worker** processes, which rebuild the
+//! grid deterministically from its registry name, simulate their leased
+//! cells, and stream each completed [`CellRecord`](cohmeleon_exp::CellRecord)
+//! back as the JSONL line the checkpoint layer already speaks.
+//!
+//! The design leans entirely on invariants the workspace already
+//! enforces, which is what keeps the protocol small (five verbs over
+//! `std::net` — no async runtime, no serialization framework):
+//!
+//! * **Cells are pure functions of their coordinates**, so a worker needs
+//!   only `(grid name, fast flag, dense index)` to produce the exact
+//!   bytes a local run would — the rebuild contract the `shard`
+//!   subcommand already relies on.
+//! * **Duplicates are free**, so fault tolerance is *speculative
+//!   re-lease*: a lease silent past its TTL is carved into a twin lease
+//!   for another worker, first completion wins, and the queen's record
+//!   ledger collapses the byte-identical duplicate (a *conflicting*
+//!   duplicate aborts the run — that means determinism broke).
+//! * **The checkpoint layer is crash-proof**, so queen durability is
+//!   inherited: every accepted record is appended through the same
+//!   fsync-per-line [`CheckpointWriter`](cohmeleon_exp::CheckpointWriter)
+//!   discipline, a killed queen restarted on the same file resumes
+//!   exactly like a killed local sweep, and a completed grid is
+//!   finalised to the canonical stream — byte-identical to a clean
+//!   serial run, however many workers, kills, and re-leases happened.
+//!
+//! See the "Fleet" section of `docs/ARCHITECTURE.md` for the message
+//! table and coordination diagram, and `cohmeleon-bench`'s `sweep queen`
+//! / `sweep worker` subcommands for the CLI entry points.
+
+#![warn(missing_docs)]
+
+pub mod lease;
+pub mod protocol;
+pub mod queen;
+pub mod worker;
+
+pub use lease::{Grant, Lease, LeaseTable};
+pub use protocol::{LineReader, ToQueen, ToWorker, PROTOCOL_VERSION};
+pub use queen::{run_queen, QueenOptions, QueenReport};
+pub use worker::{run_worker, WorkerOptions, WorkerReport};

@@ -1,0 +1,397 @@
+//! The fleet wire protocol: line-delimited text over TCP.
+//!
+//! One message per `\n`-terminated line, ASCII verbs, space-separated
+//! fields; the payload of a `RECORD` is the cell's JSONL line itself
+//! (which contains no newline), so the queen can persist it byte-for-byte
+//! through the checkpoint layer without re-serialising. Five verbs total:
+//!
+//! | direction | line | meaning |
+//! |---|---|---|
+//! | worker → queen | `HELLO fleet/1 <name>` | join; `<name>` is a label for reporting |
+//! | queen → worker | `HELLO fleet/1 <grid> <fast> <cells> <ttl_ms>` | grid to rebuild (`fast` is `0`/`1` for the scale), expected cell count, lease deadline |
+//! | worker → queen | `LEASE` | ask for work |
+//! | queen → worker | `LEASE <id> <start> <len>` | lease of dense cells `start..start+len` |
+//! | queen → worker | `HEARTBEAT` | no work *right now* — back off and ask again |
+//! | queen → worker | `DONE` | grid complete (or queen stopping) — exit cleanly |
+//! | worker → queen | `RECORD <id> <json>` | one completed cell under lease `<id>` |
+//! | worker → queen | `DONE <id>` | lease `<id>` fully streamed |
+//! | worker → queen | `HEARTBEAT <id>` | still alive and working lease `<id>` |
+//!
+//! `RECORD`, `DONE` and `HEARTBEAT` are fire-and-forget; the queen replies
+//! only to `HELLO` and `LEASE`. Either side handles a protocol violation
+//! by closing the connection — the lease table treats a dropped worker as
+//! expired and the record ledger reconciles any duplicated completions, so
+//! closing is always safe.
+
+use std::io::{self, Read};
+
+/// The protocol version token both `HELLO`s must carry.
+pub const PROTOCOL_VERSION: &str = "fleet/1";
+
+fn bad(line: &str, why: &str) -> String {
+    format!("bad fleet message `{line}`: {why}")
+}
+
+/// Replaces whitespace in a worker name so it stays a single token on the
+/// wire.
+pub fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '-' } else { c })
+        .collect()
+}
+
+/// A message a worker sends to the queen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToQueen {
+    /// `HELLO fleet/1 <name>` — join the fleet.
+    Hello {
+        /// The worker's self-reported label (host name, say).
+        name: String,
+    },
+    /// `LEASE` — ask for a shard of work.
+    Lease,
+    /// `RECORD <id> <json>` — one completed cell under lease `id`.
+    Record {
+        /// The lease this cell was granted under.
+        lease: u64,
+        /// The cell's JSONL line, verbatim.
+        json: String,
+    },
+    /// `DONE <id>` — every cell of lease `id` has been streamed.
+    Done {
+        /// The finished lease.
+        lease: u64,
+    },
+    /// `HEARTBEAT <id>` — still working lease `id`; refresh its deadline.
+    Heartbeat {
+        /// The lease being kept alive.
+        lease: u64,
+    },
+}
+
+impl ToQueen {
+    /// Serialises the message as its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            ToQueen::Hello { name } => format!("HELLO {PROTOCOL_VERSION} {name}"),
+            ToQueen::Lease => "LEASE".into(),
+            ToQueen::Record { lease, json } => format!("RECORD {lease} {json}"),
+            ToQueen::Done { lease } => format!("DONE {lease}"),
+            ToQueen::Heartbeat { lease } => format!("HEARTBEAT {lease}"),
+        }
+    }
+
+    /// Parses a wire line.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the line and what is wrong with it (unknown verb,
+    /// missing or non-numeric field, version mismatch).
+    pub fn parse(line: &str) -> Result<ToQueen, String> {
+        let mut parts = line.splitn(3, ' ');
+        let verb = parts.next().unwrap_or("");
+        match verb {
+            "HELLO" => {
+                let version = parts.next().ok_or_else(|| bad(line, "missing version"))?;
+                if version != PROTOCOL_VERSION {
+                    return Err(bad(
+                        line,
+                        &format!("version `{version}` (queen speaks {PROTOCOL_VERSION})"),
+                    ));
+                }
+                let name = parts.next().ok_or_else(|| bad(line, "missing name"))?;
+                Ok(ToQueen::Hello { name: name.into() })
+            }
+            "LEASE" => Ok(ToQueen::Lease),
+            "RECORD" => {
+                let lease = parse_u64(line, parts.next())?;
+                let json = parts.next().ok_or_else(|| bad(line, "missing payload"))?;
+                Ok(ToQueen::Record {
+                    lease,
+                    json: json.into(),
+                })
+            }
+            "DONE" => Ok(ToQueen::Done {
+                lease: parse_u64(line, parts.next())?,
+            }),
+            "HEARTBEAT" => Ok(ToQueen::Heartbeat {
+                lease: parse_u64(line, parts.next())?,
+            }),
+            _ => Err(bad(line, "unknown verb")),
+        }
+    }
+}
+
+/// A message the queen sends to a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToWorker {
+    /// `HELLO fleet/1 <grid> <fast> <cells> <ttl_ms>` — the reply to a
+    /// worker's `HELLO`: which named grid to rebuild, at which scale, how
+    /// many cells it must have, and the lease deadline in milliseconds
+    /// (workers pace heartbeats off it).
+    Hello {
+        /// The registry name of the grid to rebuild.
+        grid: String,
+        /// Whether to rebuild at the reduced `COHMELEON_FAST` scale.
+        fast: bool,
+        /// The queen's cell count — the worker's rebuild must match.
+        cells: usize,
+        /// Lease deadline; silence past it triggers speculative re-lease.
+        ttl_ms: u64,
+    },
+    /// `LEASE <id> <start> <len>` — run dense cells `start..start+len`.
+    Lease {
+        /// Lease id to tag `RECORD`/`DONE`/`HEARTBEAT` with.
+        id: u64,
+        /// First dense cell index of the leased range.
+        start: usize,
+        /// Number of consecutive cells leased.
+        len: usize,
+    },
+    /// `HEARTBEAT` — nothing to lease right now; back off and re-ask.
+    Wait,
+    /// `DONE` — the grid is complete (or the queen is stopping); exit.
+    Complete,
+}
+
+impl ToWorker {
+    /// Serialises the message as its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            ToWorker::Hello {
+                grid,
+                fast,
+                cells,
+                ttl_ms,
+            } => {
+                let fast = u8::from(*fast);
+                format!("HELLO {PROTOCOL_VERSION} {grid} {fast} {cells} {ttl_ms}")
+            }
+            ToWorker::Lease { id, start, len } => format!("LEASE {id} {start} {len}"),
+            ToWorker::Wait => "HEARTBEAT".into(),
+            ToWorker::Complete => "DONE".into(),
+        }
+    }
+
+    /// Parses a wire line.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ToQueen::parse`].
+    pub fn parse(line: &str) -> Result<ToWorker, String> {
+        let mut parts = line.split(' ');
+        let verb = parts.next().unwrap_or("");
+        match verb {
+            "HELLO" => {
+                let version = parts.next().ok_or_else(|| bad(line, "missing version"))?;
+                if version != PROTOCOL_VERSION {
+                    return Err(bad(
+                        line,
+                        &format!("version `{version}` (worker speaks {PROTOCOL_VERSION})"),
+                    ));
+                }
+                let grid = parts.next().ok_or_else(|| bad(line, "missing grid"))?;
+                let fast = match parts.next() {
+                    Some("0") => false,
+                    Some("1") => true,
+                    _ => return Err(bad(line, "fast flag must be 0 or 1")),
+                };
+                let cells = parse_u64(line, parts.next())? as usize;
+                let ttl_ms = parse_u64(line, parts.next())?;
+                Ok(ToWorker::Hello {
+                    grid: grid.into(),
+                    fast,
+                    cells,
+                    ttl_ms,
+                })
+            }
+            "LEASE" => Ok(ToWorker::Lease {
+                id: parse_u64(line, parts.next())?,
+                start: parse_u64(line, parts.next())? as usize,
+                len: parse_u64(line, parts.next())? as usize,
+            }),
+            "HEARTBEAT" => Ok(ToWorker::Wait),
+            "DONE" => Ok(ToWorker::Complete),
+            _ => Err(bad(line, "unknown verb")),
+        }
+    }
+}
+
+fn parse_u64(line: &str, field: Option<&str>) -> Result<u64, String> {
+    field
+        .ok_or_else(|| bad(line, "missing field"))?
+        .parse::<u64>()
+        .map_err(|_| bad(line, "non-numeric field"))
+}
+
+/// Timeout-safe line framing over any [`Read`].
+///
+/// `BufReader::read_line` cannot be used on a socket with a read timeout:
+/// on `Err` its UTF-8 guard discards whatever partial bytes were already
+/// appended, so a timeout mid-line silently eats the line's prefix. This
+/// reader keeps partial data in its own buffer across
+/// [`WouldBlock`](io::ErrorKind::WouldBlock)/[`TimedOut`](io::ErrorKind::TimedOut)
+/// errors — the queen polls its sockets with a short read timeout so it
+/// can notice shutdown, and resumes each line exactly where it left off.
+#[derive(Debug)]
+pub struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> LineReader<R> {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads the next `\n`-terminated line, without the newline (a
+    /// trailing `\r` is also stripped). `Ok(None)` is end-of-stream; any
+    /// unterminated bytes at EOF are a torn line from a dying peer and
+    /// are dropped, exactly as the checkpoint scan drops a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying read error. On
+    /// [`WouldBlock`](io::ErrorKind::WouldBlock)/[`TimedOut`](io::ErrorKind::TimedOut)
+    /// the partial line stays buffered; call again to continue it.
+    pub fn read_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                let line = String::from_utf8(line).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 fleet message")
+                })?;
+                return Ok(Some(line));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_queen_round_trips() {
+        let messages = [
+            ToQueen::Hello {
+                name: "host-3".into(),
+            },
+            ToQueen::Lease,
+            ToQueen::Record {
+                lease: 7,
+                json: r#"{"scenario": "soc1", "seed": 9}"#.into(),
+            },
+            ToQueen::Done { lease: 7 },
+            ToQueen::Heartbeat { lease: 7 },
+        ];
+        for message in messages {
+            assert_eq!(ToQueen::parse(&message.to_line()).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn to_worker_round_trips() {
+        let messages = [
+            ToWorker::Hello {
+                grid: "suite".into(),
+                fast: true,
+                cells: 42,
+                ttl_ms: 10_000,
+            },
+            ToWorker::Lease {
+                id: 3,
+                start: 12,
+                len: 4,
+            },
+            ToWorker::Wait,
+            ToWorker::Complete,
+        ];
+        for message in messages {
+            assert_eq!(ToWorker::parse(&message.to_line()).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn record_payload_survives_spaces() {
+        let json = r#"{"scenario": "soc1", "policy": "fixed non-coh"}"#;
+        match ToQueen::parse(&format!("RECORD 5 {json}")).unwrap() {
+            ToQueen::Record { lease, json: got } => {
+                assert_eq!(lease, 5);
+                assert_eq!(got, json);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ToQueen::parse("NOPE").is_err());
+        assert!(ToQueen::parse("HELLO fleet/0 x").is_err());
+        assert!(ToQueen::parse("RECORD notanumber {}").is_err());
+        assert!(ToWorker::parse("LEASE 1 2").is_err());
+    }
+
+    /// A reader that yields its scripted results one at a time.
+    struct Scripted(Vec<io::Result<Vec<u8>>>);
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.0.is_empty() {
+                return Ok(0);
+            }
+            match self.0.remove(0) {
+                Ok(bytes) => {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    #[test]
+    fn line_reader_keeps_partial_lines_across_timeouts() {
+        let timeout = || io::Error::new(io::ErrorKind::WouldBlock, "timed out");
+        let mut reader = LineReader::new(Scripted(vec![
+            Ok(b"HEL".to_vec()),
+            Err(timeout()),
+            Ok(b"LO fleet/1 a\nLEA".to_vec()),
+            Err(timeout()),
+            Ok(b"SE\n".to_vec()),
+        ]));
+        // First read hits the timeout mid-line; the prefix must survive.
+        assert_eq!(
+            reader.read_line().unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        assert_eq!(reader.read_line().unwrap().unwrap(), "HELLO fleet/1 a");
+        assert_eq!(
+            reader.read_line().unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        assert_eq!(reader.read_line().unwrap().unwrap(), "LEASE");
+        assert_eq!(reader.read_line().unwrap(), None);
+    }
+
+    #[test]
+    fn line_reader_drops_torn_tail_at_eof() {
+        let mut reader = LineReader::new(Scripted(vec![Ok(b"DONE 3\nRECORD 3 {\"to".to_vec())]));
+        assert_eq!(reader.read_line().unwrap().unwrap(), "DONE 3");
+        assert_eq!(reader.read_line().unwrap(), None);
+    }
+}

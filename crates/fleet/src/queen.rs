@@ -1,0 +1,475 @@
+//! The queen: owns one grid and one checkpoint file, leases work out,
+//! and persists every record a worker streams back.
+//!
+//! The queen is the *only* writer. Each `RECORD` line is validated
+//! against the grid ([`validate_record`]), reconciled against everything
+//! seen so far (identical duplicates from speculative twins collapse;
+//! conflicting results abort the run — they mean the determinism
+//! invariant broke, which no amount of retrying fixes), and appended
+//! durably through the same [`CheckpointWriter`] discipline a local
+//! resumable run uses. A killed queen therefore resumes exactly like a
+//! killed local sweep: reload the checkpoint, lease out what is missing.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use cohmeleon_exp::checkpoint::sort_canonical;
+use cohmeleon_exp::{
+    finalize_canonical, validate_record, CellCoord, CellId, CellRecord, Checkpoint,
+    CheckpointWriter, SweepGrid,
+};
+
+use crate::lease::{Grant, LeaseTable};
+use crate::protocol::{LineReader, ToQueen, ToWorker};
+
+/// Tuning knobs for [`run_queen`].
+#[derive(Debug, Clone)]
+pub struct QueenOptions {
+    /// The registry name workers rebuild the grid from.
+    pub grid_name: String,
+    /// Whether workers should rebuild at the reduced `COHMELEON_FAST`
+    /// scale (the queen's own scale — both sides must agree).
+    pub fast: bool,
+    /// Cells per lease. `None` picks `ceil(pending / 8)` clamped to
+    /// `1..=64`: small enough that a handful of workers all get work,
+    /// large enough that the protocol is not one round-trip per cell.
+    pub chunk: Option<usize>,
+    /// Lease deadline: a lease silent past this is eligible for
+    /// speculative re-dispatch to another worker.
+    pub ttl: Duration,
+    /// Stop after persisting this many fresh cells — the deterministic
+    /// stand-in for "the queen got killed part-way" (the networked
+    /// sibling of `run_resumable_capped`). Workers asking for work after
+    /// the cap are told `DONE` so they exit cleanly.
+    pub max_cells: usize,
+}
+
+impl QueenOptions {
+    /// Defaults: auto chunk, 10 s lease deadline, no cap.
+    pub fn new(grid_name: impl Into<String>, fast: bool) -> QueenOptions {
+        QueenOptions {
+            grid_name: grid_name.into(),
+            fast,
+            chunk: None,
+            ttl: Duration::from_secs(10),
+            max_cells: usize::MAX,
+        }
+    }
+}
+
+/// What a queen run did.
+#[derive(Debug, Clone)]
+pub struct QueenReport {
+    /// All persisted records, in canonical dense order (complete exactly
+    /// when [`complete`](Self::complete) is true).
+    pub records: Vec<CellRecord>,
+    /// Cells found in the checkpoint and not re-dispatched.
+    pub reused: usize,
+    /// Fresh cells persisted this run.
+    pub ran: usize,
+    /// Duplicate completions reconciled (speculative twins finishing the
+    /// same cell).
+    pub duplicates: usize,
+    /// Speculative (twin) leases granted.
+    pub speculative: usize,
+    /// Distinct worker names that joined.
+    pub workers: usize,
+    /// Whether every grid cell now has a record; only then was the file
+    /// canonicalised.
+    pub complete: bool,
+}
+
+/// Exactly-once reconciliation of completed cell records.
+///
+/// Seeded from the checkpoint, fed every `RECORD` line: a fresh cell is
+/// accepted, a byte-identical duplicate is counted and dropped, a
+/// *conflicting* result for a coordinate already seen is an error — cells
+/// are pure functions of their coordinates, so disagreement means a
+/// worker ran a different grid (or the determinism invariant broke).
+#[derive(Debug, Default)]
+struct RecordLedger {
+    records: Vec<CellRecord>,
+    by_coord: HashMap<CellCoord, usize>,
+    duplicates: usize,
+}
+
+enum Ingest {
+    Fresh,
+    Duplicate,
+}
+
+impl RecordLedger {
+    fn seed(records: &[CellRecord]) -> RecordLedger {
+        let mut ledger = RecordLedger::default();
+        for record in records {
+            ledger
+                .ingest(record.clone())
+                .expect("checkpoint already deduplicated");
+        }
+        ledger
+    }
+
+    fn ingest(&mut self, record: CellRecord) -> Result<Ingest, String> {
+        match self.by_coord.entry(record.coord()) {
+            std::collections::hash_map::Entry::Occupied(existing) => {
+                let prior = &self.records[*existing.get()];
+                if *prior != record {
+                    return Err(format!(
+                        "cell {:?} completed twice with different results",
+                        record.coord()
+                    ));
+                }
+                self.duplicates += 1;
+                Ok(Ingest::Duplicate)
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.records.len());
+                self.records.push(record);
+                Ok(Ingest::Fresh)
+            }
+        }
+    }
+}
+
+/// Everything the connection handlers share, under one lock. Cells cost
+/// seconds of simulation each; a mutex around bookkeeping is noise.
+struct Shared {
+    table: LeaseTable,
+    ledger: RecordLedger,
+    writer: CheckpointWriter,
+    ran: usize,
+    capped: bool,
+    complete: bool,
+    error: Option<String>,
+    workers: HashSet<String>,
+}
+
+impl Shared {
+    fn finished(&self) -> bool {
+        self.complete || self.capped || self.error.is_some()
+    }
+}
+
+/// Runs the queen to completion (or to `max_cells`, or to error) and
+/// returns what happened.
+///
+/// The caller binds the listener (so tests can bind `127.0.0.1:0` and
+/// read the ephemeral port back). The checkpoint at `path` is loaded
+/// first — a killed queen restarted on the same path resumes, leasing
+/// out only the missing cells — and on completion the file is atomically
+/// rewritten in canonical order, byte-identical to a clean local
+/// [`Serial`](cohmeleon_exp::Serial) run.
+///
+/// # Errors
+///
+/// Checkpoint I/O or validation errors; `InvalidData` if a worker
+/// streamed a record conflicting with the grid or with a previously
+/// completed cell.
+pub fn run_queen(
+    grid: &SweepGrid,
+    listener: TcpListener,
+    path: impl AsRef<Path>,
+    options: &QueenOptions,
+) -> io::Result<QueenReport> {
+    let path = path.as_ref();
+    let checkpoint = Checkpoint::load(path, grid)?;
+    let pending = checkpoint.pending(grid);
+    let reused = checkpoint.len();
+    if pending.is_empty() {
+        let mut records = checkpoint.records().to_vec();
+        sort_canonical(&mut records);
+        finalize_canonical(path, &records)?;
+        return Ok(QueenReport {
+            records,
+            reused,
+            ran: 0,
+            duplicates: 0,
+            speculative: 0,
+            workers: 0,
+            complete: true,
+        });
+    }
+
+    let chunk = options
+        .chunk
+        .unwrap_or_else(|| pending.len().div_ceil(8).clamp(1, 64));
+    let writer = CheckpointWriter::open(path, checkpoint.valid_len())?;
+    let shared = Mutex::new(Shared {
+        table: LeaseTable::new(pending.iter().copied(), chunk, options.ttl),
+        ledger: RecordLedger::seed(checkpoint.records()),
+        writer,
+        ran: 0,
+        capped: false,
+        complete: false,
+        error: None,
+        workers: HashSet::new(),
+    });
+
+    listener.set_nonblocking(true)?;
+    let active = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        loop {
+            if shared.lock().expect("queen state").finished()
+                && active.load(Ordering::Acquire) == 0
+            {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    active.fetch_add(1, Ordering::AcqRel);
+                    let shared = &shared;
+                    let active = &active;
+                    scope.spawn(move || {
+                        serve_worker(stream, grid, shared, options);
+                        active.fetch_sub(1, Ordering::AcqRel);
+                    });
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    shared.lock().expect("queen state").error =
+                        Some(format!("accept failed: {e}"));
+                }
+            }
+        }
+    });
+
+    let shared = shared.into_inner().expect("queen state");
+    if let Some(message) = shared.error {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, message));
+    }
+    drop(shared.writer);
+    let mut records = shared.ledger.records;
+    sort_canonical(&mut records);
+    if shared.complete {
+        finalize_canonical(path, &records)?;
+    }
+    Ok(QueenReport {
+        records,
+        reused,
+        ran: shared.ran,
+        duplicates: shared.ledger.duplicates,
+        speculative: shared.table.speculative(),
+        workers: shared.workers.len(),
+        complete: shared.complete,
+    })
+}
+
+/// One worker connection, handled on its own thread until the worker
+/// leaves, violates the protocol, or the run finishes.
+///
+/// All failure modes converge on the same safe exit: release this
+/// connection's leases (returning uncovered cells to the pool) and close
+/// the socket. The reads poll with a short timeout so the handler can
+/// notice the run finishing even under a silent peer; once finished it
+/// lingers one lease-TTL to answer a final `LEASE` with `DONE` (letting
+/// well-behaved workers exit cleanly) before giving up on the
+/// connection.
+fn serve_worker(stream: TcpStream, grid: &SweepGrid, shared: &Mutex<Shared>, options: &QueenOptions) {
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader::new(stream);
+    let mut granted: Vec<u64> = Vec::new();
+    let mut worker_name = String::new();
+    let grace = options.ttl;
+    let mut finish_seen: Option<Instant> = None;
+
+    loop {
+        let line = match reader.read_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.lock().expect("queen state").finished() {
+                    let since = *finish_seen.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= grace {
+                        break;
+                    }
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        let Ok(message) = ToQueen::parse(&line) else {
+            break;
+        };
+        if worker_name.is_empty() {
+            let ToQueen::Hello { name } = message else {
+                break;
+            };
+            let hello = ToWorker::Hello {
+                grid: options.grid_name.clone(),
+                fast: options.fast,
+                cells: grid.num_cells(),
+                ttl_ms: options.ttl.as_millis() as u64,
+            };
+            worker_name = name.clone();
+            shared.lock().expect("queen state").workers.insert(name);
+            if write_line(&mut writer, &hello).is_err() {
+                break;
+            }
+            continue;
+        }
+        match message {
+            ToQueen::Hello { .. } => break,
+            ToQueen::Lease => {
+                let reply = {
+                    let mut s = shared.lock().expect("queen state");
+                    if s.error.is_some() {
+                        break;
+                    }
+                    if s.complete || s.capped {
+                        ToWorker::Complete
+                    } else {
+                        match s.table.grant(&worker_name, Instant::now()) {
+                            Grant::Lease { id, start, len } => {
+                                granted.push(id);
+                                ToWorker::Lease { id, start, len }
+                            }
+                            Grant::Wait => ToWorker::Wait,
+                            Grant::Complete => ToWorker::Complete,
+                        }
+                    }
+                };
+                if write_line(&mut writer, &reply).is_err() {
+                    break;
+                }
+            }
+            ToQueen::Record { lease, json } => {
+                let Ok(record) = CellRecord::from_json(&json) else {
+                    break;
+                };
+                let mut s = shared.lock().expect("queen state");
+                if s.error.is_some() {
+                    break;
+                }
+                if s.complete || s.capped {
+                    // The run is over (or the queen is "dead" past its
+                    // cap): late speculative results are dropped, the
+                    // checkpoint stays frozen.
+                    continue;
+                }
+                if let Err(e) = validate_record(&record, grid) {
+                    s.error = Some(e);
+                    break;
+                }
+                let (scenario, policy, seed) = record.coord();
+                let dense = grid.cell_index(CellId {
+                    scenario,
+                    policy,
+                    seed,
+                });
+                let state = &mut *s;
+                match state.ledger.ingest(record) {
+                    Ok(Ingest::Fresh) => {
+                        // Field borrows split: the fresh record lives in
+                        // the ledger while the writer appends it.
+                        let fresh = state.ledger.records.last().expect("fresh record");
+                        if let Err(e) = state.writer.append(fresh) {
+                            state.error = Some(format!("checkpoint append failed: {e}"));
+                            break;
+                        }
+                        state.table.complete_cell(dense, lease, Instant::now());
+                        state.ran += 1;
+                        if state.table.is_complete() {
+                            state.complete = true;
+                        } else if state.ran >= options.max_cells {
+                            state.capped = true;
+                        }
+                    }
+                    Ok(Ingest::Duplicate) => {
+                        state.table.complete_cell(dense, lease, Instant::now());
+                    }
+                    Err(message) => {
+                        state.error = Some(message);
+                        break;
+                    }
+                }
+            }
+            ToQueen::Done { lease } => {
+                shared.lock().expect("queen state").table.release(lease);
+            }
+            ToQueen::Heartbeat { lease } => {
+                shared
+                    .lock()
+                    .expect("queen state")
+                    .table
+                    .heartbeat(lease, Instant::now());
+            }
+        }
+    }
+
+    // Whatever ended the connection: this worker's unfinished claims go
+    // back to the pool (unless a speculative twin still covers them).
+    let mut s = shared.lock().expect("queen state");
+    for id in granted {
+        s.table.release(id);
+    }
+}
+
+fn write_line(writer: &mut TcpStream, message: &ToWorker) -> io::Result<()> {
+    writer.write_all(format!("{}\n", message.to_line()).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(coord: CellCoord) -> CellRecord {
+        CellRecord {
+            scenario_index: coord.0,
+            policy_index: coord.1,
+            seed_index: coord.2,
+            scenario: "soc1".into(),
+            policy: format!("p{}", coord.1),
+            seed: 7,
+            total_cycles: 100,
+            total_offchip: 3,
+            invocations: 2,
+            structural_hash: 0xabc,
+            phases: vec![("phase-0".into(), 100, 3)],
+        }
+    }
+
+    #[test]
+    fn ledger_reconciles_duplicates_and_rejects_conflicts() {
+        let mut ledger = RecordLedger::default();
+        assert!(matches!(ledger.ingest(record((0, 0, 0))), Ok(Ingest::Fresh)));
+        assert!(matches!(
+            ledger.ingest(record((0, 0, 0))),
+            Ok(Ingest::Duplicate)
+        ));
+        assert_eq!(ledger.duplicates, 1);
+        let mut conflicting = record((0, 0, 0));
+        conflicting.total_cycles += 1;
+        assert!(ledger.ingest(conflicting).is_err());
+        assert_eq!(ledger.records.len(), 1);
+    }
+
+    #[test]
+    fn ledger_seeds_from_checkpoint_records() {
+        let seedset = [record((0, 0, 0)), record((0, 1, 0))];
+        let ledger = RecordLedger::seed(&seedset);
+        assert_eq!(ledger.records.len(), 2);
+        assert_eq!(ledger.duplicates, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Fleet end-to-end over loopback: queen + worker threads on
+//! `127.0.0.1:0` must land the byte-identical canonical JSONL a clean
+//! Serial run produces — including with a worker killed mid-lease, with
+//! the queen capped ("killed") and resumed, and with a stalled worker
+//! whose lease must expire and be speculatively re-dispatched.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cohmeleon_exp::{canonical_jsonl, Experiment, PolicyKind, Serial, SweepGrid};
+use cohmeleon_fleet::{
+    run_queen, run_worker, LineReader, QueenOptions, ToQueen, ToWorker, WorkerOptions,
+};
+use cohmeleon_soc::config::soc1;
+use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
+
+fn grid() -> SweepGrid {
+    let config = soc1();
+    let params = GeneratorParams {
+        phases: 1,
+        ..GeneratorParams::quick()
+    };
+    let app = generate_app(&config, &params, 1);
+    Experiment::evaluate(config, app)
+        .policy_kinds([PolicyKind::FixedNonCoh, PolicyKind::Manual])
+        .seeds([1, 2, 3])
+        .build()
+        .unwrap()
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "cohmeleon-fleet-{name}-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn resolver(grid: &SweepGrid) -> impl Fn(&str, bool) -> Result<SweepGrid, String> + '_ {
+    |name: &str, _fast: bool| {
+        assert_eq!(name, "test-grid");
+        Ok(grid.clone())
+    }
+}
+
+fn queen_options(ttl_ms: u64) -> QueenOptions {
+    QueenOptions {
+        ttl: Duration::from_millis(ttl_ms),
+        chunk: Some(2),
+        ..QueenOptions::new("test-grid", false)
+    }
+}
+
+fn worker_options(name: &str) -> WorkerOptions {
+    WorkerOptions {
+        backoff: Duration::from_millis(20),
+        ..WorkerOptions::new(name)
+    }
+}
+
+#[test]
+fn three_workers_one_killed_mid_lease_still_byte_identical() {
+    let grid = grid();
+    let clean = canonical_jsonl(&grid.collect_records(&Serial));
+    let path = tmp_path("killed-worker");
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    // Short TTL so the killed worker's lease expires within the test.
+    let options = queen_options(300);
+
+    let report = std::thread::scope(|scope| {
+        let queen = scope.spawn(|| run_queen(&grid, listener, &path, &options));
+
+        // The victim goes first so it deterministically holds a lease,
+        // then vanishes after one RECORD — mid-lease, no DONE. Its torn
+        // connection returns the unfinished cell to the pool.
+        let victim_options = WorkerOptions {
+            fail_after: Some(1),
+            ..worker_options("victim")
+        };
+        let victim = {
+            let addr = addr.clone();
+            let grid = &grid;
+            scope
+                .spawn(move || run_worker(&addr, resolver(grid), &victim_options).unwrap())
+        };
+        assert!(victim.join().unwrap().aborted);
+
+        let mut workers = Vec::new();
+        for name in ["steady-1", "steady-2"] {
+            let addr = addr.clone();
+            let grid = &grid;
+            workers.push(scope.spawn(move || {
+                run_worker(&addr, resolver(grid), &worker_options(name)).unwrap()
+            }));
+        }
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        queen.join().unwrap().unwrap()
+    });
+
+    assert!(report.complete);
+    assert_eq!(report.ran + report.reused, grid.num_cells());
+    assert!(report.workers >= 3);
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), clean);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn capped_queen_resumes_to_byte_identical() {
+    let grid = grid();
+    let clean = canonical_jsonl(&grid.collect_records(&Serial));
+    let path = tmp_path("capped-queen");
+
+    // First queen "dies" after 2 fresh cells (the networked sibling of
+    // run_resumable_capped's kill stand-in).
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let options = QueenOptions {
+        max_cells: 2,
+        ..queen_options(2_000)
+    };
+    let first = std::thread::scope(|scope| {
+        let queen = scope.spawn(|| run_queen(&grid, listener, &path, &options));
+        let worker = {
+            let addr = addr.clone();
+            let grid = &grid;
+            scope.spawn(move || run_worker(&addr, resolver(grid), &worker_options("w")))
+        };
+        // The worker may exit cleanly (told DONE) or see the queen close
+        // the connection first — both are acceptable deaths here.
+        let _ = worker.join().unwrap();
+        queen.join().unwrap().unwrap()
+    });
+    assert!(!first.complete);
+    assert_eq!(first.ran, 2);
+
+    // A fresh queen on the same checkpoint finishes the grid.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let options = queen_options(2_000);
+    let second = std::thread::scope(|scope| {
+        let queen = scope.spawn(|| run_queen(&grid, listener, &path, &options));
+        let worker = {
+            let addr = addr.clone();
+            let grid = &grid;
+            scope.spawn(move || {
+                run_worker(&addr, resolver(grid), &worker_options("w")).unwrap()
+            })
+        };
+        worker.join().unwrap();
+        queen.join().unwrap().unwrap()
+    });
+    assert!(second.complete);
+    assert_eq!(second.reused, 2);
+    assert_eq!(second.ran, grid.num_cells() - 2);
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), clean);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A raw-socket worker that takes a lease and goes silent: the lease must
+/// expire and be speculatively re-dispatched to a real worker, and the
+/// stalled worker's eventual duplicate records must reconcile cleanly.
+#[test]
+fn stalled_lease_is_speculatively_re_dispatched() {
+    let grid = grid();
+    let clean = canonical_jsonl(&grid.collect_records(&Serial));
+    let path = tmp_path("stalled");
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    // Tiny TTL: the staller is overdue almost immediately.
+    let options = queen_options(50);
+
+    let report = std::thread::scope(|scope| {
+        let queen = scope.spawn(|| run_queen(&grid, listener, &path, &options));
+
+        // The staller grabs a lease by hand and never works it.
+        let mut stall = TcpStream::connect(&addr).unwrap();
+        let mut stall_reader = LineReader::new(stall.try_clone().unwrap());
+        let hello = ToQueen::Hello {
+            name: "staller".into(),
+        };
+        stall
+            .write_all(format!("{}\n{}\n", hello.to_line(), ToQueen::Lease.to_line()).as_bytes())
+            .unwrap();
+        let hello_line = stall_reader.read_line().unwrap().unwrap();
+        assert!(matches!(
+            ToWorker::parse(&hello_line).unwrap(),
+            ToWorker::Hello { .. }
+        ));
+        let lease_line = stall_reader.read_line().unwrap().unwrap();
+        let (id, start, len) = match ToWorker::parse(&lease_line).unwrap() {
+            ToWorker::Lease { id, start, len } => (id, start, len),
+            other => panic!("expected a lease, got {other:?}"),
+        };
+        assert!(len >= 1);
+
+        // Let it expire, then bring up a real worker to finish the grid
+        // (including the stalled cells, via speculative re-lease).
+        std::thread::sleep(Duration::from_millis(120));
+        let real = {
+            let addr = addr.clone();
+            let grid = &grid;
+            scope.spawn(move || {
+                run_worker(&addr, resolver(grid), &worker_options("real")).unwrap()
+            })
+        };
+        real.join().unwrap();
+
+        // The staller finally wakes up and streams its (now duplicate)
+        // records — the queen must reconcile or drop them, never
+        // conflict. (The queen may already have closed the connection
+        // after completing; a failed write is fine.)
+        for dense in start..start + len {
+            let record =
+                cohmeleon_exp::CellRecord::from_cell(&grid.run_cell(grid.cell_at(dense)));
+            let message = ToQueen::Record {
+                lease: id,
+                json: record.to_json(),
+            };
+            let _ = stall.write_all(format!("{}\n", message.to_line()).as_bytes());
+        }
+        drop(stall);
+
+        queen.join().unwrap().unwrap()
+    });
+
+    assert!(report.complete);
+    assert!(report.speculative >= 1, "no speculative re-lease happened");
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), clean);
+    std::fs::remove_file(&path).unwrap();
+}

@@ -12,9 +12,10 @@
 //! cells (serially or on a work-stealing pool, bit-identically), and
 //! results stream to observers as cells complete. Long sweeps are
 //! checkpointed (`Experiment::resume_from` — interrupted runs resume
-//! instead of restarting) and shardable across worker processes
-//! (`ShardExecutor`), with every path pinned byte-identical to a clean
-//! serial run; `docs/ARCHITECTURE.md` walks the whole lifecycle.
+//! instead of restarting), shardable across worker processes
+//! (`ShardExecutor`), and distributable across hosts (the [`fleet`]
+//! queen/worker coordinator), with every path pinned byte-identical to a
+//! clean serial run; `docs/ARCHITECTURE.md` walks the whole lifecycle.
 //!
 //! ```
 //! use cohmeleon_repro::exp::{Experiment, PolicyKind, WorkStealing};
@@ -55,6 +56,10 @@
 //!   (including `JsonlSink`/`CsvSink` persistence), and sweepable
 //!   `LearnerSpec` agent configurations (component, scope and
 //!   reward-weight axes).
+//! * [`fleet`] — the multi-host sweep coordinator: a TCP queen leasing
+//!   cell ranges to workers with speculative re-dispatch of stalled
+//!   leases, persisting streamed records through the crash-tolerant
+//!   checkpoint (see the `sweep queen`/`sweep worker` subcommands).
 //! * [`soc`] — the simulated SoC substrate (tiles, Table-4 configurations,
 //!   hardware monitors, the accelerator-invocation API).
 //! * [`accel`] — accelerator communication models and the traffic generator.
@@ -65,6 +70,7 @@ pub use cohmeleon_accel as accel;
 pub use cohmeleon_cache as cache;
 pub use cohmeleon_core as core;
 pub use cohmeleon_exp as exp;
+pub use cohmeleon_fleet as fleet;
 pub use cohmeleon_mem as mem;
 pub use cohmeleon_noc as noc;
 pub use cohmeleon_sim as sim;
