@@ -24,7 +24,11 @@
 //! Serial's canonical stream, and records the per-cell dispatch overhead
 //! (`fleet_dispatch`) — protocol round-trips, record validation and the
 //! fsync-per-record checkpoint discipline, everything the fleet adds on
-//! top of the raw simulation (see PERFORMANCE.md for methodology).
+//! top of the raw simulation (see PERFORMANCE.md for methodology). A
+//! sixth drives a loopback decision server with concurrent batched
+//! clients, verifies every response against local frozen dispatch, and
+//! records the serving throughput and batch round-trip latency
+//! percentiles (`serve_dispatch`).
 //!
 //! ```text
 //! perf_baseline [--smoke] [--out FILE] [--reps N]
@@ -57,12 +61,15 @@ use cohmeleon_core::agent::AgentBuilder;
 use cohmeleon_core::policy::{FixedPolicy, Policy};
 use cohmeleon_core::router::{AgentScope, PolicyRouter};
 use cohmeleon_core::snapshot::{ArchParams, SystemSnapshot};
-use cohmeleon_core::{AccelInstanceId, AccelKindId, CoherenceMode, ModeSet, PartitionId};
+use cohmeleon_core::{
+    AccelInstanceId, AccelKindId, CoherenceMode, FrozenSnapshot, ModeSet, PartitionId, State,
+};
 use cohmeleon_exp::{
     canonical_jsonl, merge_records, CellRecord, CellResult, Executor, Experiment, PolicySpec,
     Serial, ShardExecutor, ShardSpec, SweepGrid, WorkStealing,
 };
 use cohmeleon_fleet::{run_queen, run_worker, QueenOptions, WorkerOptions};
+use cohmeleon_serve::{run_load, run_server, LoadOptions, LoadReport, ServeClient, ServeOptions};
 use cohmeleon_soc::config::{soc1, soc6};
 use cohmeleon_workloads::generator::{generate_app, GeneratorParams};
 
@@ -200,6 +207,67 @@ fn run_router_dispatch() -> (f64, u64) {
         "dispatch returned an unexpected mode"
     );
     (wall, DISPATCH_ROUNDS)
+}
+
+/// The `serve_dispatch` benchmark: N loopback clients batch-query a
+/// decision server holding a frozen table, with every response re-checked
+/// against local frozen dispatch (`verify`), so a recorded number is by
+/// construction a *correct*-dispatch number. Batch round-trip latency
+/// lands in the load generator's log-bucket histogram (p50/p99/p999).
+const SERVE_CLIENTS: usize = 2;
+const SERVE_BATCH: usize = 16;
+const SERVE_BATCHES: usize = 400;
+
+/// A deterministic full-coverage snapshot for the serve benchmark: the
+/// argmax pattern varies across all 243 states so dispatch is not a
+/// constant-answer fast path.
+fn serve_snapshot() -> FrozenSnapshot {
+    let mut text = String::from("# cohmeleon q-table v1\n");
+    for s in 0..State::COUNT {
+        let _ = write!(text, "{s}");
+        for a in 0..4usize {
+            let v = ((s * 31 + a * 7) % 13) as f64 - 6.0;
+            let _ = write!(text, "\t{v}");
+        }
+        text.push('\n');
+    }
+    FrozenSnapshot::parse(&text, State::COUNT).expect("synthetic q-table parses")
+}
+
+/// One serve run: spins a server on a loopback port, drives
+/// `SERVE_CLIENTS` concurrent clients for `batches` verified batches
+/// each, shuts the server down. Returns the load-side report; the caller
+/// must refuse to record if `mismatches` or `unverified` is non-zero.
+fn run_serve_dispatch(batches: usize) -> Result<LoadReport, String> {
+    let snapshot = serve_snapshot();
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .to_string();
+    let options = LoadOptions {
+        clients: SERVE_CLIENTS,
+        batches,
+        batch_size: SERVE_BATCH,
+        verify: vec![snapshot.clone()],
+        ..LoadOptions::default()
+    };
+    std::thread::scope(|scope| {
+        let server =
+            scope.spawn(|| run_server(listener, snapshot, &ServeOptions::default()));
+        let load = run_load(&addr, &options).map_err(|e| format!("load: {e}"));
+        let shutdown = ServeClient::connect(&addr, "bench-admin")
+            .and_then(|c| c.shutdown())
+            .map_err(|e| format!("shutdown: {e}"));
+        let report = load?;
+        shutdown?;
+        server
+            .join()
+            .expect("server thread")
+            .map_err(|e| format!("server: {e}"))?;
+        Ok(report)
+    })
 }
 
 /// The soc1 × quick suite with Cohmeleon routed through a Global
@@ -418,6 +486,29 @@ fn smoke(args: &Args) -> ExitCode {
     // And the dispatch micro-benchmark itself must run (its determinism
     // assertion is inside).
     let (_, dispatch_decides) = run_router_dispatch();
+
+    // The serving path: a real loopback server, concurrent clients, every
+    // response recomputed locally against the same frozen table.
+    match run_serve_dispatch(25) {
+        Ok(r) if r.mismatches == 0 && r.unverified == 0 => {
+            println!(
+                "  serve: {} verified decisions over {} loopback clients",
+                r.decisions, SERVE_CLIENTS
+            );
+        }
+        Ok(r) => {
+            eprintln!(
+                "perf_baseline --smoke: serve dispatch diverged from local frozen dispatch \
+                 ({} mismatches, {} unverified)",
+                r.mismatches, r.unverified
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("perf_baseline --smoke: serve run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     // Tracked soc6-scale suite (the cache-thrashing regime): deterministic
     // counters must reproduce the committed baseline bit for bit, and the
@@ -702,6 +793,58 @@ fn main() -> ExitCode {
         dispatch_decides as f64 / dispatch_wall
     );
 
+    // Serve dispatch: a real loopback server under concurrent batched
+    // clients, every response verified against local frozen dispatch
+    // before any number is recorded. Latency is batch round-trip time
+    // from the client side (log-bucket histogram).
+    let mut serve_best: Option<LoadReport> = None;
+    for _ in 0..args.reps {
+        match run_serve_dispatch(SERVE_BATCHES) {
+            Ok(r) if r.mismatches == 0 && r.unverified == 0 => {
+                if serve_best
+                    .as_ref()
+                    .is_none_or(|b| r.elapsed < b.elapsed)
+                {
+                    serve_best = Some(r);
+                }
+            }
+            Ok(r) => {
+                eprintln!(
+                    "perf_baseline: serve dispatch diverged from local frozen dispatch \
+                     ({} mismatches, {} unverified) — refusing to record",
+                    r.mismatches, r.unverified
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf_baseline: serve run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let serve = serve_best.expect("at least one serve rep");
+    let current_serve = format!(
+        "{{\"decisions\": {}, \"clients\": {SERVE_CLIENTS}, \"batch\": {SERVE_BATCH}, \
+         \"wall_s\": {:.6}, \"decisions_per_s\": {:.0}, \"batch_p50_ns\": {}, \
+         \"batch_p99_ns\": {}, \"batch_p999_ns\": {}, \"cpus\": {}}}",
+        serve.decisions,
+        serve.elapsed.as_secs_f64(),
+        serve.throughput(),
+        serve.histogram.p50(),
+        serve.histogram.p99(),
+        serve.histogram.p999(),
+        cpus()
+    );
+    println!(
+        "  serve_dispatch: {} decisions over {SERVE_CLIENTS} loopback clients × {SERVE_BATCH}-query \
+         batches: {:.3} s → {:.0} decisions/s, batch RTT p50 {}ns p99 {}ns (all verified)",
+        serve.decisions,
+        serve.elapsed.as_secs_f64(),
+        serve.throughput(),
+        serve.histogram.p50(),
+        serve.histogram.p99()
+    );
+
     let previous = std::fs::read_to_string(args.out()).ok();
     // The first "baseline" object in the file is the top-level soc1 one
     // (soc6_scale is written after it).
@@ -745,6 +888,12 @@ fn main() -> ExitCode {
         .and_then(|sect| extract_object(sect, "baseline"))
         .map(str::to_owned)
         .unwrap_or_else(|| current_fleet.clone());
+    let baseline_serve = previous
+        .as_deref()
+        .and_then(|json| extract_object(json, "serve_dispatch"))
+        .and_then(|sect| extract_object(sect, "baseline"))
+        .map(str::to_owned)
+        .unwrap_or_else(|| current_serve.clone());
 
     let report = format!(
         "{{\n  \"suite\": \"soc1 x quick x [fixed-non-coh-dma, manual, cohmeleon]\",\n  \
@@ -763,7 +912,10 @@ fn main() -> ExitCode {
          \"baseline\": {baseline_fleet},\n    \"current\": {current_fleet}\n  }},\n  \
          \"router_dispatch\": {{\n    \
          \"suite\": \"per-instance router, fixed sub-agents, decide+observe (alloc-free pin: core router_alloc test)\",\n    \
-         \"baseline\": {baseline_dispatch},\n    \"current\": {current_dispatch}\n  }}\n}}\n"
+         \"baseline\": {baseline_dispatch},\n    \"current\": {current_dispatch}\n  }},\n  \
+         \"serve_dispatch\": {{\n    \
+         \"suite\": \"loopback decision server, 2 clients x 16-query batches, every response verified vs local frozen dispatch\",\n    \
+         \"baseline\": {baseline_serve},\n    \"current\": {current_serve}\n  }}\n}}\n"
     );
     if let Err(e) = std::fs::write(args.out(), &report) {
         eprintln!("perf_baseline: cannot write {}: {e}", args.out());

@@ -8,8 +8,14 @@
 //! sweep shard  --grid NAME --shards N [--out PATH] [--dir DIR]
 //! sweep merge  --out PATH [--grid NAME] FILE...
 //! sweep queen  --grid NAME --listen ADDR [--resume PATH] [--chunk N]
-//!              [--ttl-ms MS] [--max-cells N] [--fresh]
+//!              [--ttl-ms MS] [--max-cells N] [--fresh] [--status-ms MS]
 //! sweep worker --connect ADDR [--name LABEL] [--retry-ms MS]
+//! sweep freeze --grid NAME --out SNAP.tsv [--cell I | --scenario L
+//!              --policy L --seed N]
+//! sweep serve  --table SNAP.tsv --listen ADDR [--states N]
+//! sweep clients --connect ADDR [-n N] [--batches N] [--batch N] [--seed N]
+//!              [--verify F1,F2] [--swap PATH [--swap-after J]]
+//!              [--hist OUT.jsonl] [--shutdown]
 //! ```
 //!
 //! * `run` is resumable by default: cells already in the checkpoint at
@@ -39,6 +45,18 @@
 //! * `run --reuse OLD.jsonl` seeds the checkpoint from a *different*
 //!   (smaller) grid's finished file by content key (scenario label,
 //!   policy label, seed), so growing a grid recomputes only new cells.
+//! * `freeze` runs one cell of the named grid and writes the trained
+//!   policy's frozen tables as a provenance-stamped TSV snapshot (grid
+//!   name, cell coordinates, structural hash — see
+//!   [`SnapshotMeta`]), ready for `serve`.
+//! * `serve` loads a frozen snapshot and answers batched `DECIDE`
+//!   requests over the `serve/1` line protocol until a client sends
+//!   `SHUTDOWN`; a `SWAP` installs a new snapshot atomically without
+//!   dropping in-flight requests. `clients` is the matching load
+//!   generator: N connections hammer the server, optionally re-checking
+//!   every response against local dispatch (`--verify`) and exercising a
+//!   hot swap mid-traffic (`--swap`). See the "Serving" section of
+//!   docs/ARCHITECTURE.md.
 //!
 //! Grid names are deterministic functions of `(name, COHMELEON_FAST)` —
 //! see `cohmeleon_bench::sweeps` for why that is load-bearing. The
@@ -54,11 +72,14 @@ use cohmeleon_exp::{
     canonical_jsonl, merge_files, Checkpoint, ResumeOutcome, Serial, ShardExecutor, ShardSpec,
     SweepGrid, WorkStealing,
 };
+use cohmeleon_core::FrozenSnapshot;
+use cohmeleon_exp::{write_snapshot, SnapshotMeta};
 use cohmeleon_fleet::{run_queen, run_worker, QueenOptions, WorkerOptions};
+use cohmeleon_serve::{run_load, run_server, LoadOptions, ServeClient, ServeOptions, SwapPlan};
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage:\n  sweep run    --grid NAME [--out PATH] [--executor serial|work-stealing]\n               [--max-cells N] [--fresh] [--shard I/N] [--reuse OLD.jsonl]\n  sweep resume --grid NAME [--out PATH] [--executor ...]\n  sweep shard  --grid NAME --shards N [--out PATH] [--dir DIR]\n  sweep merge  --out PATH [--grid NAME] FILE...\n  sweep queen  --grid NAME --listen ADDR [--resume PATH] [--chunk N]\n               [--ttl-ms MS] [--max-cells N] [--fresh]\n  sweep worker --connect ADDR [--name LABEL] [--retry-ms MS]\n\ngrids (COHMELEON_FAST=1 for reduced scale):\n",
+        "usage:\n  sweep run    --grid NAME [--out PATH] [--executor serial|work-stealing]\n               [--max-cells N] [--fresh] [--shard I/N] [--reuse OLD.jsonl]\n  sweep resume --grid NAME [--out PATH] [--executor ...]\n  sweep shard  --grid NAME --shards N [--out PATH] [--dir DIR]\n  sweep merge  --out PATH [--grid NAME] FILE...\n  sweep queen  --grid NAME --listen ADDR [--resume PATH] [--chunk N]\n               [--ttl-ms MS] [--max-cells N] [--fresh] [--status-ms MS]\n  sweep worker --connect ADDR [--name LABEL] [--retry-ms MS]\n  sweep freeze --grid NAME --out SNAP.tsv\n               [--cell I | --scenario LABEL --policy LABEL --seed N]\n  sweep serve  --table SNAP.tsv --listen ADDR [--states N]\n  sweep clients --connect ADDR [-n N] [--batches N] [--batch N] [--seed N]\n               [--verify FILE,FILE] [--swap PATH [--swap-after J]]\n               [--hist OUT.jsonl] [--shutdown]\n\ngrids (COHMELEON_FAST=1 for reduced scale):\n",
     );
     for (name, what) in GRID_NAMES {
         out.push_str(&format!("  {name:<10} {what}\n"));
@@ -113,6 +134,9 @@ fn main() -> ExitCode {
         "merge" => cmd_merge(rest),
         "queen" => cmd_queen(rest),
         "worker" => cmd_worker(rest),
+        "freeze" => cmd_freeze(rest),
+        "serve" => cmd_serve(rest),
+        "clients" => cmd_clients(rest),
         "--help" | "-h" | "help" => {
             print!("{}", usage());
             return ExitCode::SUCCESS;
@@ -331,6 +355,7 @@ fn cmd_queen(args: &[String]) -> Result<(), String> {
     let mut ttl_ms = 10_000u64;
     let mut max_cells = usize::MAX;
     let mut fresh = false;
+    let mut status_ms = 5_000u64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -363,6 +388,14 @@ fn cmd_queen(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--max-cells: {e}"))?;
             }
             "--fresh" => fresh = true,
+            // 0 disables the periodic status line entirely.
+            "--status-ms" => {
+                status_ms = it
+                    .next()
+                    .ok_or("--status-ms needs milliseconds")?
+                    .parse()
+                    .map_err(|e| format!("--status-ms: {e}"))?;
+            }
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
@@ -391,6 +424,7 @@ fn cmd_queen(args: &[String]) -> Result<(), String> {
         chunk,
         ttl: std::time::Duration::from_millis(ttl_ms),
         max_cells,
+        status_every: (status_ms > 0).then(|| std::time::Duration::from_millis(status_ms)),
         ..QueenOptions::new(&common.grid, matches!(Scale::from_env(), Scale::Fast))
     };
     println!(
@@ -476,6 +510,277 @@ fn cmd_worker(args: &[String]) -> Result<(), String> {
             ""
         }
     );
+    Ok(())
+}
+
+fn cmd_freeze(args: &[String]) -> Result<(), String> {
+    let mut grid_name = String::new();
+    let mut out: Option<PathBuf> = None;
+    let mut cell_index: Option<usize> = None;
+    let mut scenario: Option<String> = None;
+    let mut policy = "cohmeleon".to_owned();
+    let mut seed: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--grid" => grid_name = it.next().ok_or("--grid needs a name")?.clone(),
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
+            "--cell" => {
+                cell_index = Some(
+                    it.next()
+                        .ok_or("--cell needs an index")?
+                        .parse()
+                        .map_err(|e| format!("--cell: {e}"))?,
+                );
+            }
+            "--scenario" => scenario = Some(it.next().ok_or("--scenario needs a label")?.clone()),
+            "--policy" => policy = it.next().ok_or("--policy needs a label")?.clone(),
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if grid_name.is_empty() {
+        return Err(format!("--grid is required\n{}", usage()));
+    }
+    let out = out.ok_or_else(|| format!("--out is required\n{}", usage()))?;
+    let grid = named_experiment(&grid_name, Scale::from_env())?
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    let cell = match cell_index {
+        Some(i) => {
+            if i >= grid.num_cells() {
+                return Err(format!(
+                    "--cell {i} out of range: `{grid_name}` has {} cells",
+                    grid.num_cells()
+                ));
+            }
+            grid.cell_at(i)
+        }
+        None => {
+            let scenario = scenario
+                .as_deref()
+                .unwrap_or_else(|| grid.scenarios()[0].label.as_str());
+            let seed = seed.unwrap_or(grid.seeds()[0]);
+            grid.cells()
+                .find(|c| {
+                    grid.scenarios()[c.scenario].label == scenario
+                        && grid.policies()[c.policy].policy_label() == policy
+                        && grid.seeds()[c.seed] == seed
+                })
+                .ok_or_else(|| {
+                    format!(
+                        "no cell matches scenario `{scenario}` policy `{policy}` seed {seed} in `{grid_name}`"
+                    )
+                })?
+        }
+    };
+
+    let (result, tables) = grid.freeze_cell(cell);
+    let tables = tables.ok_or_else(|| {
+        format!(
+            "policy `{}` exports no learned tables (only learning policies can be frozen)",
+            result.policy
+        )
+    })?;
+    let meta = SnapshotMeta {
+        grid: grid_name.clone(),
+        scenario: result.scenario.clone(),
+        policy: result.policy.clone(),
+        seed: result.seed,
+        structural_hash: result.result.structural_hash(),
+    };
+    write_snapshot(&out, &meta, &tables).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "sweep: froze `{}` cell (scenario `{}`, policy `{}`, seed {}) → {}",
+        grid_name,
+        result.scenario,
+        result.policy,
+        result.seed,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut table: Option<PathBuf> = None;
+    let mut listen = String::new();
+    let mut states = cohmeleon_core::State::COUNT;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--table" => table = Some(PathBuf::from(it.next().ok_or("--table needs a path")?)),
+            "--listen" => listen = it.next().ok_or("--listen needs host:port")?.clone(),
+            "--states" => {
+                states = it
+                    .next()
+                    .ok_or("--states needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--states: {e}"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    let table = table.ok_or_else(|| format!("--table is required\n{}", usage()))?;
+    if listen.is_empty() {
+        return Err(format!("--listen is required\n{}", usage()));
+    }
+    let text = std::fs::read_to_string(&table)
+        .map_err(|e| format!("cannot read {}: {e}", table.display()))?;
+    if let Ok(Some(meta)) = SnapshotMeta::parse(&text) {
+        println!("sweep: snapshot provenance: {meta}");
+    }
+    let snapshot = FrozenSnapshot::parse(&text, states)
+        .map_err(|e| format!("{}: {e}", table.display()))?;
+    let listener = std::net::TcpListener::bind(&listen)
+        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or(listen);
+    println!(
+        "sweep: serving {} ({:?} scope, {} states, {} tables) on {addr}; connect with `sweep clients --connect {addr}`",
+        table.display(),
+        snapshot.scope(),
+        snapshot.states(),
+        snapshot.num_tables()
+    );
+    let report = run_server(listener, snapshot, &ServeOptions::default())
+        .map_err(|e| format!("serve: {e}"))?;
+    println!(
+        "sweep: served {} decisions in {} batches to {} client(s), {} swap(s), final version {}",
+        report.decisions, report.batches, report.clients, report.swaps, report.final_version
+    );
+    Ok(())
+}
+
+fn cmd_clients(args: &[String]) -> Result<(), String> {
+    let mut connect = String::new();
+    let mut options = LoadOptions::default();
+    let mut verify_paths: Vec<PathBuf> = Vec::new();
+    let mut swap_path: Option<String> = None;
+    let mut swap_after = 0usize;
+    let mut hist: Option<PathBuf> = None;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = it.next().ok_or("--connect needs host:port")?.clone(),
+            "-n" | "--clients" => {
+                options.clients = it
+                    .next()
+                    .ok_or("--clients needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--batches" => {
+                options.batches = it
+                    .next()
+                    .ok_or("--batches needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--batches: {e}"))?;
+            }
+            "--batch" => {
+                options.batch_size = it
+                    .next()
+                    .ok_or("--batch needs a size")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--verify" => {
+                let list = it.next().ok_or("--verify needs a comma-separated list")?;
+                verify_paths.extend(list.split(',').map(PathBuf::from));
+            }
+            "--swap" => swap_path = Some(it.next().ok_or("--swap needs a path")?.clone()),
+            "--swap-after" => {
+                swap_after = it
+                    .next()
+                    .ok_or("--swap-after needs a batch count")?
+                    .parse()
+                    .map_err(|e| format!("--swap-after: {e}"))?;
+            }
+            "--hist" => hist = Some(PathBuf::from(it.next().ok_or("--hist needs a path")?)),
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if connect.is_empty() {
+        return Err(format!("--connect is required\n{}", usage()));
+    }
+    options.swap = swap_path.map(|path| SwapPlan {
+        path,
+        after_batches: swap_after,
+    });
+
+    // One probe handshake learns the server's state-space cardinality, so
+    // --verify files parse against the same shape the server dispatches.
+    let states = {
+        let probe =
+            ServeClient::connect(&connect, "probe").map_err(|e| format!("{connect}: {e}"))?;
+        probe.states()
+    };
+    for path in &verify_paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        options.verify.push(
+            FrozenSnapshot::parse(&text, states).map_err(|e| format!("{}: {e}", path.display()))?,
+        );
+    }
+
+    let report = run_load(&connect, &options).map_err(|e| format!("{connect}: {e}"))?;
+    let h = &report.histogram;
+    println!(
+        "sweep: {} clients × {} batches × {}: {} decisions in {:.2}s ({:.0}/s) | batch RTT p50 {}ns p99 {}ns p999 {}ns | versions {:?} | {} verified mismatches, {} unverified",
+        options.clients,
+        options.batches,
+        options.batch_size,
+        report.decisions,
+        report.elapsed.as_secs_f64(),
+        report.throughput(),
+        h.p50(),
+        h.p99(),
+        h.p999(),
+        report.versions_seen,
+        report.mismatches,
+        report.unverified
+    );
+    if let Some(hist) = &hist {
+        use std::io::Write;
+        let label = format!("serve_clients_n{}", options.clients);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(hist)
+            .map_err(|e| format!("cannot open {}: {e}", hist.display()))?;
+        writeln!(file, "{}", h.to_json(&label))
+            .map_err(|e| format!("cannot write {}: {e}", hist.display()))?;
+    }
+    if shutdown {
+        ServeClient::connect(&connect, "shutdown")
+            .and_then(|c| c.shutdown())
+            .map_err(|e| format!("shutdown: {e}"))?;
+        println!("sweep: server shut down");
+    }
+    if report.mismatches > 0 {
+        return Err(format!(
+            "{} responses disagreed with local frozen dispatch",
+            report.mismatches
+        ));
+    }
     Ok(())
 }
 

@@ -91,6 +91,7 @@
 pub mod agent;
 pub mod error;
 pub mod explore;
+pub mod frozen;
 pub mod manual;
 pub mod modes;
 pub mod policy;
@@ -107,6 +108,7 @@ pub mod value;
 pub use agent::{AgentBuilder, CohmeleonPolicy, LearnedPolicy};
 pub use error::CoreError;
 pub use explore::{EpsilonGreedy, ExplorationStrategy, SelectCtx, Softmax, Ucb1};
+pub use frozen::{FrozenPolicy, FrozenSnapshot, FrozenTable};
 pub use modes::{CoherenceMode, ModeSet};
 pub use policy::{Decision, Policy};
 pub use router::{AgentScope, PolicyRouter, ScopeKey};

@@ -555,6 +555,12 @@ impl SweepGrid {
 
     /// Runs one cell to completion on the calling thread.
     pub fn run_cell(&self, cell: CellId) -> CellResult {
+        self.run_cell_with_policy(cell).0
+    }
+
+    /// Runs one cell and additionally hands back the policy instance it
+    /// ran — by then trained and frozen, ready for table export.
+    fn run_cell_with_policy(&self, cell: CellId) -> (CellResult, Box<dyn Policy>) {
         let scenario = &self.scenarios[cell.scenario];
         let spec = &self.policies[cell.policy];
         let seed = self.cell_seed(cell);
@@ -578,14 +584,25 @@ impl SweepGrid {
                 options,
             ),
         };
-        CellResult {
+        let result = CellResult {
             cell,
             scenario: scenario.label.clone(),
             policy: spec.policy_label().to_owned(),
             kind: spec.as_kind(),
             seed,
             result,
-        }
+        };
+        (result, policy)
+    }
+
+    /// Runs one cell and exports the trained policy's learned tables —
+    /// the snapshot-production path behind `sweep freeze` and the serving
+    /// runtime. `None` if the cell's policy has no learned state to
+    /// export (fixed/manual baselines).
+    pub fn freeze_cell(&self, cell: CellId) -> (CellResult, Option<String>) {
+        let (result, policy) = self.run_cell_with_policy(cell);
+        let tables = policy.export_table();
+        (result, tables)
     }
 
     /// Executes every cell under `executor`, streaming each [`CellResult`]

@@ -35,6 +35,11 @@
 //!   network, no serialized closures), and [`merge_records`] folds the
 //!   shard files back into the canonical stream, verifying every cell
 //!   appears exactly once.
+//! * [`snapshot`] — serving provenance: [`SnapshotMeta`] stamps a frozen
+//!   table export with the grid name, cell coordinates and structural
+//!   hash of the run that produced it, as a comment line the frozen
+//!   parser skips — so `sweep freeze` output is both attributable and
+//!   directly servable.
 //!
 //! # Quickstart
 //!
@@ -95,6 +100,7 @@ pub mod learner;
 pub mod policies;
 pub mod shard;
 pub mod sink;
+pub mod snapshot;
 
 pub use checkpoint::{
     canonical_jsonl, finalize_canonical, scan_jsonl_tail, validate_record, CellCoord, Checkpoint,
@@ -111,3 +117,4 @@ pub use learner::{
 pub use policies::{build_policy, policy_suite, PolicyKind};
 pub use shard::{merge_files, merge_records, MergeError, ShardError, ShardExecutor, ShardSpec};
 pub use sink::{read_jsonl, CellRecord, CollectSink, CsvSink, JsonlSink, ResultSink};
+pub use snapshot::{write_snapshot, SnapshotMeta};

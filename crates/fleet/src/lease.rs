@@ -54,6 +54,28 @@ pub enum Grant {
     Complete,
 }
 
+/// A point-in-time view of one live lease (see
+/// [`LeaseTable::lease_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseStat {
+    /// The lease id.
+    pub id: u64,
+    /// The holding worker's name.
+    pub worker: String,
+    /// First dense index of the granted run.
+    pub start: usize,
+    /// Length of the granted run.
+    pub len: usize,
+    /// Cells of the run not yet completed by anyone.
+    pub outstanding: usize,
+    /// Time since the worker last showed life on this lease (grant,
+    /// record, or heartbeat).
+    pub age: Duration,
+    /// Whether the lease is past its deadline (eligible for speculative
+    /// re-lease).
+    pub expired: bool,
+}
+
 /// The mutable heart of the queen: pending cells, the unleased pool, and
 /// the active leases.
 #[derive(Debug)]
@@ -191,6 +213,33 @@ impl LeaseTable {
             }
             None => false,
         }
+    }
+
+    /// A point-in-time view of every live lease at `now`, ordered by
+    /// lease id — the raw material for the queen's periodic status line.
+    pub fn lease_stats(&self, now: Instant) -> Vec<LeaseStat> {
+        let mut stats: Vec<LeaseStat> = self
+            .leases
+            .values()
+            .map(|lease| {
+                // The deadline is always set to refresh-time + ttl, so
+                // the last sign of life is recoverable from it.
+                let refreshed = lease.deadline.checked_sub(self.ttl);
+                LeaseStat {
+                    id: lease.id,
+                    worker: lease.worker.clone(),
+                    start: lease.start,
+                    len: lease.len,
+                    outstanding: lease.outstanding.len(),
+                    age: refreshed
+                        .map(|r| now.saturating_duration_since(r))
+                        .unwrap_or_default(),
+                    expired: lease.deadline <= now,
+                }
+            })
+            .collect();
+        stats.sort_by_key(|s| s.id);
+        stats
     }
 
     /// Drops lease `lease_id` (worker finished it, or its connection

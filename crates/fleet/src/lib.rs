@@ -39,7 +39,7 @@ pub mod protocol;
 pub mod queen;
 pub mod worker;
 
-pub use lease::{Grant, Lease, LeaseTable};
+pub use lease::{Grant, Lease, LeaseStat, LeaseTable};
 pub use protocol::{LineReader, ToQueen, ToWorker, PROTOCOL_VERSION};
 pub use queen::{run_queen, QueenOptions, QueenReport};
 pub use worker::{run_worker, WorkerOptions, WorkerReport};

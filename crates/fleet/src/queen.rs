@@ -47,10 +47,15 @@ pub struct QueenOptions {
     /// sibling of `run_resumable_capped`). Workers asking for work after
     /// the cap are told `DONE` so they exit cleanly.
     pub max_cells: usize,
+    /// Emit a status line (progress, per-worker throughput, lease ages,
+    /// speculation count) to stderr this often while the run is live.
+    /// `None` keeps the queen silent until the final report.
+    pub status_every: Option<Duration>,
 }
 
 impl QueenOptions {
-    /// Defaults: auto chunk, 10 s lease deadline, no cap.
+    /// Defaults: auto chunk, 10 s lease deadline, no cap, no periodic
+    /// status.
     pub fn new(grid_name: impl Into<String>, fast: bool) -> QueenOptions {
         QueenOptions {
             grid_name: grid_name.into(),
@@ -58,6 +63,7 @@ impl QueenOptions {
             chunk: None,
             ttl: Duration::from_secs(10),
             max_cells: usize::MAX,
+            status_every: None,
         }
     }
 }
@@ -147,6 +153,9 @@ struct Shared {
     complete: bool,
     error: Option<String>,
     workers: HashSet<String>,
+    /// Records delivered per worker name (fresh and duplicate alike —
+    /// this measures worker throughput, not ledger novelty).
+    delivered: HashMap<String, usize>,
 }
 
 impl Shared {
@@ -208,16 +217,45 @@ pub fn run_queen(
         complete: false,
         error: None,
         workers: HashSet::new(),
+        delivered: HashMap::new(),
     });
 
     listener.set_nonblocking(true)?;
     let active = AtomicUsize::new(0);
+    let started = Instant::now();
+    let mut last_status = started;
     std::thread::scope(|scope| {
         loop {
             if shared.lock().expect("queen state").finished()
                 && active.load(Ordering::Acquire) == 0
             {
                 break;
+            }
+            if let Some(every) = options.status_every {
+                if last_status.elapsed() >= every {
+                    last_status = Instant::now();
+                    let s = shared.lock().expect("queen state");
+                    if !s.finished() {
+                        let now = Instant::now();
+                        let mut delivered: Vec<(String, usize)> = s
+                            .delivered
+                            .iter()
+                            .map(|(name, &cells)| (name.clone(), cells))
+                            .collect();
+                        delivered.sort();
+                        eprintln!(
+                            "{}",
+                            status_line(
+                                s.ledger.records.len(),
+                                grid.num_cells(),
+                                started.elapsed(),
+                                &delivered,
+                                &s.table.lease_stats(now),
+                                s.table.speculative(),
+                            )
+                        );
+                    }
+                }
             }
             match listener.accept() {
                 Ok((stream, _peer)) => {
@@ -372,6 +410,7 @@ fn serve_worker(stream: TcpStream, grid: &SweepGrid, shared: &Mutex<Shared>, opt
                     s.error = Some(e);
                     break;
                 }
+                *s.delivered.entry(worker_name.clone()).or_default() += 1;
                 let (scenario, policy, seed) = record.coord();
                 let dense = grid.cell_index(CellId {
                     scenario,
@@ -430,6 +469,51 @@ fn write_line(writer: &mut TcpStream, message: &ToWorker) -> io::Result<()> {
     writer.write_all(format!("{}\n", message.to_line()).as_bytes())
 }
 
+/// Formats one periodic queen status line: overall progress, per-worker
+/// delivery throughput, live lease ages, and the speculation count. Pure
+/// so the format is unit-testable; the accept loop feeds it live state.
+fn status_line(
+    done: usize,
+    total: usize,
+    elapsed: Duration,
+    delivered: &[(String, usize)],
+    leases: &[crate::lease::LeaseStat],
+    speculative: usize,
+) -> String {
+    let secs = elapsed.as_secs_f64();
+    let mut line = format!("queen: {done}/{total} cells in {secs:.0}s");
+    if !delivered.is_empty() {
+        let workers: Vec<String> = delivered
+            .iter()
+            .map(|(name, cells)| {
+                let rate = if secs > 0.0 { *cells as f64 / secs } else { 0.0 };
+                format!("{name} {cells} ({rate:.1}/s)")
+            })
+            .collect();
+        line.push_str(&format!(" | workers: {}", workers.join(", ")));
+    }
+    if !leases.is_empty() {
+        let views: Vec<String> = leases
+            .iter()
+            .map(|l| {
+                format!(
+                    "{}#{} {} left, {:.1}s{}",
+                    l.worker,
+                    l.id,
+                    l.outstanding,
+                    l.age.as_secs_f64(),
+                    if l.expired { " EXPIRED" } else { "" }
+                )
+            })
+            .collect();
+        line.push_str(&format!(" | leases: {}", views.join("; ")));
+    }
+    if speculative > 0 {
+        line.push_str(&format!(" | {speculative} speculative"));
+    }
+    line
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,5 +555,51 @@ mod tests {
         let ledger = RecordLedger::seed(&seedset);
         assert_eq!(ledger.records.len(), 2);
         assert_eq!(ledger.duplicates, 0);
+    }
+
+    #[test]
+    fn status_line_reports_workers_leases_and_speculation() {
+        use crate::lease::LeaseStat;
+
+        let delivered = vec![("alpha".to_string(), 8), ("beta".to_string(), 4)];
+        let leases = vec![
+            LeaseStat {
+                id: 3,
+                worker: "alpha".into(),
+                start: 12,
+                len: 6,
+                outstanding: 4,
+                age: Duration::from_millis(200),
+                expired: false,
+            },
+            LeaseStat {
+                id: 5,
+                worker: "beta".into(),
+                start: 18,
+                len: 6,
+                outstanding: 2,
+                age: Duration::from_millis(9800),
+                expired: true,
+            },
+        ];
+        let line = status_line(
+            12,
+            40,
+            Duration::from_secs(6),
+            &delivered,
+            &leases,
+            1,
+        );
+        assert_eq!(
+            line,
+            "queen: 12/40 cells in 6s | workers: alpha 8 (1.3/s), beta 4 (0.7/s) \
+             | leases: alpha#3 4 left, 0.2s; beta#5 2 left, 9.8s EXPIRED | 1 speculative"
+        );
+    }
+
+    #[test]
+    fn status_line_is_minimal_with_no_workers() {
+        let line = status_line(0, 40, Duration::from_secs(0), &[], &[], 0);
+        assert_eq!(line, "queen: 0/40 cells in 0s");
     }
 }

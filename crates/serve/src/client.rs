@@ -1,0 +1,359 @@
+//! The client half: a blocking connection handle and a [`Policy`] adapter
+//! that outsources decisions to a server.
+//!
+//! [`ServeClient`] is the low-level handle — connect, handshake, then one
+//! request/one reply per call. [`RemotePolicy`] wraps a client so a whole
+//! simulation can run with its decide phase served over the network: it
+//! senses state exactly like
+//! [`FrozenPolicy`](cohmeleon_core::FrozenPolicy) and ships the encoded
+//! index in a single-query batch, so a run driven by it is bit-identical
+//! to local frozen dispatch on the same table.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cohmeleon_core::frozen::mode_mask;
+use cohmeleon_core::modes::{CoherenceMode, ModeSet};
+use cohmeleon_core::snapshot::SystemSnapshot;
+use cohmeleon_core::space::StateSpace;
+use cohmeleon_core::state::State;
+use cohmeleon_core::policy::PolicyComplexity;
+use cohmeleon_core::{AccelInstanceId, AccelKindId, AgentScope, Decision, Policy};
+
+use crate::protocol::{sanitize_name, LineReader, Query, ToClient, ToServer};
+
+/// How long [`ServeClient::connect`] keeps retrying a refused connection
+/// (the server may still be binding when clients launch).
+const CONNECT_WINDOW: Duration = Duration::from_secs(10);
+
+/// A blocking connection to a decision server.
+///
+/// One request, one reply; an `ERR` reply surfaces as
+/// [`io::ErrorKind::InvalidData`] and the connection should be dropped
+/// (the server closes its side after most `ERR`s).
+pub struct ServeClient {
+    reader: LineReader<TcpStream>,
+    writer: TcpStream,
+    version: u64,
+    scope: AgentScope,
+    states: usize,
+    tables: usize,
+}
+
+impl ServeClient {
+    /// Connects to `addr`, retrying refused connections for a few
+    /// seconds, and completes the `HELLO` handshake as `name`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failure after the retry window, or a handshake that is
+    /// not a well-formed server `HELLO`.
+    pub fn connect(addr: &str, name: &str) -> io::Result<ServeClient> {
+        let start = Instant::now();
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => break stream,
+                Err(e) if start.elapsed() < CONNECT_WINDOW => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        stream.set_nodelay(true)?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = LineReader::new(stream);
+        let hello = ToServer::Hello {
+            name: sanitize_name(name),
+        };
+        writer.write_all(format!("{}\n", hello.to_line()).as_bytes())?;
+        let reply = read_reply(&mut reader)?;
+        let ToClient::Hello {
+            version,
+            scope,
+            states,
+            tables,
+        } = reply
+        else {
+            return Err(protocol_error(format!(
+                "expected server HELLO, got `{}`",
+                reply.to_line()
+            )));
+        };
+        Ok(ServeClient {
+            reader,
+            writer,
+            version,
+            scope,
+            states,
+            tables,
+        })
+    }
+
+    /// The table version the server last reported to this client.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The routing scope of the table live at handshake time.
+    pub fn scope(&self) -> AgentScope {
+        self.scope
+    }
+
+    /// The state cardinality queries must respect.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// The number of agent tables in the snapshot live at handshake time.
+    pub fn tables(&self) -> usize {
+        self.tables
+    }
+
+    fn request(&mut self, message: &ToServer) -> io::Result<ToClient> {
+        self.writer
+            .write_all(format!("{}\n", message.to_line()).as_bytes())?;
+        read_reply(&mut self.reader)
+    }
+
+    /// Sends one `DECIDE` batch; returns the table version that answered
+    /// it and one mode per query, in query order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, an `ERR` reply (invalid query), or a malformed
+    /// response.
+    pub fn decide_batch(&mut self, queries: &[Query]) -> io::Result<(u64, Vec<CoherenceMode>)> {
+        let reply = self.request(&ToServer::Decide {
+            queries: queries.to_vec(),
+        })?;
+        let ToClient::Modes { version, modes } = reply else {
+            return Err(protocol_error(format!(
+                "expected MODES, got `{}`",
+                reply.to_line()
+            )));
+        };
+        if modes.len() != queries.len() {
+            return Err(protocol_error(format!(
+                "sent {} queries, got {} modes",
+                queries.len(),
+                modes.len()
+            )));
+        }
+        let modes = modes
+            .iter()
+            .map(|&m| {
+                if (m as usize) < CoherenceMode::COUNT {
+                    Ok(CoherenceMode::from_index(m as usize))
+                } else {
+                    Err(protocol_error(format!("mode index {m} out of range")))
+                }
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        self.version = version;
+        Ok((version, modes))
+    }
+
+    /// Asks the server to install the snapshot at `path` (a server-side
+    /// filesystem path); returns the new version, scope and table count.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or an `ERR` reply (the old table stays live).
+    pub fn swap(&mut self, path: &str) -> io::Result<(u64, AgentScope, usize)> {
+        let reply = self.request(&ToServer::Swap { path: path.into() })?;
+        let ToClient::Swapped {
+            version,
+            scope,
+            tables,
+        } = reply
+        else {
+            return Err(protocol_error(format!(
+                "expected SWAPPED, got `{}`",
+                reply.to_line()
+            )));
+        };
+        self.version = version;
+        Ok((version, scope, tables))
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a malformed response.
+    pub fn stat(&mut self) -> io::Result<ServerStat> {
+        let reply = self.request(&ToServer::Stat)?;
+        let ToClient::Stat {
+            version,
+            decisions,
+            batches,
+            swaps,
+            clients,
+        } = reply
+        else {
+            return Err(protocol_error(format!(
+                "expected STAT, got `{}`",
+                reply.to_line()
+            )));
+        };
+        Ok(ServerStat {
+            version,
+            decisions,
+            batches,
+            swaps,
+            clients,
+        })
+    }
+
+    /// Asks the server to stop once its connections drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a reply other than `BYE`.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        let reply = self.request(&ToServer::Shutdown)?;
+        match reply {
+            ToClient::Bye => Ok(()),
+            other => Err(protocol_error(format!(
+                "expected BYE, got `{}`",
+                other.to_line()
+            ))),
+        }
+    }
+}
+
+/// One `STAT` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStat {
+    /// The live table version.
+    pub version: u64,
+    /// Total queries answered.
+    pub decisions: u64,
+    /// Total `DECIDE` batches answered.
+    pub batches: u64,
+    /// Snapshots installed after the initial one.
+    pub swaps: u64,
+    /// Clients ever accepted.
+    pub clients: u64,
+}
+
+fn read_reply(reader: &mut LineReader<TcpStream>) -> io::Result<ToClient> {
+    let line = reader
+        .read_line()?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"))?;
+    let reply = ToClient::parse(&line).map_err(protocol_error)?;
+    if let ToClient::Err { message } = reply {
+        return Err(protocol_error(format!("server rejected request: {message}")));
+    }
+    Ok(reply)
+}
+
+fn protocol_error(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// A [`Policy`] whose decide phase is served remotely.
+///
+/// Senses and encodes exactly like
+/// [`FrozenPolicy`](cohmeleon_core::FrozenPolicy) — `State::from_snapshot`
+/// then [`StateSpace::encode_sensed`] — and ships the encoded index in a
+/// one-query `DECIDE` batch. On a server holding the same frozen snapshot
+/// the returned mode is bit-identical to local dispatch, so a whole
+/// simulation driven by this policy reproduces the local run exactly
+/// (pinned by the `remote_policy` integration test).
+///
+/// # Panics
+///
+/// The [`Policy`] trait has no fallible decide, so a transport failure
+/// mid-simulation panics with the underlying error. Engines that need to
+/// survive a dead server must check connectivity before starting a run.
+pub struct RemotePolicy {
+    client: ServeClient,
+    space: Box<dyn StateSpace>,
+    kind_of: Vec<Option<AccelKindId>>,
+}
+
+impl RemotePolicy {
+    /// Wraps a connected client with the state space the server's table
+    /// was trained in.
+    ///
+    /// # Panics
+    ///
+    /// If `space`'s cardinality differs from the server's advertised
+    /// state count — queries would be systematically out of range.
+    pub fn new(client: ServeClient, space: Box<dyn StateSpace>) -> RemotePolicy {
+        assert_eq!(
+            space.cardinality(),
+            client.states(),
+            "state space cardinality must match the server's state count"
+        );
+        RemotePolicy {
+            client,
+            space,
+            kind_of: Vec::new(),
+        }
+    }
+
+    /// The wrapped connection (e.g. to issue `STAT` or `SHUTDOWN` after a
+    /// run).
+    pub fn into_client(self) -> ServeClient {
+        self.client
+    }
+
+    fn kind_of(&self, instance: AccelInstanceId) -> Option<AccelKindId> {
+        self.kind_of.get(instance.0 as usize).copied().flatten()
+    }
+}
+
+impl Policy for RemotePolicy {
+    fn name(&self) -> String {
+        "remote".to_owned()
+    }
+
+    fn decide(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        available: ModeSet,
+        accel: AccelInstanceId,
+    ) -> Decision {
+        assert!(
+            !available.is_empty(),
+            "policy invoked with an empty set of available coherence modes"
+        );
+        let state = State::from_snapshot(snapshot);
+        let state_index = self.space.encode_sensed(snapshot, &state);
+        let query = Query {
+            instance: accel.0,
+            kind: self.kind_of(accel).map(|k| k.0),
+            state: state_index as u32,
+            mask: mode_mask(available),
+        };
+        let (_version, modes) = self
+            .client
+            .decide_batch(&[query])
+            .expect("remote decide failed");
+        Decision {
+            mode: modes[0],
+            state,
+            state_index,
+        }
+    }
+
+    fn complexity(&self) -> PolicyComplexity {
+        // Must match `FrozenPolicy` so engine overhead accounting is
+        // identical between local and remote dispatch.
+        PolicyComplexity::Heuristic
+    }
+
+    fn bind_topology(&mut self, topology: &[(AccelInstanceId, AccelKindId)]) {
+        for &(instance, kind) in topology {
+            let i = instance.0 as usize;
+            if i >= self.kind_of.len() {
+                self.kind_of.resize(i + 1, None);
+            }
+            self.kind_of[i] = Some(kind);
+        }
+    }
+}

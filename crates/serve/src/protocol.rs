@@ -1,0 +1,622 @@
+//! The serving wire protocol: line-delimited text over TCP.
+//!
+//! One message per `\n`-terminated line, ASCII verbs, space-separated
+//! fields. A decision query is one colon-joined token
+//! `inst:kind:state:mask` (`kind` is a numeric accelerator-kind id or `-`
+//! for unregistered), so a `DECIDE` line carries an arbitrary batch of
+//! queries and the reply is one mode index per query — the batched
+//! request API the ROADMAP's serving item calls for.
+//!
+//! | direction | line | meaning |
+//! |---|---|---|
+//! | client → server | `HELLO serve/1 <name>` | join; `<name>` is a label for reporting |
+//! | server → client | `HELLO serve/1 <version> <scope> <states> <tables>` | table version, routing scope, state cardinality, table count |
+//! | client → server | `DECIDE <n> <q1> … <qn>` | batch of `n` queries `inst:kind:state:mask` |
+//! | server → client | `MODES <version> <m1> … <mn>` | one mode index per query, all answered from table `<version>` |
+//! | client → server | `SWAP <path>` | load a new snapshot from `<path>` and flip atomically |
+//! | server → client | `SWAPPED <version> <scope> <tables>` | the new live version |
+//! | client → server | `STAT` | ask for server counters |
+//! | server → client | `STAT <version> <decisions> <batches> <swaps> <clients>` | current counters |
+//! | client → server | `SHUTDOWN` | stop the server once connections drain |
+//! | server → client | `BYE` | shutdown acknowledged |
+//! | server → client | `ERR <message>` | request rejected; the server closes the connection |
+//!
+//! Every query in one `DECIDE` batch is answered from exactly one table
+//! version — the server resolves its live snapshot pointer once per
+//! batch, and `MODES` names the version used, so a client can attribute
+//! every response to one table even while `SWAP`s land mid-traffic.
+//! A protocol violation is answered with `ERR` and a close; other
+//! connections are unaffected.
+
+use std::fmt;
+use std::io::{self, Read};
+
+use cohmeleon_core::router::AgentScope;
+
+/// The protocol version token both `HELLO`s must carry.
+pub const PROTOCOL_VERSION: &str = "serve/1";
+
+fn bad(line: &str, why: &str) -> String {
+    format!("bad serve message `{line}`: {why}")
+}
+
+/// Replaces whitespace in a client name so it stays a single token on the
+/// wire.
+pub fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '-' } else { c })
+        .collect()
+}
+
+/// One decision query: which instance is invoking, its registered kind
+/// (if any), the encoded state index, and the 4-bit availability mask of
+/// the modes its tile supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// The invoking accelerator instance id.
+    pub instance: u16,
+    /// The instance's registered kind id, `None` if unregistered
+    /// (per-kind routing then falls back to the global catch-all).
+    pub kind: Option<u16>,
+    /// The encoded state index (must be below the snapshot's state
+    /// cardinality).
+    pub state: u32,
+    /// Availability mask: bit *i* set ⇔ mode index *i* supported. Must be
+    /// non-zero and within the low 4 bits.
+    pub mask: u8,
+}
+
+impl Query {
+    /// Serialises the query as its wire token `inst:kind:state:mask`.
+    pub fn to_token(self) -> String {
+        match self.kind {
+            Some(kind) => format!("{}:{}:{}:{}", self.instance, kind, self.state, self.mask),
+            None => format!("{}:-:{}:{}", self.instance, self.state, self.mask),
+        }
+    }
+
+    /// Parses a wire token produced by [`to_token`](Self::to_token).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the token and what is wrong with it (wrong field
+    /// count, non-numeric field, empty or out-of-range mask).
+    pub fn parse_token(token: &str) -> Result<Query, String> {
+        let fields: Vec<&str> = token.split(':').collect();
+        let [instance, kind, state, mask] = fields.as_slice() else {
+            return Err(format!("bad query `{token}`: expected inst:kind:state:mask"));
+        };
+        let instance: u16 = instance
+            .parse()
+            .map_err(|_| format!("bad query `{token}`: non-numeric instance"))?;
+        let kind = match *kind {
+            "-" => None,
+            k => Some(
+                k.parse::<u16>()
+                    .map_err(|_| format!("bad query `{token}`: non-numeric kind"))?,
+            ),
+        };
+        let state: u32 = state
+            .parse()
+            .map_err(|_| format!("bad query `{token}`: non-numeric state"))?;
+        let mask: u8 = mask
+            .parse()
+            .map_err(|_| format!("bad query `{token}`: non-numeric mask"))?;
+        if mask == 0 || mask > 0b1111 {
+            return Err(format!("bad query `{token}`: mask must be in 1..=15"));
+        }
+        Ok(Query {
+            instance,
+            kind,
+            state,
+            mask,
+        })
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_token())
+    }
+}
+
+/// A message a client sends to the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToServer {
+    /// `HELLO serve/1 <name>` — join.
+    Hello {
+        /// The client's self-reported label.
+        name: String,
+    },
+    /// `DECIDE <n> <q1> … <qn>` — a batch of decision queries.
+    Decide {
+        /// The queries, in order; the reply carries one mode per query.
+        queries: Vec<Query>,
+    },
+    /// `SWAP <path>` — load and atomically install a new snapshot.
+    Swap {
+        /// Filesystem path of the snapshot, server-side.
+        path: String,
+    },
+    /// `STAT` — ask for server counters.
+    Stat,
+    /// `SHUTDOWN` — stop the server once connections drain.
+    Shutdown,
+}
+
+impl ToServer {
+    /// Serialises the message as its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            ToServer::Hello { name } => format!("HELLO {PROTOCOL_VERSION} {name}"),
+            ToServer::Decide { queries } => {
+                let mut line = format!("DECIDE {}", queries.len());
+                for q in queries {
+                    line.push(' ');
+                    line.push_str(&q.to_token());
+                }
+                line
+            }
+            ToServer::Swap { path } => format!("SWAP {path}"),
+            ToServer::Stat => "STAT".into(),
+            ToServer::Shutdown => "SHUTDOWN".into(),
+        }
+    }
+
+    /// Parses a wire line.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the line and what is wrong with it (unknown verb,
+    /// version mismatch, malformed query, count mismatch).
+    pub fn parse(line: &str) -> Result<ToServer, String> {
+        let verb = line.split(' ').next().unwrap_or("");
+        match verb {
+            "HELLO" => {
+                let mut parts = line.splitn(3, ' ');
+                parts.next(); // verb
+                let version = parts.next().ok_or_else(|| bad(line, "missing version"))?;
+                if version != PROTOCOL_VERSION {
+                    return Err(bad(
+                        line,
+                        &format!("version `{version}` (server speaks {PROTOCOL_VERSION})"),
+                    ));
+                }
+                let name = parts.next().ok_or_else(|| bad(line, "missing name"))?;
+                Ok(ToServer::Hello { name: name.into() })
+            }
+            "DECIDE" => {
+                let mut parts = line.split(' ');
+                parts.next(); // verb
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| bad(line, "missing count"))?
+                    .parse()
+                    .map_err(|_| bad(line, "non-numeric count"))?;
+                let queries: Vec<Query> = parts
+                    .map(Query::parse_token)
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| bad(line, &e))?;
+                if queries.len() != n {
+                    return Err(bad(
+                        line,
+                        &format!("count says {n} queries, line has {}", queries.len()),
+                    ));
+                }
+                if queries.is_empty() {
+                    return Err(bad(line, "empty batch"));
+                }
+                Ok(ToServer::Decide { queries })
+            }
+            "SWAP" => {
+                let path = line
+                    .split_once(' ')
+                    .map(|(_, p)| p)
+                    .filter(|p| !p.is_empty())
+                    .ok_or_else(|| bad(line, "missing path"))?;
+                Ok(ToServer::Swap { path: path.into() })
+            }
+            "STAT" => Ok(ToServer::Stat),
+            "SHUTDOWN" => Ok(ToServer::Shutdown),
+            _ => Err(bad(line, "unknown verb")),
+        }
+    }
+}
+
+/// A message the server sends to a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToClient {
+    /// `HELLO serve/1 <version> <scope> <states> <tables>` — the reply to
+    /// a client's `HELLO`: which table version is live, its routing
+    /// scope, the state cardinality queries must respect, and how many
+    /// agent tables it holds.
+    Hello {
+        /// The live table version (monotonic, starts at 1).
+        version: u64,
+        /// The live snapshot's routing scope.
+        scope: AgentScope,
+        /// State cardinality; query `state` fields must be below it.
+        states: usize,
+        /// Number of agent tables in the live snapshot.
+        tables: usize,
+    },
+    /// `MODES <version> <m1> … <mn>` — the decisions for one batch, all
+    /// answered from table `<version>`.
+    Modes {
+        /// The single table version this whole batch was answered from.
+        version: u64,
+        /// One coherence-mode index per query, in query order.
+        modes: Vec<u8>,
+    },
+    /// `SWAPPED <version> <scope> <tables>` — a new snapshot is live.
+    Swapped {
+        /// The new live version.
+        version: u64,
+        /// The new snapshot's routing scope.
+        scope: AgentScope,
+        /// Number of agent tables in the new snapshot.
+        tables: usize,
+    },
+    /// `STAT <version> <decisions> <batches> <swaps> <clients>` — server
+    /// counters.
+    Stat {
+        /// The live table version.
+        version: u64,
+        /// Total queries answered.
+        decisions: u64,
+        /// Total `DECIDE` batches answered.
+        batches: u64,
+        /// Total snapshots installed after the initial one.
+        swaps: u64,
+        /// Total clients ever accepted.
+        clients: u64,
+    },
+    /// `ERR <message>` — request rejected; the connection closes next.
+    Err {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// `BYE` — shutdown acknowledged.
+    Bye,
+}
+
+impl ToClient {
+    /// Serialises the message as its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            ToClient::Hello {
+                version,
+                scope,
+                states,
+                tables,
+            } => format!("HELLO {PROTOCOL_VERSION} {version} {scope} {states} {tables}"),
+            ToClient::Modes { version, modes } => {
+                let mut line = format!("MODES {version}");
+                for m in modes {
+                    line.push(' ');
+                    line.push_str(&m.to_string());
+                }
+                line
+            }
+            ToClient::Swapped {
+                version,
+                scope,
+                tables,
+            } => format!("SWAPPED {version} {scope} {tables}"),
+            ToClient::Stat {
+                version,
+                decisions,
+                batches,
+                swaps,
+                clients,
+            } => format!("STAT {version} {decisions} {batches} {swaps} {clients}"),
+            ToClient::Err { message } => format!("ERR {message}"),
+            ToClient::Bye => "BYE".into(),
+        }
+    }
+
+    /// Parses a wire line.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ToServer::parse`].
+    pub fn parse(line: &str) -> Result<ToClient, String> {
+        let verb = line.split(' ').next().unwrap_or("");
+        match verb {
+            "HELLO" => {
+                let mut parts = line.split(' ');
+                parts.next(); // verb
+                let version = parts.next().ok_or_else(|| bad(line, "missing version"))?;
+                if version != PROTOCOL_VERSION {
+                    return Err(bad(
+                        line,
+                        &format!("version `{version}` (client speaks {PROTOCOL_VERSION})"),
+                    ));
+                }
+                Ok(ToClient::Hello {
+                    version: parse_u64(line, parts.next())?,
+                    scope: parse_scope(line, parts.next())?,
+                    states: parse_u64(line, parts.next())? as usize,
+                    tables: parse_u64(line, parts.next())? as usize,
+                })
+            }
+            "MODES" => {
+                let mut parts = line.split(' ');
+                parts.next(); // verb
+                let version = parse_u64(line, parts.next())?;
+                let modes: Vec<u8> = parts
+                    .map(|m| m.parse::<u8>().map_err(|_| bad(line, "non-numeric mode")))
+                    .collect::<Result<_, _>>()?;
+                Ok(ToClient::Modes { version, modes })
+            }
+            "SWAPPED" => {
+                let mut parts = line.split(' ');
+                parts.next(); // verb
+                Ok(ToClient::Swapped {
+                    version: parse_u64(line, parts.next())?,
+                    scope: parse_scope(line, parts.next())?,
+                    tables: parse_u64(line, parts.next())? as usize,
+                })
+            }
+            "STAT" => {
+                let mut parts = line.split(' ');
+                parts.next(); // verb
+                Ok(ToClient::Stat {
+                    version: parse_u64(line, parts.next())?,
+                    decisions: parse_u64(line, parts.next())?,
+                    batches: parse_u64(line, parts.next())?,
+                    swaps: parse_u64(line, parts.next())?,
+                    clients: parse_u64(line, parts.next())?,
+                })
+            }
+            "ERR" => {
+                let message = line.split_once(' ').map_or("", |(_, m)| m).to_owned();
+                Ok(ToClient::Err { message })
+            }
+            "BYE" => Ok(ToClient::Bye),
+            _ => Err(bad(line, "unknown verb")),
+        }
+    }
+}
+
+fn parse_u64(line: &str, field: Option<&str>) -> Result<u64, String> {
+    field
+        .ok_or_else(|| bad(line, "missing field"))?
+        .parse::<u64>()
+        .map_err(|_| bad(line, "non-numeric field"))
+}
+
+fn parse_scope(line: &str, field: Option<&str>) -> Result<AgentScope, String> {
+    field
+        .ok_or_else(|| bad(line, "missing scope"))?
+        .parse::<AgentScope>()
+        .map_err(|e| bad(line, &format!("{e}")))
+}
+
+/// Timeout-safe line framing over any [`Read`] — the same discipline as
+/// the fleet's reader: `BufReader::read_line` cannot be used on a socket
+/// with a read timeout (its UTF-8 guard discards partial bytes on `Err`),
+/// so this reader keeps partial data buffered across
+/// [`WouldBlock`](io::ErrorKind::WouldBlock)/[`TimedOut`](io::ErrorKind::TimedOut)
+/// and resumes each line exactly where it left off.
+#[derive(Debug)]
+pub struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> LineReader<R> {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads the next `\n`-terminated line, without the newline (a
+    /// trailing `\r` is also stripped). `Ok(None)` is end-of-stream; any
+    /// unterminated bytes at EOF are a torn line from a dying peer and
+    /// are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying read error. On
+    /// [`WouldBlock`](io::ErrorKind::WouldBlock)/[`TimedOut`](io::ErrorKind::TimedOut)
+    /// the partial line stays buffered; call again to continue it.
+    pub fn read_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                let line = String::from_utf8(line).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 serve message")
+                })?;
+                return Ok(Some(line));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_tokens_round_trip() {
+        let queries = [
+            Query {
+                instance: 3,
+                kind: Some(1),
+                state: 42,
+                mask: 15,
+            },
+            Query {
+                instance: 0,
+                kind: None,
+                state: 0,
+                mask: 1,
+            },
+            Query {
+                instance: 65535,
+                kind: Some(65535),
+                state: 2186,
+                mask: 9,
+            },
+        ];
+        for q in queries {
+            assert_eq!(Query::parse_token(&q.to_token()).unwrap(), q);
+        }
+    }
+
+    #[test]
+    fn query_rejects_garbage() {
+        assert!(Query::parse_token("1:2:3").is_err());
+        assert!(Query::parse_token("x:2:3:4").is_err());
+        assert!(Query::parse_token("1:y:3:4").is_err());
+        assert!(Query::parse_token("1:2:z:4").is_err());
+        assert!(Query::parse_token("1:2:3:0").is_err()); // empty mask
+        assert!(Query::parse_token("1:2:3:16").is_err()); // beyond 4 bits
+    }
+
+    #[test]
+    fn to_server_round_trips() {
+        let messages = [
+            ToServer::Hello {
+                name: "soc-client-2".into(),
+            },
+            ToServer::Decide {
+                queries: vec![
+                    Query {
+                        instance: 0,
+                        kind: Some(0),
+                        state: 7,
+                        mask: 15,
+                    },
+                    Query {
+                        instance: 9,
+                        kind: None,
+                        state: 242,
+                        mask: 5,
+                    },
+                ],
+            },
+            ToServer::Swap {
+                path: "snapshots/cohmeleon suite.tsv".into(),
+            },
+            ToServer::Stat,
+            ToServer::Shutdown,
+        ];
+        for message in messages {
+            assert_eq!(ToServer::parse(&message.to_line()).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn to_client_round_trips() {
+        let messages = [
+            ToClient::Hello {
+                version: 1,
+                scope: AgentScope::PerKind,
+                states: 243,
+                tables: 3,
+            },
+            ToClient::Modes {
+                version: 2,
+                modes: vec![0, 3, 1],
+            },
+            ToClient::Swapped {
+                version: 2,
+                scope: AgentScope::Global,
+                tables: 1,
+            },
+            ToClient::Stat {
+                version: 2,
+                decisions: 1000,
+                batches: 10,
+                swaps: 1,
+                clients: 4,
+            },
+            ToClient::Err {
+                message: "state 999 out of range".into(),
+            },
+            ToClient::Bye,
+        ];
+        for message in messages {
+            assert_eq!(ToClient::parse(&message.to_line()).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn decide_count_must_match() {
+        assert!(ToServer::parse("DECIDE 2 1:0:5:15").is_err());
+        assert!(ToServer::parse("DECIDE 0").is_err());
+        assert!(ToServer::parse("DECIDE x 1:0:5:15").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ToServer::parse("NOPE").is_err());
+        assert!(ToServer::parse("HELLO serve/0 x").is_err());
+        assert!(ToServer::parse("SWAP").is_err());
+        assert!(ToClient::parse("MODES 1 x").is_err());
+        assert!(ToClient::parse("HELLO serve/1 1 per-socket 243 1").is_err());
+    }
+
+    /// A reader that yields its scripted results one at a time.
+    struct Scripted(Vec<io::Result<Vec<u8>>>);
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.0.is_empty() {
+                return Ok(0);
+            }
+            match self.0.remove(0) {
+                Ok(bytes) => {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    #[test]
+    fn line_reader_keeps_partial_lines_across_timeouts() {
+        let timeout = || io::Error::new(io::ErrorKind::WouldBlock, "timed out");
+        let mut reader = LineReader::new(Scripted(vec![
+            Ok(b"DEC".to_vec()),
+            Err(timeout()),
+            Ok(b"IDE 1 0:0:1:15\nST".to_vec()),
+            Err(timeout()),
+            Ok(b"AT\n".to_vec()),
+        ]));
+        assert_eq!(
+            reader.read_line().unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        assert_eq!(reader.read_line().unwrap().unwrap(), "DECIDE 1 0:0:1:15");
+        assert_eq!(
+            reader.read_line().unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        assert_eq!(reader.read_line().unwrap().unwrap(), "STAT");
+        assert_eq!(reader.read_line().unwrap(), None);
+    }
+
+    #[test]
+    fn line_reader_drops_torn_tail_at_eof() {
+        let mut reader = LineReader::new(Scripted(vec![Ok(b"STAT\nDECIDE 1 0:".to_vec())]));
+        assert_eq!(reader.read_line().unwrap().unwrap(), "STAT");
+        assert_eq!(reader.read_line().unwrap(), None);
+    }
+}

@@ -1,0 +1,338 @@
+//! The decision server: concurrent clients, a lock-free read path, and
+//! atomic snapshot hot-swap.
+//!
+//! Mirrors the fleet queen's shape — a non-blocking accept loop inside
+//! `std::thread::scope`, one handler thread per connection polling with a
+//! short read timeout — but the shared state is deliberately different:
+//! where the queen funnels every message through one mutex, the server's
+//! hot path touches **no lock at all**. The live table is an
+//! `Arc<TableVersion>` behind a [`SwapCell`]; a `DECIDE` handler loads it
+//! once per batch (so the whole batch is answered from exactly one
+//! version, which the `MODES` reply names) and answers every query with
+//! two indexed loads into the frozen snapshot. Counters are relaxed
+//! atomics; only `SWAP` — a rare administrative verb — takes a mutex, and
+//! only against other swaps.
+
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cohmeleon_core::frozen::{mask_modes, FrozenSnapshot};
+use cohmeleon_core::{AccelInstanceId, AccelKindId};
+
+use crate::protocol::{LineReader, Query, ToClient, ToServer};
+use crate::swap::SwapCell;
+
+/// One installed snapshot with its monotonic version number.
+pub struct TableVersion {
+    /// The version (1 for the initial table, +1 per successful `SWAP`).
+    pub version: u64,
+    /// The immutable decision store.
+    pub snapshot: FrozenSnapshot,
+}
+
+/// Tuning knobs for [`run_server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Handler read timeout — how quickly a handler notices shutdown
+    /// under a silent peer.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            read_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// What a server run did.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Total queries answered.
+    pub decisions: u64,
+    /// Total `DECIDE` batches answered.
+    pub batches: u64,
+    /// Snapshots installed after the initial one.
+    pub swaps: u64,
+    /// Clients accepted over the server's lifetime.
+    pub clients: u64,
+    /// The live table version at shutdown.
+    pub final_version: u64,
+}
+
+/// State shared by every handler thread.
+struct Shared {
+    live: SwapCell<TableVersion>,
+    /// Serialises swaps against each other (never against readers).
+    swap_lock: Mutex<()>,
+    /// Every snapshot ever installed must cover this many states; query
+    /// validation happens against it before dispatch.
+    states: usize,
+    decisions: AtomicU64,
+    batches: AtomicU64,
+    swaps: AtomicU64,
+    clients: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// Serves decisions from `initial` on `listener` until a client sends
+/// `SHUTDOWN` and every connection drains.
+///
+/// Every `SWAP`-installed snapshot must cover the same state cardinality
+/// as `initial` (clients encode against a fixed state space); its scope
+/// may differ. A failed swap (unreadable file, parse error) leaves the
+/// live table untouched and answers `ERR`.
+///
+/// # Errors
+///
+/// Setup failures (non-blocking mode) and accept-loop I/O errors. Per-
+/// connection errors close that connection only.
+pub fn run_server(
+    listener: TcpListener,
+    initial: FrozenSnapshot,
+    options: &ServeOptions,
+) -> io::Result<ServerReport> {
+    let shared = Shared {
+        states: initial.states(),
+        live: SwapCell::new(Arc::new(TableVersion {
+            version: 1,
+            snapshot: initial,
+        })),
+        swap_lock: Mutex::new(()),
+        decisions: AtomicU64::new(0),
+        batches: AtomicU64::new(0),
+        swaps: AtomicU64::new(0),
+        clients: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+    };
+
+    listener.set_nonblocking(true)?;
+    let active = AtomicUsize::new(0);
+    let mut accept_error: Option<io::Error> = None;
+    std::thread::scope(|scope| {
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) && active.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.clients.fetch_add(1, Ordering::Relaxed);
+                    active.fetch_add(1, Ordering::AcqRel);
+                    let shared = &shared;
+                    let active = &active;
+                    let options = options.clone();
+                    scope.spawn(move || {
+                        serve_client(stream, shared, &options);
+                        active.fetch_sub(1, Ordering::AcqRel);
+                    });
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    accept_error = Some(e);
+                    shared.shutdown.store(true, Ordering::Release);
+                }
+            }
+        }
+    });
+    if let Some(e) = accept_error {
+        return Err(e);
+    }
+
+    Ok(ServerReport {
+        decisions: shared.decisions.load(Ordering::Relaxed),
+        batches: shared.batches.load(Ordering::Relaxed),
+        swaps: shared.swaps.load(Ordering::Relaxed),
+        clients: shared.clients.load(Ordering::Relaxed),
+        final_version: shared.live.load().version,
+    })
+}
+
+fn send(writer: &mut TcpStream, message: &ToClient) -> io::Result<()> {
+    writer.write_all(format!("{}\n", message.to_line()).as_bytes())
+}
+
+/// Sends `ERR <why>` and signals the caller to close the connection.
+fn reject(writer: &mut TcpStream, why: String) {
+    let _ = send(writer, &ToClient::Err { message: why });
+}
+
+/// One client connection, handled on its own thread until the client
+/// leaves, violates the protocol, or shutdown lands. All failure modes
+/// converge on closing this socket; the server and its other connections
+/// are unaffected.
+fn serve_client(stream: TcpStream, shared: &Shared, options: &ServeOptions) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(options.read_timeout)).is_err() {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader::new(stream);
+    let mut greeted = false;
+
+    loop {
+        let line = match reader.read_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let message = match ToServer::parse(&line) {
+            Ok(message) => message,
+            Err(why) => {
+                reject(&mut writer, why);
+                return;
+            }
+        };
+        if !greeted {
+            let ToServer::Hello { .. } = message else {
+                reject(&mut writer, format!("expected HELLO, got `{line}`"));
+                return;
+            };
+            let live = shared.live.load();
+            let hello = ToClient::Hello {
+                version: live.version,
+                scope: live.snapshot.scope(),
+                states: live.snapshot.states(),
+                tables: live.snapshot.num_tables(),
+            };
+            if send(&mut writer, &hello).is_err() {
+                return;
+            }
+            greeted = true;
+            continue;
+        }
+        match message {
+            ToServer::Hello { .. } => {
+                reject(&mut writer, "unexpected mid-session HELLO".into());
+                return;
+            }
+            ToServer::Decide { queries } => {
+                // One load for the whole batch: every query is answered
+                // from exactly this version, torn-free by construction.
+                let live = shared.live.load();
+                match decide_batch(&live.snapshot, shared.states, &queries) {
+                    Ok(modes) => {
+                        shared
+                            .decisions
+                            .fetch_add(modes.len() as u64, Ordering::Relaxed);
+                        shared.batches.fetch_add(1, Ordering::Relaxed);
+                        let reply = ToClient::Modes {
+                            version: live.version,
+                            modes,
+                        };
+                        if send(&mut writer, &reply).is_err() {
+                            return;
+                        }
+                    }
+                    Err(why) => {
+                        reject(&mut writer, why);
+                        return;
+                    }
+                }
+            }
+            ToServer::Swap { path } => match install_snapshot(shared, &path) {
+                Ok((version, scope, tables)) => {
+                    let reply = ToClient::Swapped {
+                        version,
+                        scope,
+                        tables,
+                    };
+                    if send(&mut writer, &reply).is_err() {
+                        return;
+                    }
+                }
+                Err(why) => {
+                    // A failed swap is not a protocol violation: the old
+                    // table stays live and the client may retry.
+                    let _ = send(&mut writer, &ToClient::Err { message: why });
+                }
+            },
+            ToServer::Stat => {
+                let reply = ToClient::Stat {
+                    version: shared.live.load().version,
+                    decisions: shared.decisions.load(Ordering::Relaxed),
+                    batches: shared.batches.load(Ordering::Relaxed),
+                    swaps: shared.swaps.load(Ordering::Relaxed),
+                    clients: shared.clients.load(Ordering::Relaxed),
+                };
+                if send(&mut writer, &reply).is_err() {
+                    return;
+                }
+            }
+            ToServer::Shutdown => {
+                let _ = send(&mut writer, &ToClient::Bye);
+                shared.shutdown.store(true, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+/// Answers one batch from one snapshot. Every query is validated before
+/// dispatch so a bad query cannot panic the handler.
+fn decide_batch(
+    snapshot: &FrozenSnapshot,
+    states: usize,
+    queries: &[Query],
+) -> Result<Vec<u8>, String> {
+    let mut modes = Vec::with_capacity(queries.len());
+    for q in queries {
+        if q.state as usize >= states {
+            return Err(format!(
+                "query `{q}`: state {} out of range (snapshot covers {states})",
+                q.state
+            ));
+        }
+        let available = mask_modes(q.mask);
+        let mode = snapshot
+            .decide(
+                AccelInstanceId(q.instance),
+                q.kind.map(AccelKindId),
+                q.state as usize,
+                available,
+            )
+            .ok_or_else(|| format!("query `{q}`: empty availability mask"))?;
+        modes.push(mode.index() as u8);
+    }
+    Ok(modes)
+}
+
+/// Loads, parses and atomically installs a new snapshot. Serialised
+/// against other swaps; readers are never blocked.
+fn install_snapshot(
+    shared: &Shared,
+    path: &str,
+) -> Result<(u64, cohmeleon_core::AgentScope, usize), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("swap: cannot read `{path}`: {e}"))?;
+    let snapshot = FrozenSnapshot::parse(&text, shared.states)
+        .map_err(|e| format!("swap: `{path}`: {e}"))?;
+    let scope = snapshot.scope();
+    let tables = snapshot.num_tables();
+    let _guard = shared.swap_lock.lock().expect("swap lock");
+    let version = shared.live.load().version + 1;
+    shared
+        .live
+        .store(Arc::new(TableVersion { version, snapshot }));
+    shared.swaps.fetch_add(1, Ordering::Relaxed);
+    Ok((version, scope, tables))
+}

@@ -60,6 +60,12 @@
 //!   cell ranges to workers with speculative re-dispatch of stalled
 //!   leases, persisting streamed records through the crash-tolerant
 //!   checkpoint (see the `sweep queen`/`sweep worker` subcommands).
+//! * [`serve`] — the online decision-serving runtime: a TCP server
+//!   dispatching batched `decide()` queries against an immutable frozen
+//!   snapshot, hot-swappable mid-traffic with lock-free reads, plus the
+//!   client, the in-engine `RemotePolicy` adapter (bit-identical to
+//!   local dispatch) and the verifying load generator (see the `sweep
+//!   freeze`/`sweep serve`/`sweep clients` subcommands).
 //! * [`soc`] — the simulated SoC substrate (tiles, Table-4 configurations,
 //!   hardware monitors, the accelerator-invocation API).
 //! * [`accel`] — accelerator communication models and the traffic generator.
@@ -73,6 +79,7 @@ pub use cohmeleon_exp as exp;
 pub use cohmeleon_fleet as fleet;
 pub use cohmeleon_mem as mem;
 pub use cohmeleon_noc as noc;
+pub use cohmeleon_serve as serve;
 pub use cohmeleon_sim as sim;
 pub use cohmeleon_soc as soc;
 pub use cohmeleon_workloads as workloads;
