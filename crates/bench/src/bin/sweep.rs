@@ -9,13 +9,15 @@
 //! sweep merge  --out PATH [--grid NAME] FILE...
 //! sweep queen  --grid NAME --listen ADDR [--resume PATH] [--chunk N]
 //!              [--ttl-ms MS] [--max-cells N] [--fresh] [--status-ms MS]
+//!              [--chaos-seed N]
 //! sweep worker --connect ADDR [--name LABEL] [--retry-ms MS]
+//!              [--chaos-seed N]
 //! sweep freeze --grid NAME --out SNAP.tsv [--cell I | --scenario L
 //!              --policy L --seed N]
-//! sweep serve  --table SNAP.tsv --listen ADDR [--states N]
+//! sweep serve  --table SNAP.tsv --listen ADDR [--states N] [--chaos-seed N]
 //! sweep clients --connect ADDR [-n N] [--batches N] [--batch N] [--seed N]
 //!              [--verify F1,F2] [--swap PATH [--swap-after J]]
-//!              [--hist OUT.jsonl] [--shutdown]
+//!              [--hist OUT.jsonl] [--shutdown] [--chaos-seed N]
 //! ```
 //!
 //! * `run` is resumable by default: cells already in the checkpoint at
@@ -57,6 +59,13 @@
 //!   every response against local dispatch (`--verify`) and exercising a
 //!   hot swap mid-traffic (`--swap`). See the "Serving" section of
 //!   docs/ARCHITECTURE.md.
+//! * `--chaos-seed N` (on `queen`, `worker`, `serve`, `clients`) wraps
+//!   that process's sockets in the seeded fault-injecting transport from
+//!   `cohmeleon-chaos`: split writes, read stalls, abrupt resets,
+//!   duplicated fire-and-forget lines, reordered heartbeats. Every
+//!   injected fault is logged with its `(seed, conn, op)` coordinate and
+//!   the same seed replays the same schedule — see the "Chaos testing"
+//!   section of docs/ARCHITECTURE.md.
 //!
 //! Grid names are deterministic functions of `(name, COHMELEON_FAST)` —
 //! see `cohmeleon_bench::sweeps` for why that is load-bearing. The
@@ -67,6 +76,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use cohmeleon_bench::sweeps::{named_experiment, GRID_NAMES};
+use cohmeleon_chaos::FaultPlan;
 use cohmeleon_bench::Scale;
 use cohmeleon_exp::{
     canonical_jsonl, merge_files, Checkpoint, ResumeOutcome, Serial, ShardExecutor, ShardSpec,
@@ -79,12 +89,21 @@ use cohmeleon_serve::{run_load, run_server, LoadOptions, ServeClient, ServeOptio
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage:\n  sweep run    --grid NAME [--out PATH] [--executor serial|work-stealing]\n               [--max-cells N] [--fresh] [--shard I/N] [--reuse OLD.jsonl]\n  sweep resume --grid NAME [--out PATH] [--executor ...]\n  sweep shard  --grid NAME --shards N [--out PATH] [--dir DIR]\n  sweep merge  --out PATH [--grid NAME] FILE...\n  sweep queen  --grid NAME --listen ADDR [--resume PATH] [--chunk N]\n               [--ttl-ms MS] [--max-cells N] [--fresh] [--status-ms MS]\n  sweep worker --connect ADDR [--name LABEL] [--retry-ms MS]\n  sweep freeze --grid NAME --out SNAP.tsv\n               [--cell I | --scenario LABEL --policy LABEL --seed N]\n  sweep serve  --table SNAP.tsv --listen ADDR [--states N]\n  sweep clients --connect ADDR [-n N] [--batches N] [--batch N] [--seed N]\n               [--verify FILE,FILE] [--swap PATH [--swap-after J]]\n               [--hist OUT.jsonl] [--shutdown]\n\ngrids (COHMELEON_FAST=1 for reduced scale):\n",
+        "usage:\n  sweep run    --grid NAME [--out PATH] [--executor serial|work-stealing]\n               [--max-cells N] [--fresh] [--shard I/N] [--reuse OLD.jsonl]\n  sweep resume --grid NAME [--out PATH] [--executor ...]\n  sweep shard  --grid NAME --shards N [--out PATH] [--dir DIR]\n  sweep merge  --out PATH [--grid NAME] FILE...\n  sweep queen  --grid NAME --listen ADDR [--resume PATH] [--chunk N]\n               [--ttl-ms MS] [--max-cells N] [--fresh] [--status-ms MS]\n               [--chaos-seed N]\n  sweep worker --connect ADDR [--name LABEL] [--retry-ms MS] [--chaos-seed N]\n  sweep freeze --grid NAME --out SNAP.tsv\n               [--cell I | --scenario LABEL --policy LABEL --seed N]\n  sweep serve  --table SNAP.tsv --listen ADDR [--states N] [--chaos-seed N]\n  sweep clients --connect ADDR [-n N] [--batches N] [--batch N] [--seed N]\n               [--verify FILE,FILE] [--swap PATH [--swap-after J]]\n               [--hist OUT.jsonl] [--shutdown] [--chaos-seed N]\n\ngrids (COHMELEON_FAST=1 for reduced scale):\n",
     );
     for (name, what) in GRID_NAMES {
         out.push_str(&format!("  {name:<10} {what}\n"));
     }
     out
+}
+
+/// Parses the value of a `--chaos-seed N` flag into a fault plan.
+fn parse_chaos_seed(value: Option<&String>) -> Result<FaultPlan, String> {
+    let seed: u64 = value
+        .ok_or("--chaos-seed needs a seed")?
+        .parse()
+        .map_err(|e| format!("--chaos-seed: {e}"))?;
+    Ok(FaultPlan::new(seed))
 }
 
 /// The two in-process executors, chosen by `--executor`.
@@ -356,6 +375,7 @@ fn cmd_queen(args: &[String]) -> Result<(), String> {
     let mut max_cells = usize::MAX;
     let mut fresh = false;
     let mut status_ms = 5_000u64;
+    let mut chaos: Option<FaultPlan> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -396,6 +416,7 @@ fn cmd_queen(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--status-ms: {e}"))?;
             }
+            "--chaos-seed" => chaos = Some(parse_chaos_seed(it.next())?),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
@@ -425,6 +446,7 @@ fn cmd_queen(args: &[String]) -> Result<(), String> {
         ttl: std::time::Duration::from_millis(ttl_ms),
         max_cells,
         status_every: (status_ms > 0).then(|| std::time::Duration::from_millis(status_ms)),
+        chaos,
         ..QueenOptions::new(&common.grid, matches!(Scale::from_env(), Scale::Fast))
     };
     println!(
@@ -482,6 +504,7 @@ fn cmd_worker(args: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("--fail-after: {e}"))?,
                 );
             }
+            "--chaos-seed" => options.chaos = Some(parse_chaos_seed(it.next())?),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
@@ -613,6 +636,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut table: Option<PathBuf> = None;
     let mut listen = String::new();
     let mut states = cohmeleon_core::State::COUNT;
+    let mut chaos: Option<FaultPlan> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -625,6 +649,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--states: {e}"))?;
             }
+            "--chaos-seed" => chaos = Some(parse_chaos_seed(it.next())?),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
@@ -652,11 +677,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         snapshot.states(),
         snapshot.num_tables()
     );
-    let report = run_server(listener, snapshot, &ServeOptions::default())
-        .map_err(|e| format!("serve: {e}"))?;
+    let options = ServeOptions {
+        chaos,
+        ..ServeOptions::default()
+    };
+    let report = run_server(listener, snapshot, &options).map_err(|e| format!("serve: {e}"))?;
     println!(
-        "sweep: served {} decisions in {} batches to {} client(s), {} swap(s), final version {}",
-        report.decisions, report.batches, report.clients, report.swaps, report.final_version
+        "sweep: served {} decisions in {} batches to {} client(s), {} swap(s), {} error(s), final version {}",
+        report.decisions,
+        report.batches,
+        report.clients,
+        report.swaps,
+        report.errors,
+        report.final_version
     );
     Ok(())
 }
@@ -715,6 +748,7 @@ fn cmd_clients(args: &[String]) -> Result<(), String> {
             }
             "--hist" => hist = Some(PathBuf::from(it.next().ok_or("--hist needs a path")?)),
             "--shutdown" => shutdown = true,
+            "--chaos-seed" => options.chaos = Some(parse_chaos_seed(it.next())?),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
@@ -758,6 +792,12 @@ fn cmd_clients(args: &[String]) -> Result<(), String> {
         report.mismatches,
         report.unverified
     );
+    if options.chaos.is_some() {
+        println!(
+            "sweep: chaos: survived {} connection error(s), verified {} duplicated repl(ies)",
+            report.conn_errors, report.dup_replies
+        );
+    }
     if let Some(hist) = &hist {
         use std::io::Write;
         let label = format!("serve_clients_n{}", options.clients);

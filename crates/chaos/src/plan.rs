@@ -1,0 +1,319 @@
+//! The seeded fault schedule: configuration, per-fault event records,
+//! and the [`FaultPlan`] factory that wraps sockets.
+
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::transport::FaultyTransport;
+
+/// Which side of which protocol a wrapped connection plays.
+///
+/// The role decides two things: which written lines are fair game for
+/// duplication/reordering (only verbs the receiving side is idempotent
+/// against), and how an injected read stall surfaces — the queen and
+/// server poll their sockets with a short read timeout, so a stall is a
+/// synthetic [`WouldBlock`](io::ErrorKind::WouldBlock) (exactly what a
+/// peer silent past the poll timeout produces); the worker and client
+/// block on reads, so a stall there is a real bounded sleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The fleet queen's side of a worker connection (polling reads).
+    Queen,
+    /// A fleet worker's side of its queen connection (blocking reads;
+    /// writes `RECORD`/`DONE`/`HEARTBEAT`, all dup-safe, and
+    /// `HEARTBEAT` is reorder-safe).
+    Worker,
+    /// The serve server's side of a client connection (polling reads).
+    Server,
+    /// A serve client's side of its server connection (blocking reads;
+    /// `DECIDE` is dup-safe — each duplicate earns an extra reply the
+    /// client drains).
+    Client,
+}
+
+impl Role {
+    /// Whether injected read stalls surface as synthetic `WouldBlock`
+    /// (polling sides) instead of a real sleep (blocking sides).
+    pub(crate) fn synthetic_stall(self) -> bool {
+        matches!(self, Role::Queen | Role::Server)
+    }
+
+    /// Whether a complete written line may be delivered twice. Only
+    /// fire-and-forget verbs the peer is idempotent against qualify;
+    /// request/reply verbs never do.
+    pub(crate) fn duplicable(self, line: &[u8]) -> bool {
+        match self {
+            Role::Worker => {
+                line.starts_with(b"RECORD ")
+                    || line.starts_with(b"DONE ")
+                    || line.starts_with(b"HEARTBEAT ")
+            }
+            Role::Client => line.starts_with(b"DECIDE "),
+            Role::Queen | Role::Server => false,
+        }
+    }
+
+    /// Whether a complete written line may be held back and delivered
+    /// after the next line (reordering). Only heartbeats qualify: they
+    /// are lossy by design, so a held one that never flushes is safe.
+    pub(crate) fn reorderable(self, line: &[u8]) -> bool {
+        matches!(self, Role::Worker) && line.starts_with(b"HEARTBEAT ")
+    }
+
+    /// Whether duplicating this line obliges the peer to send an extra
+    /// reply the local side must drain (serve's strict request/reply).
+    pub(crate) fn dup_earns_reply(self, line: &[u8]) -> bool {
+        matches!(self, Role::Client) && line.starts_with(b"DECIDE ")
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Queen => "queen",
+            Role::Worker => "worker",
+            Role::Server => "server",
+            Role::Client => "client",
+        })
+    }
+}
+
+/// Fault mix and intensities. Probabilities are per-mille (`0..=1000`)
+/// so every draw is integer-deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Per-mille chance a written buffer is torn into 2–4 chunks with a
+    /// delay between each (exercises partial-line reads at the peer).
+    pub split_write: u16,
+    /// Upper bound on the delay between split-write chunks, microseconds.
+    pub max_split_delay_us: u64,
+    /// Per-mille chance a read call stalls (synthetic `WouldBlock` on
+    /// polling roles, a real sleep on blocking roles).
+    pub stall: u16,
+    /// Upper bound on an injected stall, milliseconds.
+    pub max_stall_ms: u64,
+    /// Per-mille chance a connection carries a planned abrupt reset.
+    pub reset: u16,
+    /// The reset's byte offset is drawn from `0..reset_window`; offsets
+    /// past what the connection ever transfers simply never fire.
+    pub reset_window: u64,
+    /// Per-mille chance a dup-safe complete line is delivered twice.
+    pub duplicate: u16,
+    /// Per-mille chance a reorder-safe line is held and delivered after
+    /// the next written line.
+    pub reorder: u16,
+}
+
+impl Default for ChaosConfig {
+    /// A moderate mix: every fault class fires regularly on a run of a
+    /// few hundred transport calls without drowning the run in resets.
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            split_write: 150,
+            max_split_delay_us: 500,
+            stall: 60,
+            max_stall_ms: 4,
+            reset: 250,
+            reset_window: 4096,
+            duplicate: 100,
+            reorder: 80,
+        }
+    }
+}
+
+/// What kind of fault was injected, with its magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A write was torn into `parts` chunks with delays between them.
+    SplitWrite {
+        /// Number of chunks the buffer went out as.
+        parts: usize,
+        /// Total bytes in the torn buffer.
+        bytes: usize,
+    },
+    /// A read stalled.
+    StallRead {
+        /// Injected delay in milliseconds.
+        ms: u64,
+        /// `true` if surfaced as a synthetic `WouldBlock` (polling
+        /// roles), `false` if a real sleep (blocking roles).
+        synthetic: bool,
+    },
+    /// The connection was abruptly reset.
+    Reset {
+        /// Cumulative byte offset (in the tripping direction) the reset
+        /// fired at.
+        offset: u64,
+        /// `true` if the write side tripped it (the line in flight was
+        /// torn), `false` if the read side did.
+        on_write: bool,
+    },
+    /// A dup-safe line was delivered twice.
+    DuplicateLine {
+        /// Length of the duplicated line.
+        bytes: usize,
+    },
+    /// A reorder-safe line was held back.
+    HoldLine {
+        /// Length of the held line.
+        bytes: usize,
+    },
+    /// A previously held line was delivered after a later line.
+    FlushHeld {
+        /// Length of the flushed line.
+        bytes: usize,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::SplitWrite { parts, bytes } => {
+                write!(f, "split-write parts={parts} bytes={bytes}")
+            }
+            FaultKind::StallRead { ms, synthetic } => {
+                write!(
+                    f,
+                    "stall-read ms={ms} mode={}",
+                    if *synthetic { "wouldblock" } else { "sleep" }
+                )
+            }
+            FaultKind::Reset { offset, on_write } => {
+                write!(
+                    f,
+                    "reset offset={offset} side={}",
+                    if *on_write { "write" } else { "read" }
+                )
+            }
+            FaultKind::DuplicateLine { bytes } => write!(f, "duplicate-line bytes={bytes}"),
+            FaultKind::HoldLine { bytes } => write!(f, "hold-line bytes={bytes}"),
+            FaultKind::FlushHeld { bytes } => write!(f, "flush-held bytes={bytes}"),
+        }
+    }
+}
+
+/// One injected fault, addressed by its replay coordinate: the plan
+/// seed, the connection's wrap order, and the op index (this
+/// connection's transport-call counter) the fault fired at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The plan's base seed.
+    pub seed: u64,
+    /// Which connection (in plan wrap order, from 0).
+    pub conn: u64,
+    /// Which transport call on that connection (from 0).
+    pub op: u64,
+    /// The wrapped side's role.
+    pub role: Role,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} conn={} op={} role={} {}",
+            self.seed, self.conn, self.op, self.role, self.kind
+        )
+    }
+}
+
+/// A seeded, shareable fault schedule.
+///
+/// One plan covers one chaos run: every socket wrapped through
+/// [`wrap`](Self::wrap) gets the next connection index and its own RNG
+/// stream derived from `(seed, conn)`, and all injected faults land in
+/// one shared log (read it back with [`events`](Self::events) /
+/// [`render_log`](Self::render_log)). Clones share the connection
+/// counter and the log, so a queen and its in-process workers — or a
+/// server and its load clients — can draw from one schedule.
+#[derive(Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    config: ChaosConfig,
+    next_conn: Arc<AtomicU64>,
+    log: Arc<Mutex<Vec<FaultEvent>>>,
+}
+
+impl FaultPlan {
+    /// A plan over the default fault mix.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan::with_config(seed, ChaosConfig::default())
+    }
+
+    /// A plan with an explicit fault mix.
+    pub fn with_config(seed: u64, config: ChaosConfig) -> FaultPlan {
+        FaultPlan {
+            seed,
+            config,
+            next_conn: Arc::new(AtomicU64::new(0)),
+            log: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The base seed every fault coordinate names.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault mix this plan injects.
+    pub fn config(&self) -> ChaosConfig {
+        self.config
+    }
+
+    /// Wraps a connected socket in a fault-injecting transport playing
+    /// `role`, assigning it the next connection index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `try_clone` failure on the underlying socket (the
+    /// injector needs a second handle to shut it down on a reset).
+    pub fn wrap(&self, stream: TcpStream, role: Role) -> io::Result<FaultyTransport> {
+        let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        FaultyTransport::chaos(
+            stream,
+            self.seed,
+            conn,
+            role,
+            self.config,
+            Arc::clone(&self.log),
+        )
+    }
+
+    /// Every fault injected so far, in injection order.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.log.lock().expect("chaos fault log").clone()
+    }
+
+    /// Number of faults injected so far.
+    pub fn fault_count(&self) -> usize {
+        self.log.lock().expect("chaos fault log").len()
+    }
+
+    /// The fault log as one line per event — what a failing soak seed
+    /// dumps so the failure replays from its coordinates.
+    pub fn render_log(&self) -> String {
+        let log = self.log.lock().expect("chaos fault log");
+        let mut out = String::new();
+        for event in log.iter() {
+            out.push_str(&event.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("config", &self.config)
+            .field("connections", &self.next_conn.load(Ordering::Relaxed))
+            .field("faults", &self.log.lock().expect("chaos fault log").len())
+            .finish()
+    }
+}

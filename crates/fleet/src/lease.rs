@@ -13,6 +13,13 @@
 //!
 //! Every method takes `now` explicitly so expiry is unit-testable with a
 //! synthetic clock.
+//!
+//! These same properties — idempotent release, re-poolable cells,
+//! first-completion-wins twins — are what let the chaos soak tear fleet
+//! connections at arbitrary byte offsets and still demand a
+//! byte-identical checkpoint: a worker killed by an injected reset is
+//! indistinguishable from one that crashed, and the table already had
+//! an answer for that.
 
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};

@@ -28,6 +28,15 @@
 //!   finalised to the canonical stream — byte-identical to a clean
 //!   serial run, however many workers, kills, and re-leases happened.
 //!
+//! Those invariants are not just documented — they are soak-tested:
+//! both `run_queen` and `run_worker` accept an optional
+//! [`FaultPlan`](cohmeleon_chaos::FaultPlan) that wraps their sockets in
+//! a seeded fault-injecting transport (split writes, stalls, abrupt
+//! resets, duplicated `RECORD`s, reordered heartbeats), and the
+//! `chaos_soak` harness in `cohmeleon-bench` asserts finalized
+//! checkpoints stay byte-identical to a clean serial run across seeded
+//! schedules. See the "Chaos testing" section of `docs/ARCHITECTURE.md`.
+//!
 //! See the "Fleet" section of `docs/ARCHITECTURE.md` for the message
 //! table and coordination diagram, and `cohmeleon-bench`'s `sweep queen`
 //! / `sweep worker` subcommands for the CLI entry points.

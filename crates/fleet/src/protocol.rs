@@ -22,6 +22,14 @@
 //! by closing the connection — the lease table treats a dropped worker as
 //! expired and the record ledger reconciles any duplicated completions, so
 //! closing is always safe.
+//!
+//! The fire-and-forget verbs are also the protocol's *duplication-safe*
+//! set: the queen's receiver is idempotent against a repeated `RECORD`
+//! (ledger dedup), `DONE` (release is idempotent) and `HEARTBEAT`
+//! (unknown or already-renewed leases are ignored). The chaos transport
+//! (`cohmeleon-chaos`) leans on exactly this classification — it will
+//! duplicate or reorder only these lines, never the strict
+//! request/reply `HELLO`/`LEASE` exchanges.
 
 use std::io::{self, Read};
 

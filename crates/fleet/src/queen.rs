@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use cohmeleon_chaos::{FaultPlan, FaultyTransport, Role};
 use cohmeleon_exp::checkpoint::sort_canonical;
 use cohmeleon_exp::{
     finalize_canonical, validate_record, CellCoord, CellId, CellRecord, Checkpoint,
@@ -51,6 +52,10 @@ pub struct QueenOptions {
     /// speculation count) to stderr this often while the run is live.
     /// `None` keeps the queen silent until the final report.
     pub status_every: Option<Duration>,
+    /// Seeded network fault injection: when set, every accepted worker
+    /// connection is wrapped in a [`FaultyTransport`] playing
+    /// [`Role::Queen`]. `None` is the plain direct path.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl QueenOptions {
@@ -64,6 +69,7 @@ impl QueenOptions {
             ttl: Duration::from_secs(10),
             max_cells: usize::MAX,
             status_every: None,
+            chaos: None,
         }
     }
 }
@@ -314,6 +320,10 @@ pub fn run_queen(
 /// connection.
 fn serve_worker(stream: TcpStream, grid: &SweepGrid, shared: &Mutex<Shared>, options: &QueenOptions) {
     let _ = stream.set_nodelay(true);
+    let Ok(stream) = FaultyTransport::from_plan(stream, options.chaos.as_ref(), Role::Queen)
+    else {
+        return;
+    };
     if stream
         .set_read_timeout(Some(Duration::from_millis(200)))
         .is_err()
@@ -465,7 +475,7 @@ fn serve_worker(stream: TcpStream, grid: &SweepGrid, shared: &Mutex<Shared>, opt
     }
 }
 
-fn write_line(writer: &mut TcpStream, message: &ToWorker) -> io::Result<()> {
+fn write_line(writer: &mut FaultyTransport, message: &ToWorker) -> io::Result<()> {
     writer.write_all(format!("{}\n", message.to_line()).as_bytes())
 }
 

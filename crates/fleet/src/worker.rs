@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use cohmeleon_chaos::{FaultPlan, FaultyTransport, Role};
 use cohmeleon_exp::{CellRecord, SweepGrid};
 
 use crate::protocol::{sanitize_name, LineReader, ToQueen, ToWorker};
@@ -35,6 +36,10 @@ pub struct WorkerOptions {
     /// return with [`WorkerReport::aborted`] set — simulating a worker
     /// killed mid-lease.
     pub fail_after: Option<usize>,
+    /// Seeded network fault injection: when set, the queen connection is
+    /// wrapped in a [`FaultyTransport`] playing [`Role::Worker`]. `None`
+    /// is the plain direct path.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl WorkerOptions {
@@ -46,6 +51,7 @@ impl WorkerOptions {
             connect_retry: Duration::from_secs(10),
             backoff: Duration::from_millis(200),
             fail_after: None,
+            chaos: None,
         }
     }
 }
@@ -92,6 +98,7 @@ where
 {
     let stream = connect_with_retry(addr, options.connect_retry)?;
     stream.set_nodelay(true)?;
+    let stream = FaultyTransport::from_plan(stream, options.chaos.as_ref(), Role::Worker)?;
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let mut reader = LineReader::new(stream);
 
@@ -171,8 +178,8 @@ where
 /// heartbeat ticker on *any* exit path.
 fn work_loop(
     grid: &SweepGrid,
-    writer: &Mutex<TcpStream>,
-    reader: &mut LineReader<TcpStream>,
+    writer: &Mutex<FaultyTransport>,
+    reader: &mut LineReader<FaultyTransport>,
     current_lease: &AtomicU64,
     options: &WorkerOptions,
     report: &mut WorkerReport,
@@ -212,25 +219,35 @@ fn work_loop(
     }
 }
 
+/// Retries the initial connect in 20 ms slices capped at the remaining
+/// window — the same slicing discipline as the heartbeat ticker — so
+/// `--retry-ms` bounds how long a worker lingers instead of overshooting
+/// by up to a full backoff period.
 fn connect_with_retry(addr: &str, window: Duration) -> io::Result<TcpStream> {
     let deadline = Instant::now() + window;
+    let slice = Duration::from_millis(20);
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
-            Err(e) if Instant::now() >= deadline => return Err(e),
-            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(slice.min(deadline - now));
+            }
         }
     }
 }
 
 /// Sends one line under the shared write lock, so heartbeats from the
 /// ticker thread never interleave bytes with the main loop's messages.
-fn send(writer: &Mutex<TcpStream>, message: &ToQueen) -> io::Result<()> {
+fn send(writer: &Mutex<FaultyTransport>, message: &ToQueen) -> io::Result<()> {
     let mut stream = writer.lock().expect("worker write side");
     stream.write_all(format!("{}\n", message.to_line()).as_bytes())
 }
 
-fn read_reply(reader: &mut LineReader<TcpStream>) -> io::Result<ToWorker> {
+fn read_reply(reader: &mut LineReader<FaultyTransport>) -> io::Result<ToWorker> {
     match reader.read_line()? {
         Some(line) => ToWorker::parse(&line).map_err(invalid),
         None => Err(io::Error::new(

@@ -13,6 +13,7 @@ use std::io::{self, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use cohmeleon_chaos::{FaultPlan, FaultyTransport, Role};
 use cohmeleon_core::frozen::mode_mask;
 use cohmeleon_core::modes::{CoherenceMode, ModeSet};
 use cohmeleon_core::snapshot::SystemSnapshot;
@@ -30,11 +31,12 @@ const CONNECT_WINDOW: Duration = Duration::from_secs(10);
 /// A blocking connection to a decision server.
 ///
 /// One request, one reply; an `ERR` reply surfaces as
-/// [`io::ErrorKind::InvalidData`] and the connection should be dropped
-/// (the server closes its side after most `ERR`s).
+/// [`io::ErrorKind::InvalidData`]. After the handshake the server keeps
+/// the connection open across `ERR`s, so the handle stays usable — the
+/// offending request was consumed whole and framing is intact.
 pub struct ServeClient {
-    reader: LineReader<TcpStream>,
-    writer: TcpStream,
+    reader: LineReader<FaultyTransport>,
+    writer: FaultyTransport,
     version: u64,
     scope: AgentScope,
     states: usize,
@@ -50,18 +52,42 @@ impl ServeClient {
     /// Connection failure after the retry window, or a handshake that is
     /// not a well-formed server `HELLO`.
     pub fn connect(addr: &str, name: &str) -> io::Result<ServeClient> {
-        let start = Instant::now();
+        ServeClient::connect_with(addr, name, None)
+    }
+
+    /// [`connect`](Self::connect) with optional seeded fault injection:
+    /// when a plan is given the connection is wrapped in a
+    /// [`FaultyTransport`] playing [`Role::Client`] before the
+    /// handshake, so even the `HELLO` exchange runs under chaos.
+    ///
+    /// # Errors
+    ///
+    /// As for [`connect`](Self::connect), plus injected faults (resets,
+    /// stalls) surfacing as transport errors.
+    pub fn connect_with(
+        addr: &str,
+        name: &str,
+        chaos: Option<&FaultPlan>,
+    ) -> io::Result<ServeClient> {
+        // Retry in 20 ms slices capped at the remaining window (the same
+        // slicing as the fleet worker's connect) so the window bounds
+        // how long a client lingers instead of overshooting.
+        let deadline = Instant::now() + CONNECT_WINDOW;
+        let slice = Duration::from_millis(20);
         let stream = loop {
             match TcpStream::connect(addr) {
                 Ok(stream) => break stream,
-                Err(e) if start.elapsed() < CONNECT_WINDOW => {
-                    let _ = e;
-                    std::thread::sleep(Duration::from_millis(50));
+                Err(e) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(slice.min(deadline - now));
                 }
-                Err(e) => return Err(e),
             }
         };
         stream.set_nodelay(true)?;
+        let stream = FaultyTransport::from_plan(stream, chaos, Role::Client)?;
         let mut writer = stream.try_clone()?;
         let mut reader = LineReader::new(stream);
         let hello = ToServer::Hello {
@@ -112,9 +138,37 @@ impl ServeClient {
     }
 
     fn request(&mut self, message: &ToServer) -> io::Result<ToClient> {
+        // Replies to chaos-duplicated deliveries of an earlier DECIDE
+        // arrive before this request's reply; drain any the caller has
+        // not already consumed so request/reply framing stays aligned.
+        self.drain_duplicate_replies()?;
         self.writer
             .write_all(format!("{}\n", message.to_line()).as_bytes())?;
         read_reply(&mut self.reader)
+    }
+
+    /// Reads (and returns) the extra replies the server owes this
+    /// connection because a chaos transport duplicated request lines in
+    /// flight. Without fault injection this is always empty. A caller
+    /// that wants to *verify* duplicate deliveries calls this right
+    /// after [`decide_batch`](Self::decide_batch); otherwise the next
+    /// request drains leftovers silently.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or an unparseable reply line (`ERR` replies are
+    /// returned as values here, not errors — a duplicated request may
+    /// legitimately be re-rejected).
+    pub fn drain_duplicate_replies(&mut self) -> io::Result<Vec<ToClient>> {
+        let owed = self.writer.take_pending_dup_replies();
+        let mut extra = Vec::with_capacity(owed);
+        for _ in 0..owed {
+            let line = self.reader.read_line()?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+            })?;
+            extra.push(ToClient::parse(&line).map_err(protocol_error)?);
+        }
+        Ok(extra)
     }
 
     /// Sends one `DECIDE` batch; returns the table version that answered
@@ -191,6 +245,7 @@ impl ServeClient {
             batches,
             swaps,
             clients,
+            errors,
         } = reply
         else {
             return Err(protocol_error(format!(
@@ -204,6 +259,7 @@ impl ServeClient {
             batches,
             swaps,
             clients,
+            errors,
         })
     }
 
@@ -237,9 +293,11 @@ pub struct ServerStat {
     pub swaps: u64,
     /// Clients ever accepted.
     pub clients: u64,
+    /// `ERR` replies sent (rejected requests and failed swaps).
+    pub errors: u64,
 }
 
-fn read_reply(reader: &mut LineReader<TcpStream>) -> io::Result<ToClient> {
+fn read_reply(reader: &mut LineReader<FaultyTransport>) -> io::Result<ToClient> {
     let line = reader
         .read_line()?
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"))?;

@@ -11,14 +11,21 @@
 //! exact torn-state failure hot-swap must never produce.
 
 use std::collections::BTreeSet;
+use std::io;
 use std::time::{Duration, Instant};
 
+use cohmeleon_chaos::FaultPlan;
 use cohmeleon_core::frozen::{mask_modes, FrozenSnapshot};
-use cohmeleon_core::{AccelInstanceId, AccelKindId};
+use cohmeleon_core::{AccelInstanceId, AccelKindId, CoherenceMode};
 
 use crate::client::ServeClient;
 use crate::histogram::LogHistogram;
-use crate::protocol::Query;
+use crate::protocol::{Query, ToClient};
+
+/// Under chaos, give up after this many consecutive failed attempts
+/// with no progress (a connection that never yields a batch means the
+/// server is gone, not merely faulty).
+const MAX_CONSECUTIVE_FAILURES: usize = 64;
 
 /// A mid-run snapshot swap the load run should trigger.
 #[derive(Debug, Clone)]
@@ -51,6 +58,12 @@ pub struct LoadOptions {
     /// response whose version has an entry here is recomputed locally;
     /// responses without one are only counted (`unverified`).
     pub verify: Vec<FrozenSnapshot>,
+    /// Seeded network fault injection: when set, every client connection
+    /// is wrapped in a fault-injecting transport, and clients survive
+    /// injected faults by reconnecting and retrying the interrupted
+    /// batch — same queries, so the verified stream is unchanged. `None`
+    /// is the plain direct path (any error aborts the run, as before).
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for LoadOptions {
@@ -64,6 +77,7 @@ impl Default for LoadOptions {
             kinds: 4,
             swap: None,
             verify: Vec::new(),
+            chaos: None,
         }
     }
 }
@@ -86,6 +100,12 @@ pub struct LoadReport {
     pub mismatches: u64,
     /// Responses whose claimed version had no snapshot to verify against.
     pub unverified: u64,
+    /// Clean connection errors survived by reconnecting (always 0
+    /// without fault injection).
+    pub conn_errors: u64,
+    /// Extra replies to chaos-duplicated `DECIDE` lines that were
+    /// drained and verified like any other response.
+    pub dup_replies: u64,
 }
 
 impl LoadReport {
@@ -106,6 +126,8 @@ struct ClientReport {
     versions_seen: BTreeSet<u64>,
     mismatches: u64,
     unverified: u64,
+    conn_errors: u64,
+    dup_replies: u64,
 }
 
 fn xorshift64star(state: &mut u64) -> u64 {
@@ -164,14 +186,42 @@ fn verify_batch(
     (mismatches, 0)
 }
 
-fn run_client(addr: &str, index: usize, options: &LoadOptions) -> std::io::Result<ClientReport> {
-    let mut client = ServeClient::connect(addr, &format!("loadgen-{index}"))?;
-    let states = client.states();
-    let mut rng = options
-        .seed
-        .wrapping_add(index as u64)
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        | 1;
+/// Verifies the extra replies a chaos transport's duplicated `DECIDE`
+/// lines earned. A duplicate delivery must still never produce a wrong
+/// answer: each extra `MODES` is decoded and recomputed against the
+/// snapshot of the version *it* claims (a swap may land between the two
+/// deliveries, so the versions can legitimately differ).
+fn verify_dup_replies(
+    options: &LoadOptions,
+    queries: &[Query],
+    extras: Vec<ToClient>,
+    report: &mut ClientReport,
+) {
+    for reply in extras {
+        let ToClient::Modes { version, modes } = reply else {
+            continue;
+        };
+        report.dup_replies += 1;
+        report.versions_seen.insert(version);
+        if modes.len() != queries.len()
+            || modes.iter().any(|&m| m as usize >= CoherenceMode::COUNT)
+        {
+            report.mismatches += 1;
+            continue;
+        }
+        let decoded: Vec<CoherenceMode> = modes
+            .iter()
+            .map(|&m| CoherenceMode::from_index(m as usize))
+            .collect();
+        let (mismatches, unverified) = verify_batch(options, version, queries, &decoded);
+        report.mismatches += mismatches;
+        report.unverified += unverified;
+    }
+}
+
+fn run_client(addr: &str, index: usize, options: &LoadOptions) -> io::Result<ClientReport> {
+    let chaos = options.chaos.as_ref();
+    let name = format!("loadgen-{index}");
     let mut report = ClientReport {
         batches: 0,
         decisions: 0,
@@ -179,27 +229,87 @@ fn run_client(addr: &str, index: usize, options: &LoadOptions) -> std::io::Resul
         versions_seen: BTreeSet::new(),
         mismatches: 0,
         unverified: 0,
+        conn_errors: 0,
+        dup_replies: 0,
     };
-    let mut queries = Vec::with_capacity(options.batch_size);
-    for batch in 0..options.batches {
+    let mut rng = options
+        .seed
+        .wrapping_add(index as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        | 1;
+    let mut client: Option<ServeClient> = None;
+    let mut swapped = false;
+    let mut failures = 0usize;
+    // The current batch's queries survive reconnects: a batch is retried
+    // with the *same* queries until verified, so the deterministic query
+    // stream is identical whatever faults the schedule injects.
+    let mut pending: Option<Vec<Query>> = None;
+    let mut batch = 0;
+    while batch < options.batches {
+        // Any fault funnels here: without chaos it aborts the run (the
+        // pre-chaos behavior); with chaos it is a clean connection error
+        // — counted, reconnected, and the batch retried.
+        macro_rules! survive {
+            ($e:expr) => {{
+                let e = $e;
+                if chaos.is_none() {
+                    return Err(e);
+                }
+                report.conn_errors += 1;
+                failures += 1;
+                if failures > MAX_CONSECUTIVE_FAILURES {
+                    return Err(e);
+                }
+                client = None;
+                continue;
+            }};
+        }
+        let c = match &mut client {
+            Some(c) => c,
+            None => match ServeClient::connect_with(addr, &name, chaos) {
+                Ok(c) => client.insert(c),
+                Err(e) => survive!(e),
+            },
+        };
         if let Some(plan) = &options.swap {
-            if index == 0 && batch == plan.after_batches {
-                client.swap(&plan.path)?;
+            if index == 0 && batch == plan.after_batches && !swapped {
+                match c.swap(&plan.path) {
+                    Ok(_) => swapped = true,
+                    Err(e) => survive!(e),
+                }
             }
         }
-        queries.clear();
-        for _ in 0..options.batch_size {
-            queries.push(gen_query(&mut rng, states, options));
-        }
+        let states = c.states();
+        let queries = pending.get_or_insert_with(|| {
+            (0..options.batch_size)
+                .map(|_| gen_query(&mut rng, states, options))
+                .collect()
+        });
         let sent = Instant::now();
-        let (version, modes) = client.decide_batch(&queries)?;
+        let (version, modes) = match c.decide_batch(queries) {
+            Ok(reply) => reply,
+            Err(e) => survive!(e),
+        };
         report.histogram.record(sent.elapsed().as_nanos() as u64);
         report.batches += 1;
         report.decisions += modes.len() as u64;
         report.versions_seen.insert(version);
-        let (mismatches, unverified) = verify_batch(options, version, &queries, &modes);
+        let (mismatches, unverified) = verify_batch(options, version, queries, &modes);
         report.mismatches += mismatches;
         report.unverified += unverified;
+        match c.drain_duplicate_replies() {
+            Ok(extras) => verify_dup_replies(options, queries, extras, &mut report),
+            Err(_) if chaos.is_some() => {
+                // The duplicate's reply was lost to a fault after the
+                // primary verified; the batch still counts.
+                report.conn_errors += 1;
+                client = None;
+            }
+            Err(e) => return Err(e),
+        }
+        pending = None;
+        failures = 0;
+        batch += 1;
     }
     Ok(report)
 }
@@ -209,8 +319,11 @@ fn run_client(addr: &str, index: usize, options: &LoadOptions) -> std::io::Resul
 ///
 /// # Errors
 ///
-/// The first client error encountered (connection failure, transport
-/// error, `ERR` reply).
+/// Without fault injection: the first client error encountered
+/// (connection failure, transport error, `ERR` reply). With a chaos
+/// plan: only an error that survives the consecutive-failure cap's
+/// reconnect attempts — injected faults are absorbed and counted in
+/// [`LoadReport::conn_errors`].
 pub fn run_load(addr: &str, options: &LoadOptions) -> std::io::Result<LoadReport> {
     let start = Instant::now();
     let results: Vec<std::io::Result<ClientReport>> = std::thread::scope(|scope| {
@@ -231,6 +344,8 @@ pub fn run_load(addr: &str, options: &LoadOptions) -> std::io::Result<LoadReport
         versions_seen: BTreeSet::new(),
         mismatches: 0,
         unverified: 0,
+        conn_errors: 0,
+        dup_replies: 0,
     };
     for result in results {
         let client = result?;
@@ -240,6 +355,8 @@ pub fn run_load(addr: &str, options: &LoadOptions) -> std::io::Result<LoadReport
         report.versions_seen.extend(client.versions_seen);
         report.mismatches += client.mismatches;
         report.unverified += client.unverified;
+        report.conn_errors += client.conn_errors;
+        report.dup_replies += client.dup_replies;
     }
     Ok(report)
 }

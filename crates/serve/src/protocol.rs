@@ -16,17 +16,22 @@
 //! | client → server | `SWAP <path>` | load a new snapshot from `<path>` and flip atomically |
 //! | server → client | `SWAPPED <version> <scope> <tables>` | the new live version |
 //! | client → server | `STAT` | ask for server counters |
-//! | server → client | `STAT <version> <decisions> <batches> <swaps> <clients>` | current counters |
+//! | server → client | `STAT <version> <decisions> <batches> <swaps> <clients> <errors>` | current counters |
 //! | client → server | `SHUTDOWN` | stop the server once connections drain |
 //! | server → client | `BYE` | shutdown acknowledged |
-//! | server → client | `ERR <message>` | request rejected; the server closes the connection |
+//! | server → client | `ERR <message>` | request rejected; the connection stays open |
 //!
 //! Every query in one `DECIDE` batch is answered from exactly one table
 //! version — the server resolves its live snapshot pointer once per
 //! batch, and `MODES` names the version used, so a client can attribute
 //! every response to one table even while `SWAP`s land mid-traffic.
-//! A protocol violation is answered with `ERR` and a close; other
-//! connections are unaffected.
+//! After the handshake, every rejection — unknown verb, malformed or
+//! oversized (> [`MAX_BATCH`]) batch, out-of-range query, failed swap —
+//! is answered with `ERR` and counted, and the connection stays usable:
+//! line framing is intact (the offending line was fully consumed), so
+//! one bad request never costs a client its connection. Only a broken
+//! *handshake* (anything before a valid client `HELLO`) closes the
+//! connection. Other connections are never affected either way.
 
 use std::fmt;
 use std::io::{self, Read};
@@ -35,6 +40,11 @@ use cohmeleon_core::router::AgentScope;
 
 /// The protocol version token both `HELLO`s must carry.
 pub const PROTOCOL_VERSION: &str = "serve/1";
+
+/// The most queries one `DECIDE` line may carry. A cap keeps one client
+/// from making the server buffer and answer an unbounded batch; an
+/// oversized batch is rejected with `ERR` (the connection stays open).
+pub const MAX_BATCH: usize = 1024;
 
 fn bad(line: &str, why: &str) -> String {
     format!("bad serve message `{line}`: {why}")
@@ -193,6 +203,12 @@ impl ToServer {
                     .ok_or_else(|| bad(line, "missing count"))?
                     .parse()
                     .map_err(|_| bad(line, "non-numeric count"))?;
+                if n > MAX_BATCH {
+                    return Err(bad(
+                        line,
+                        &format!("batch of {n} exceeds the {MAX_BATCH}-query cap"),
+                    ));
+                }
                 let queries: Vec<Query> = parts
                     .map(Query::parse_token)
                     .collect::<Result<_, _>>()
@@ -257,8 +273,8 @@ pub enum ToClient {
         /// Number of agent tables in the new snapshot.
         tables: usize,
     },
-    /// `STAT <version> <decisions> <batches> <swaps> <clients>` — server
-    /// counters.
+    /// `STAT <version> <decisions> <batches> <swaps> <clients> <errors>`
+    /// — server counters.
     Stat {
         /// The live table version.
         version: u64,
@@ -270,8 +286,11 @@ pub enum ToClient {
         swaps: u64,
         /// Total clients ever accepted.
         clients: u64,
+        /// Total `ERR` replies sent (rejected requests and failed swaps).
+        errors: u64,
     },
-    /// `ERR <message>` — request rejected; the connection closes next.
+    /// `ERR <message>` — request rejected; the connection stays open
+    /// (only a broken handshake closes it).
     Err {
         /// Human-readable reason.
         message: String,
@@ -309,7 +328,8 @@ impl ToClient {
                 batches,
                 swaps,
                 clients,
-            } => format!("STAT {version} {decisions} {batches} {swaps} {clients}"),
+                errors,
+            } => format!("STAT {version} {decisions} {batches} {swaps} {clients} {errors}"),
             ToClient::Err { message } => format!("ERR {message}"),
             ToClient::Bye => "BYE".into(),
         }
@@ -367,6 +387,7 @@ impl ToClient {
                     batches: parse_u64(line, parts.next())?,
                     swaps: parse_u64(line, parts.next())?,
                     clients: parse_u64(line, parts.next())?,
+                    errors: parse_u64(line, parts.next())?,
                 })
             }
             "ERR" => {
@@ -545,6 +566,7 @@ mod tests {
                 batches: 10,
                 swaps: 1,
                 clients: 4,
+                errors: 2,
             },
             ToClient::Err {
                 message: "state 999 out of range".into(),
@@ -561,6 +583,13 @@ mod tests {
         assert!(ToServer::parse("DECIDE 2 1:0:5:15").is_err());
         assert!(ToServer::parse("DECIDE 0").is_err());
         assert!(ToServer::parse("DECIDE x 1:0:5:15").is_err());
+    }
+
+    #[test]
+    fn decide_rejects_oversized_batches_by_claimed_count() {
+        let line = format!("DECIDE {} 1:0:5:15", MAX_BATCH + 1);
+        let why = ToServer::parse(&line).unwrap_err();
+        assert!(why.contains("exceeds"), "unexpected error: {why}");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use cohmeleon_chaos::{FaultPlan, FaultyTransport, Role};
 use cohmeleon_core::frozen::{mask_modes, FrozenSnapshot};
 use cohmeleon_core::{AccelInstanceId, AccelKindId};
 
@@ -39,12 +40,17 @@ pub struct ServeOptions {
     /// Handler read timeout — how quickly a handler notices shutdown
     /// under a silent peer.
     pub read_timeout: Duration,
+    /// Seeded network fault injection: when set, every accepted client
+    /// connection is wrapped in a [`FaultyTransport`] playing
+    /// [`Role::Server`]. `None` is the plain direct path.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
             read_timeout: Duration::from_millis(200),
+            chaos: None,
         }
     }
 }
@@ -60,6 +66,8 @@ pub struct ServerReport {
     pub swaps: u64,
     /// Clients accepted over the server's lifetime.
     pub clients: u64,
+    /// `ERR` replies sent (rejected requests and failed swaps).
+    pub errors: u64,
     /// The live table version at shutdown.
     pub final_version: u64,
 }
@@ -76,6 +84,7 @@ struct Shared {
     batches: AtomicU64,
     swaps: AtomicU64,
     clients: AtomicU64,
+    errors: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -107,6 +116,7 @@ pub fn run_server(
         batches: AtomicU64::new(0),
         swaps: AtomicU64::new(0),
         clients: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
         shutdown: AtomicBool::new(false),
     };
 
@@ -152,25 +162,34 @@ pub fn run_server(
         batches: shared.batches.load(Ordering::Relaxed),
         swaps: shared.swaps.load(Ordering::Relaxed),
         clients: shared.clients.load(Ordering::Relaxed),
+        errors: shared.errors.load(Ordering::Relaxed),
         final_version: shared.live.load().version,
     })
 }
 
-fn send(writer: &mut TcpStream, message: &ToClient) -> io::Result<()> {
+fn send(writer: &mut FaultyTransport, message: &ToClient) -> io::Result<()> {
     writer.write_all(format!("{}\n", message.to_line()).as_bytes())
 }
 
-/// Sends `ERR <why>` and signals the caller to close the connection.
-fn reject(writer: &mut TcpStream, why: String) {
+/// Sends `ERR <why>` and counts it. The caller decides whether the
+/// connection survives: after the handshake it always does (the bad line
+/// was fully consumed, so framing is intact); before it, it closes.
+fn reject(shared: &Shared, writer: &mut FaultyTransport, why: String) {
+    shared.errors.fetch_add(1, Ordering::Relaxed);
     let _ = send(writer, &ToClient::Err { message: why });
 }
 
 /// One client connection, handled on its own thread until the client
-/// leaves, violates the protocol, or shutdown lands. All failure modes
-/// converge on closing this socket; the server and its other connections
-/// are unaffected.
+/// leaves, breaks the handshake, or shutdown lands. After the handshake
+/// a rejected request (`ERR`) leaves the connection usable; all other
+/// failure modes converge on closing this socket. The server and its
+/// other connections are unaffected either way.
 fn serve_client(stream: TcpStream, shared: &Shared, options: &ServeOptions) {
     let _ = stream.set_nodelay(true);
+    let Ok(stream) = FaultyTransport::from_plan(stream, options.chaos.as_ref(), Role::Server)
+    else {
+        return;
+    };
     if stream.set_read_timeout(Some(options.read_timeout)).is_err() {
         return;
     }
@@ -198,13 +217,18 @@ fn serve_client(stream: TcpStream, shared: &Shared, options: &ServeOptions) {
         let message = match ToServer::parse(&line) {
             Ok(message) => message,
             Err(why) => {
-                reject(&mut writer, why);
+                // Unknown verb / malformed line: the line was consumed
+                // whole, so mid-session the connection stays usable.
+                reject(shared, &mut writer, why);
+                if greeted {
+                    continue;
+                }
                 return;
             }
         };
         if !greeted {
             let ToServer::Hello { .. } = message else {
-                reject(&mut writer, format!("expected HELLO, got `{line}`"));
+                reject(shared, &mut writer, format!("expected HELLO, got `{line}`"));
                 return;
             };
             let live = shared.live.load();
@@ -222,8 +246,7 @@ fn serve_client(stream: TcpStream, shared: &Shared, options: &ServeOptions) {
         }
         match message {
             ToServer::Hello { .. } => {
-                reject(&mut writer, "unexpected mid-session HELLO".into());
-                return;
+                reject(shared, &mut writer, "unexpected mid-session HELLO".into());
             }
             ToServer::Decide { queries } => {
                 // One load for the whole batch: every query is answered
@@ -244,8 +267,8 @@ fn serve_client(stream: TcpStream, shared: &Shared, options: &ServeOptions) {
                         }
                     }
                     Err(why) => {
-                        reject(&mut writer, why);
-                        return;
+                        // A bad query rejects the batch, not the client.
+                        reject(shared, &mut writer, why);
                     }
                 }
             }
@@ -263,7 +286,7 @@ fn serve_client(stream: TcpStream, shared: &Shared, options: &ServeOptions) {
                 Err(why) => {
                     // A failed swap is not a protocol violation: the old
                     // table stays live and the client may retry.
-                    let _ = send(&mut writer, &ToClient::Err { message: why });
+                    reject(shared, &mut writer, why);
                 }
             },
             ToServer::Stat => {
@@ -273,6 +296,7 @@ fn serve_client(stream: TcpStream, shared: &Shared, options: &ServeOptions) {
                     batches: shared.batches.load(Ordering::Relaxed),
                     swaps: shared.swaps.load(Ordering::Relaxed),
                     clients: shared.clients.load(Ordering::Relaxed),
+                    errors: shared.errors.load(Ordering::Relaxed),
                 };
                 if send(&mut writer, &reply).is_err() {
                     return;

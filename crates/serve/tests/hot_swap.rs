@@ -135,6 +135,7 @@ fn failed_swap_keeps_the_old_table_live() {
     client.shutdown().expect("shutdown");
     let report = server.join().expect("server thread").expect("server ran");
     assert_eq!(report.swaps, 0);
+    assert_eq!(report.errors, 2, "both failed swaps must be counted");
     let _ = std::fs::remove_file(&path_a);
     let _ = std::fs::remove_file(&garbage);
 }
@@ -157,7 +158,8 @@ fn torn_connections_and_garbage_do_not_kill_the_server() {
         // Dropped here: the server must treat the tail as torn and move on.
     }
 
-    // A peer that sends garbage: gets ERR, then the connection closes.
+    // A peer that sends garbage mid-session: gets ERR, and because the
+    // bad line was consumed whole the connection stays usable.
     {
         let mut rude = TcpStream::connect(&addr).expect("connect raw");
         rude.write_all(b"HELLO serve/1 rude-peer\n").expect("hello");
@@ -168,9 +170,13 @@ fn torn_connections_and_garbage_do_not_kill_the_server() {
         line.clear();
         reader.read_line(&mut line).expect("err line");
         assert!(line.starts_with("ERR "), "got `{line}`");
+        rude.write_all(b"STAT\n").expect("stat after err");
         line.clear();
-        let n = reader.read_line(&mut line).expect("eof");
-        assert_eq!(n, 0, "server must close after ERR, got `{line}`");
+        reader.read_line(&mut line).expect("stat line");
+        assert!(
+            line.starts_with("STAT "),
+            "connection must stay usable after ERR, got `{line}`"
+        );
     }
 
     // A peer that skips the handshake entirely.

@@ -66,6 +66,11 @@
 //!   client, the in-engine `RemotePolicy` adapter (bit-identical to
 //!   local dispatch) and the verifying load generator (see the `sweep
 //!   freeze`/`sweep serve`/`sweep clients` subcommands).
+//! * [`chaos`] — deterministic network fault injection for the two
+//!   runtimes above: a seeded, replayable `FaultyTransport` (split
+//!   writes, stalls, resets, duplicated idempotent lines, reordered
+//!   heartbeats) behind `Option<FaultPlan>` hooks in the queen, worker,
+//!   server and clients, soak-tested by the `chaos_soak` harness.
 //! * [`soc`] — the simulated SoC substrate (tiles, Table-4 configurations,
 //!   hardware monitors, the accelerator-invocation API).
 //! * [`accel`] — accelerator communication models and the traffic generator.
@@ -74,6 +79,7 @@
 
 pub use cohmeleon_accel as accel;
 pub use cohmeleon_cache as cache;
+pub use cohmeleon_chaos as chaos;
 pub use cohmeleon_core as core;
 pub use cohmeleon_exp as exp;
 pub use cohmeleon_fleet as fleet;
