@@ -1,0 +1,43 @@
+//! Cross-check of the two tag-walk modes against the committed goldens.
+//!
+//! The suite goldens in `suite_goldens.rs` were recorded from the
+//! per-line reference implementation and are exercised there under the
+//! default run-level walk. This binary replays the soc1 suite with the
+//! *process-global* default flipped to `WalkMode::PerLine` and asserts
+//! the same hashes — so the reference mode is pinned to the identical
+//! observable machine, through the full engine, not just the paired
+//! controllers of `crates/cache/tests/batched.rs`. (A separate test
+//! binary because the default walk mode is process-global state; the
+//! golden tests must not observe the flip.)
+
+use cohmeleon_bench::tracked::{suite_grid, TRAIN_ITERATIONS};
+use cohmeleon_cache::{set_default_walk_mode, WalkMode};
+use cohmeleon_exp::{CellResult, Serial, SweepGrid};
+use cohmeleon_soc::config::soc1;
+use cohmeleon_workloads::generator::GeneratorParams;
+
+fn hashes(grid: &SweepGrid) -> Vec<u64> {
+    let mut out = vec![0u64; grid.num_cells()];
+    grid.execute(&Serial, &mut |result: CellResult| {
+        out[grid.cell_index(result.cell)] = result.result.structural_hash();
+    });
+    out
+}
+
+#[test]
+fn per_line_reference_reproduces_the_suite_goldens() {
+    let grid = suite_grid(soc1(), &GeneratorParams::quick(), TRAIN_ITERATIONS);
+    set_default_walk_mode(WalkMode::PerLine);
+    let reference = hashes(&grid);
+    set_default_walk_mode(WalkMode::Run);
+    let run = hashes(&grid);
+    assert_eq!(
+        reference,
+        vec![0x987c_ae79_cfe3_cc73, 0xe235_0979_6cec_0fca, 0x49cb_7da5_f241_9441],
+        "per-line reference moved — modeled behaviour changed"
+    );
+    assert_eq!(
+        run, reference,
+        "run-level walk diverged from the per-line reference"
+    );
+}

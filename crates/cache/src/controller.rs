@@ -13,6 +13,8 @@
 //! * **Owner/sharer exclusivity** — an entry has an owner or sharers, never
 //!   both.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use cohmeleon_core::PartitionId;
 
 use crate::effects::{AccessEffects, FlushEffects};
@@ -20,6 +22,51 @@ use crate::geometry::{CacheGeometry, LineAddr};
 use crate::l2::L2Cache;
 use crate::llc::{LlcEntry, LlcPartition, SharerSet};
 use crate::mesi::MesiState;
+use crate::tagarray::{Probe, TagStats};
+
+/// How the controller walks the tag arrays. Both modes produce identical
+/// observable behaviour — same hits, victims, effects, directory state and
+/// LRU evolution as seen through any subsequent probe — and differ only in
+/// how many set traversals they spend getting there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkMode {
+    /// The per-line reference walk: classic two-pass probes (tag scan plus
+    /// free-way/arg-min scan on a miss), per-victim directory lookups, and
+    /// double-lookup owner recalls. This is the behavioural baseline the
+    /// property suite pins the run-level walk against, and the denominator
+    /// of the tracked `tag_walk` operation-count ratio.
+    PerLine,
+    /// The run-level walk: fused single-traversal probes, verified way
+    /// hints for L2-victim directory updates, single-scan owner recalls and
+    /// set-stripe batch resolution for large LLC-coherent bursts.
+    Run,
+}
+
+/// Process-wide default [`WalkMode`] for newly built controllers
+/// (`Run` unless overridden; the perf harness flips it to measure the
+/// per-line reference).
+static DEFAULT_WALK_MODE: AtomicU8 = AtomicU8::new(1);
+
+/// The process-wide default [`WalkMode`] applied by
+/// [`CoherenceController::new`].
+pub fn default_walk_mode() -> WalkMode {
+    if DEFAULT_WALK_MODE.load(Ordering::Relaxed) == 0 {
+        WalkMode::PerLine
+    } else {
+        WalkMode::Run
+    }
+}
+
+/// Sets the process-wide default [`WalkMode`] for controllers built after
+/// this call. Existing controllers are unaffected; use
+/// [`CoherenceController::set_walk_mode`] for those.
+pub fn set_default_walk_mode(mode: WalkMode) {
+    let v = match mode {
+        WalkMode::PerLine => 0,
+        WalkMode::Run => 1,
+    };
+    DEFAULT_WALK_MODE.store(v, Ordering::Relaxed);
+}
 
 /// Identifies one private (L2) cache: processors first, then fully-coherent
 /// accelerator tiles, in SoC construction order.
@@ -113,6 +160,12 @@ pub struct CoherenceController {
     map: AddressMap,
     l2s: Vec<L2Cache>,
     llcs: Vec<LlcPartition>,
+    walk_mode: WalkMode,
+    /// Reusable buffers for the set-stripe range walk (allocation-free hot
+    /// path): the members of the set currently being resolved and their
+    /// per-member probe outcomes.
+    stripe_members: Vec<LineAddr>,
+    stripe_out: Vec<Probe>,
 }
 
 impl CoherenceController {
@@ -127,12 +180,42 @@ impl CoherenceController {
         let llcs = (0..map.num_partitions())
             .map(|_| LlcPartition::new(llc_geometry))
             .collect();
-        CoherenceController { map, l2s, llcs }
+        CoherenceController {
+            map,
+            l2s,
+            llcs,
+            walk_mode: default_walk_mode(),
+            stripe_members: Vec::new(),
+            stripe_out: Vec::new(),
+        }
     }
 
     /// The address map.
     pub fn address_map(&self) -> AddressMap {
         self.map
+    }
+
+    /// The tag-walk mode in effect.
+    pub fn walk_mode(&self) -> WalkMode {
+        self.walk_mode
+    }
+
+    /// Overrides the tag-walk mode for this controller (tests and the perf
+    /// harness; observable behaviour is identical in both modes).
+    pub fn set_walk_mode(&mut self, mode: WalkMode) {
+        self.walk_mode = mode;
+    }
+
+    /// Tag-walk operation counters summed over every L2 and LLC partition.
+    pub fn tag_stats(&self) -> TagStats {
+        let mut total = TagStats::default();
+        for l2 in &self.l2s {
+            total.merge(l2.tag_stats());
+        }
+        for llc in &self.llcs {
+            total.merge(llc.tag_stats());
+        }
+        total
     }
 
     /// Number of private caches.
@@ -265,9 +348,14 @@ impl CoherenceController {
         fx: &mut AccessEffects,
     ) -> bool {
         let c = cache.0 as usize;
+        let run = self.walk_mode == WalkMode::Run;
 
         // 1. Private-cache lookup (single scan: hit way or fill slot).
-        let lp = self.l2s[c].probe_in_set(l2_set, line);
+        let lp = if run {
+            self.l2s[c].probe_in_set_fused(l2_set, line)
+        } else {
+            self.l2s[c].probe_in_set(l2_set, line)
+        };
         if lp.hit {
             let state = self.l2s[c].state_at(lp.way);
             if !write || state.grants_write() {
@@ -278,13 +366,20 @@ impl CoherenceController {
                 self.l2s[c].count_hit();
                 return true;
             }
-            // Write to a Shared line: upgrade through the directory.
+            // Write to a Shared line: upgrade through the directory. The
+            // line is L2-resident, so its memoised LLC home way replays
+            // the directory hit without a scan (identical tick + restamp).
             fx.reached_llc = true;
             fx.llc_hit = true;
             self.llcs[p].count_hit();
-            let entry = self.llcs[p]
-                .lookup(line)
-                .expect("inclusion: upgraded line resident in LLC");
+            let home = self.l2s[c].home_way(lp.way) as usize;
+            let entry = if run && self.llcs[p].touch_verified(home, line) {
+                self.llcs[p].entry_at_mut(home)
+            } else {
+                self.llcs[p]
+                    .lookup(line)
+                    .expect("inclusion: upgraded line resident in LLC")
+            };
             let mut others = entry.sharers;
             others.remove(cache);
             entry.sharers.drain();
@@ -337,16 +432,10 @@ impl CoherenceController {
         // just missed).
         if let Some(owner_cache) = owner {
             fx.recalls += 1;
-            let o = owner_cache.0 as usize;
             let owner_state = if write {
-                self.l2s[o].invalidate(line)
+                self.l2s[owner_cache.0 as usize].invalidate(line)
             } else {
-                // Downgrade M/E to S on a read.
-                let st = self.l2s[o].lookup(line).copied();
-                if let Some(s) = self.l2s[o].lookup(line) {
-                    *s = MesiState::Shared;
-                }
-                st
+                self.recall_downgrade(owner_cache, line)
             };
             if owner_state == Some(MesiState::Modified) {
                 // Recalled dirty data lands in the LLC.
@@ -360,11 +449,54 @@ impl CoherenceController {
             }
         }
 
-        // 4. Fill into the requester's L2; handle its victim.
-        if let Some(victim) = self.l2s[c].insert_at(lp, line, new_state) {
-            self.handle_l2_victim(cache, victim.line, victim.state, fx);
+        // 4. Fill into the requester's L2; handle its victim. The slot the
+        // victim occupied memoises its LLC home way (recorded when the
+        // victim itself filled), so the writeback resolves its directory
+        // entry with a verified zero-scan touch; the slot then memoises
+        // the new line's home way for its own eventual eviction.
+        let (fill_way, victim) = self.l2s[c].insert_at(lp, line, new_state);
+        let victim_home = self.l2s[c].home_way(fill_way) as usize;
+        self.l2s[c].set_home_way(fill_way, llc_way as u32);
+        if let Some(victim) = victim {
+            self.handle_l2_victim(
+                cache,
+                victim.line,
+                victim.state,
+                run.then_some(victim_home),
+                fx,
+            );
         }
         false
+    }
+
+    /// Downgrades the recalled owner's copy of `line` from M/E to S,
+    /// returning its prior state. The per-line reference spends two L2
+    /// lookups (read, then write back Shared); the run-level walk replays
+    /// the identical two clock ticks and restamps with one fused traversal
+    /// plus a verified zero-scan touch.
+    fn recall_downgrade(&mut self, owner: CacheId, line: LineAddr) -> Option<MesiState> {
+        let o = owner.0 as usize;
+        if self.walk_mode == WalkMode::Run {
+            let o_set = self.l2s[o].set_of(line);
+            let pr = self.l2s[o].probe_in_set_fused(o_set, line);
+            if pr.hit {
+                let st = self.l2s[o].state_at(pr.way);
+                self.l2s[o].touch_verified(pr.way, line);
+                *self.l2s[o].state_at_mut(pr.way) = MesiState::Shared;
+                Some(st)
+            } else {
+                // Unreachable while the directory is consistent; replay the
+                // reference's second (missing) lookup tick regardless.
+                self.l2s[o].probe_in_set_fused(o_set, line);
+                None
+            }
+        } else {
+            let st = self.l2s[o].lookup(line).copied();
+            if let Some(s) = self.l2s[o].lookup(line) {
+                *s = MesiState::Shared;
+            }
+            st
+        }
     }
 
     /// The (single) partition a `count`-line range starting at `first`
@@ -388,19 +520,37 @@ impl CoherenceController {
 
     /// Processes an L2 victim: dirty victims write back into the LLC, clean
     /// victims only update the directory.
+    ///
+    /// `hint` is the victim's memoised LLC home way (run-level walk only);
+    /// inclusion pins an L2-resident line's LLC way, so after the O(1) tag
+    /// verification the directory update costs zero traversals.
     fn handle_l2_victim(
         &mut self,
         cache: CacheId,
         line: LineAddr,
         state: MesiState,
+        hint: Option<usize>,
         fx: &mut AccessEffects,
     ) {
         let p = self.map.partition_of(line).0 as usize;
-        let Some(entry) = self.llcs[p].lookup(line) else {
-            // Inclusion guarantees residency; tolerate release builds.
-            debug_assert!(false, "inclusion violated: L2 victim {line} absent from LLC");
-            return;
+        let way = match hint {
+            Some(w) if self.llcs[p].touch_verified(w, line) => w,
+            _ => {
+                let set = self.llcs[p].set_of(line);
+                let pr = if self.walk_mode == WalkMode::Run {
+                    self.llcs[p].probe_in_set_fused(set, line)
+                } else {
+                    self.llcs[p].probe_in_set(set, line)
+                };
+                if !pr.hit {
+                    // Inclusion guarantees residency; tolerate release builds.
+                    debug_assert!(false, "inclusion violated: L2 victim {line} absent from LLC");
+                    return;
+                }
+                pr.way
+            }
         };
+        let entry = self.llcs[p].entry_at_mut(way);
         match state {
             MesiState::Modified => {
                 entry.dirty = true;
@@ -471,7 +621,8 @@ impl CoherenceController {
         fx: &mut AccessEffects,
     ) {
         fx.reached_llc = true;
-        let (hit, way) = self.ensure_llc_resident_at(p, llc_set, line, /*needs_data=*/ !write, fx);
+        let (hit, way) =
+            self.ensure_llc_resident_at(p, llc_set, line, /*needs_data=*/ !write, fx);
         if hit {
             fx.llc_hit = true;
             self.llcs[p].count_hit();
@@ -492,15 +643,10 @@ impl CoherenceController {
 
         if let Some(owner_cache) = owner {
             fx.recalls += 1;
-            let o = owner_cache.0 as usize;
             let owner_state = if write {
-                self.l2s[o].invalidate(line)
+                self.l2s[owner_cache.0 as usize].invalidate(line)
             } else {
-                let st = self.l2s[o].lookup(line).copied();
-                if let Some(s) = self.l2s[o].lookup(line) {
-                    *s = MesiState::Shared;
-                }
-                st
+                self.recall_downgrade(owner_cache, line)
             };
             if owner_state == Some(MesiState::Modified) {
                 self.llcs[p].entry_at_mut(way).dirty = true;
@@ -527,9 +673,21 @@ impl CoherenceController {
         fx
     }
 
-    /// A burst of `count` LLC-coherent-DMA line accesses (bit-equivalent to
+    /// A burst of `count` LLC-coherent-DMA line accesses, equivalent to
     /// per-line [`llc_coh_dma_access`](Self::llc_coh_dma_access) with
-    /// accumulated effects).
+    /// accumulated effects.
+    ///
+    /// Under the run-level walk, a burst that wraps the set index (`count`
+    /// exceeds the partition's set count, so sets receive multiple members)
+    /// is decomposed into per-set *stripes* and each stripe is resolved
+    /// against one snapshot of its set
+    /// ([`TagArray::walk_stripe`](crate::tagarray::TagArray::walk_stripe)):
+    /// members keep their
+    /// burst order within the set, victims and effects are identical, and
+    /// cross-set interleaving is immaterial because this path never touches
+    /// the directory (software flushed the private caches) and LLC sets
+    /// share no replacement state. Shorter bursts — and the per-line
+    /// reference mode — take the per-line loop.
     pub fn llc_coh_dma_access_range(
         &mut self,
         first: LineAddr,
@@ -542,6 +700,10 @@ impl CoherenceController {
         }
         let p = self.range_partition(first, count);
         let sets = self.llcs[p].sets();
+        if self.walk_mode == WalkMode::Run && count > sets {
+            self.llc_coh_dma_striped(p, first, count, write, &mut fx);
+            return fx;
+        }
         let mut set = self.llcs[p].set_of(first);
         for i in 0..count {
             self.llc_coh_dma_access_at(p, set, first.offset(i), write, &mut fx);
@@ -553,6 +715,71 @@ impl CoherenceController {
         fx
     }
 
+    /// The set-major stripe walk behind
+    /// [`llc_coh_dma_access_range`](Self::llc_coh_dma_access_range): set
+    /// `s` receives the arithmetic subsequence of the burst with stride
+    /// `sets`, resolved in one snapshot load per set.
+    fn llc_coh_dma_striped(
+        &mut self,
+        p: usize,
+        first: LineAddr,
+        count: u64,
+        write: bool,
+        fx: &mut AccessEffects,
+    ) {
+        fx.reached_llc = true;
+        let CoherenceController {
+            l2s,
+            llcs,
+            stripe_members,
+            stripe_out,
+            ..
+        } = self;
+        let sets = llcs[p].sets();
+        let first_set = llcs[p].set_of(first);
+        let make = |_| if write { LlcEntry::dirty() } else { LlcEntry::clean() };
+        let mut hits = 0u64;
+        for s in 0..sets {
+            // Burst indices landing in set s: first_set + i ≡ s (mod sets).
+            let i0 = (s + sets - first_set) % sets;
+            stripe_members.clear();
+            let mut i = i0;
+            while i < count {
+                stripe_members.push(first.offset(i));
+                i += sets;
+            }
+            debug_assert!(!stripe_members.is_empty(), "count > sets fills every set");
+            llcs[p].walk_stripe(
+                s,
+                stripe_members,
+                stripe_out,
+                // A write marks hit entries dirty in member order, exactly
+                // where the per-line loop would (a later member of the same
+                // stripe may evict them).
+                |_, entry| {
+                    if write {
+                        entry.dirty = true;
+                    }
+                },
+                make,
+                |_, victim| {
+                    Self::back_invalidate_into(l2s, victim.line, victim.state, fx);
+                },
+            );
+            let stripe_hits = stripe_out.iter().filter(|pr| pr.hit).count() as u64;
+            let stripe_misses = stripe_out.len() as u64 - stripe_hits;
+            hits += stripe_hits;
+            if !write {
+                fx.dram_fetches += stripe_misses;
+            }
+            llcs[p].count_hits(stripe_hits);
+            llcs[p].count_misses(stripe_misses);
+        }
+        if hits > 0 {
+            fx.llc_hit = true;
+        }
+    }
+
     fn llc_coh_dma_access_at(
         &mut self,
         p: usize,
@@ -562,7 +789,8 @@ impl CoherenceController {
         fx: &mut AccessEffects,
     ) {
         fx.reached_llc = true;
-        let (hit, way) = self.ensure_llc_resident_at(p, llc_set, line, /*needs_data=*/ !write, fx);
+        let (hit, way) =
+            self.ensure_llc_resident_at(p, llc_set, line, /*needs_data=*/ !write, fx);
         if hit {
             fx.llc_hit = true;
             self.llcs[p].count_hit();
@@ -587,17 +815,22 @@ impl CoherenceController {
         needs_data: bool,
         fx: &mut AccessEffects,
     ) -> (bool, usize) {
-        let probe = self.llcs[p].probe_in_set(llc_set, line);
+        let probe = if self.walk_mode == WalkMode::Run {
+            self.llcs[p].probe_in_set_fused(llc_set, line)
+        } else {
+            self.llcs[p].probe_in_set(llc_set, line)
+        };
         if probe.hit {
             return (true, probe.way);
         }
         if needs_data {
             fx.dram_fetches += 1;
         }
-        if let Some(victim) = self.llcs[p].insert_at(probe, line, LlcEntry::clean()) {
+        let (way, victim) = self.llcs[p].insert_at(probe, line, LlcEntry::clean());
+        if let Some(victim) = victim {
             Self::back_invalidate_into(&mut self.l2s, victim.line, victim.state, fx);
         }
-        (false, probe.way)
+        (false, way)
     }
 
     /// Evicting an LLC line under private copies: recall/invalidate them
@@ -638,10 +871,19 @@ impl CoherenceController {
     pub fn flush_l2(&mut self, cache: CacheId) -> FlushEffects {
         let mut fx = FlushEffects::new();
         let c = cache.0 as usize;
-        let CoherenceController { map, l2s, llcs } = self;
-        l2s[c].drain(|e| {
+        let run = self.walk_mode == WalkMode::Run;
+        let CoherenceController { map, l2s, llcs, .. } = self;
+        l2s[c].drain(|home, e| {
             let p = map.partition_of(e.line).0 as usize;
-            let Some(entry) = llcs[p].lookup(e.line) else {
+            // A drained line is L2-resident by definition, so inclusion
+            // pins it at its memoised LLC home way: the run-level walk
+            // replays the per-line lookup's hit (identical tick + restamp)
+            // with an O(1) verified touch instead of a set scan.
+            let entry = if run && llcs[p].touch_verified(home as usize, e.line) {
+                llcs[p].entry_at_mut(home as usize)
+            } else if let Some(entry) = llcs[p].lookup(e.line) {
+                entry
+            } else {
                 debug_assert!(false, "inclusion violated during flush of {}", e.line);
                 return;
             };

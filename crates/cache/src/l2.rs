@@ -5,13 +5,24 @@ use cohmeleon_sim::stats::Counter;
 
 use crate::geometry::{CacheGeometry, LineAddr};
 use crate::mesi::MesiState;
-use crate::tagarray::{Entry, Probe, TagArray};
+use crate::tagarray::{Entry, Probe, TagArray, TagStats};
 
 /// A private L2 cache: a MESI tag array plus hit/miss counters (the
 /// tile-level performance monitors of Section 4.3).
+///
+/// Each L2 way also memoises the LLC way its line was filled from
+/// (`home_ways`). The inclusive LLC can only move a line by evicting it,
+/// and an LLC eviction back-invalidates every private copy, so while a
+/// line stays L2-resident its LLC way cannot change — the memo lets the
+/// controller replay LLC hits for writebacks and flushes with an O(1)
+/// verified touch instead of an associative probe. A stale memo (e.g. a
+/// line inserted through the raw [`insert`](Self::insert) path) is
+/// harmless: consumers verify the tag at the memoised way before trusting
+/// it.
 #[derive(Debug, Clone)]
 pub struct L2Cache {
     tags: TagArray<MesiState>,
+    home_ways: Vec<u32>,
     hits: Counter,
     misses: Counter,
 }
@@ -19,8 +30,10 @@ pub struct L2Cache {
 impl L2Cache {
     /// An empty L2 with the given geometry.
     pub fn new(geometry: CacheGeometry) -> L2Cache {
+        let slots = geometry.lines() as usize;
         L2Cache {
             tags: TagArray::new(geometry),
+            home_ways: vec![0; slots],
             hits: Counter::new(),
             misses: Counter::new(),
         }
@@ -57,6 +70,27 @@ impl L2Cache {
         self.tags.probe_in_set(set, line)
     }
 
+    /// Single-traversal probe (see [`TagArray::probe_in_set_fused`]).
+    pub fn probe_in_set_fused(&mut self, set: u64, line: LineAddr) -> Probe {
+        self.tags.probe_in_set_fused(set, line)
+    }
+
+    /// Replays a hit at a learned way after an O(1) tag check (see
+    /// [`TagArray::touch_verified`]).
+    pub fn touch_verified(&mut self, way: usize, line: LineAddr) -> bool {
+        self.tags.touch_verified(way, line)
+    }
+
+    /// The resident line at a global way, if any.
+    pub fn line_at(&self, way: usize) -> Option<LineAddr> {
+        self.tags.line_at(way)
+    }
+
+    /// The tag-walk operation counters.
+    pub fn tag_stats(&self) -> &TagStats {
+        self.tags.tag_stats()
+    }
+
     /// The MESI state at a way returned by a hit probe.
     pub fn state_at_mut(&mut self, way: usize) -> &mut MesiState {
         self.tags.state_at_mut(way)
@@ -67,14 +101,27 @@ impl L2Cache {
         *self.tags.state_at(way)
     }
 
-    /// Completes a fill at a miss probe's way, returning the victim.
+    /// Completes a fill at a miss probe's way, returning the way the line
+    /// actually landed in (fills divert to a freed way if a directory
+    /// action invalidated part of the set since the probe) and the victim.
     pub fn insert_at(
         &mut self,
         probe: Probe,
         line: LineAddr,
         state: MesiState,
-    ) -> Option<Entry<MesiState>> {
+    ) -> (usize, Option<Entry<MesiState>>) {
         self.tags.insert_at(probe, line, state)
+    }
+
+    /// Memoises the LLC home way for the line resident at L2 way `way`.
+    pub fn set_home_way(&mut self, way: usize, llc_way: u32) {
+        self.home_ways[way] = llc_way;
+    }
+
+    /// The memoised LLC home way for the line at L2 way `way`. Only
+    /// meaningful while that way is valid; verify before trusting.
+    pub fn home_way(&self, way: usize) -> u32 {
+        self.home_ways[way]
     }
 
     /// Looks up `line` without perturbing LRU or counters.
@@ -92,9 +139,13 @@ impl L2Cache {
         self.tags.invalidate(line).map(|e| e.state)
     }
 
-    /// Drains every line, calling `f` with each entry (flush).
-    pub fn drain<F: FnMut(Entry<MesiState>)>(&mut self, f: F) {
-        self.tags.drain(f);
+    /// Drains every line, calling `f` with each entry's memoised LLC home
+    /// way and the entry itself (flush).
+    pub fn drain<F: FnMut(u32, Entry<MesiState>)>(&mut self, mut f: F) {
+        let L2Cache {
+            tags, home_ways, ..
+        } = self;
+        tags.drain(|way, entry| f(home_ways[way], entry));
     }
 
     /// Iterates resident lines.
@@ -168,7 +219,7 @@ mod tests {
         c.insert(LineAddr(0), MesiState::Modified);
         c.insert(LineAddr(1), MesiState::Shared);
         let mut dirty = 0;
-        c.drain(|e| {
+        c.drain(|_, e| {
             if e.state.is_dirty() {
                 dirty += 1;
             }

@@ -35,7 +35,10 @@ pub mod llc;
 pub mod mesi;
 pub mod tagarray;
 
-pub use controller::{AddressMap, CacheId, CoherenceController};
+pub use controller::{
+    default_walk_mode, set_default_walk_mode, AddressMap, CacheId, CoherenceController, WalkMode,
+};
 pub use effects::{AccessEffects, FlushEffects};
 pub use geometry::{CacheGeometry, LineAddr};
 pub use mesi::MesiState;
+pub use tagarray::{StripeKind, TagStats};

@@ -9,7 +9,7 @@ use cohmeleon_sim::stats::Counter;
 
 use crate::controller::CacheId;
 use crate::geometry::{CacheGeometry, LineAddr};
-use crate::tagarray::{Entry, Probe, TagArray};
+use crate::tagarray::{Entry, Probe, StripeKind, TagArray, TagStats};
 
 /// A set of private caches sharing a line (bitset over [`CacheId`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -173,18 +173,65 @@ impl LlcPartition {
         self.tags.probe_in_set(set, line)
     }
 
+    /// Single-traversal probe (see [`TagArray::probe_in_set_fused`]).
+    pub fn probe_in_set_fused(&mut self, set: u64, line: LineAddr) -> Probe {
+        self.tags.probe_in_set_fused(set, line)
+    }
+
+    /// Fused probe that also reports the resident way of a second same-set
+    /// line (see [`TagArray::probe_pair_in_set`]).
+    pub fn probe_pair_in_set(
+        &mut self,
+        set: u64,
+        line: LineAddr,
+        extra: LineAddr,
+    ) -> (Probe, Option<usize>) {
+        self.tags.probe_pair_in_set(set, line, extra)
+    }
+
+    /// Replays a hit at a learned way after an O(1) tag check (see
+    /// [`TagArray::touch_verified`]).
+    pub fn touch_verified(&mut self, way: usize, line: LineAddr) -> bool {
+        self.tags.touch_verified(way, line)
+    }
+
+    /// Resolves a same-set stripe of a burst in one traversal (see
+    /// [`TagArray::walk_stripe`]).
+    pub fn walk_stripe<H, M, E>(
+        &mut self,
+        set: u64,
+        lines: &[LineAddr],
+        out: &mut Vec<Probe>,
+        on_hit: H,
+        make: M,
+        on_evict: E,
+    ) -> StripeKind
+    where
+        H: FnMut(usize, &mut LlcEntry),
+        M: FnMut(usize) -> LlcEntry,
+        E: FnMut(usize, Entry<LlcEntry>),
+    {
+        self.tags.walk_stripe(set, lines, out, on_hit, make, on_evict)
+    }
+
+    /// The tag-walk operation counters.
+    pub fn tag_stats(&self) -> &TagStats {
+        self.tags.tag_stats()
+    }
+
     /// The directory entry at a way returned by a hit probe.
     pub fn entry_at_mut(&mut self, way: usize) -> &mut LlcEntry {
         self.tags.state_at_mut(way)
     }
 
-    /// Completes a fill at a miss probe's way, returning the victim.
+    /// Completes a fill at a miss probe's way, returning the way the line
+    /// actually landed in and the victim.
     pub fn insert_at(
         &mut self,
         probe: Probe,
         line: LineAddr,
         entry: LlcEntry,
-    ) -> Option<Entry<LlcEntry>> {
+    ) -> (usize, Option<Entry<LlcEntry>>) {
         self.tags.insert_at(probe, line, entry)
     }
 
@@ -204,8 +251,8 @@ impl LlcPartition {
     }
 
     /// Drains every line, calling `f` with each entry (flush).
-    pub fn drain<F: FnMut(Entry<LlcEntry>)>(&mut self, f: F) {
-        self.tags.drain(f);
+    pub fn drain<F: FnMut(Entry<LlcEntry>)>(&mut self, mut f: F) {
+        self.tags.drain(|_, entry| f(entry));
     }
 
     /// Iterates resident lines.
@@ -231,6 +278,16 @@ impl LlcPartition {
     /// Records a miss in the monitors.
     pub fn count_miss(&mut self) {
         self.misses.incr();
+    }
+
+    /// Records `n` hits at once (stripe walks).
+    pub fn count_hits(&mut self, n: u64) {
+        self.hits.add(n);
+    }
+
+    /// Records `n` misses at once (stripe walks).
+    pub fn count_misses(&mut self, n: u64) {
+        self.misses.add(n);
     }
 
     /// Monitor: hits.

@@ -4,16 +4,17 @@
 //! random geometries, priming traffic, modes and burst shapes.
 
 use cohmeleon_cache::{
-    AccessEffects, AddressMap, CacheGeometry, CacheId, CoherenceController, LineAddr,
+    AccessEffects, AddressMap, CacheGeometry, CacheId, CoherenceController, LineAddr, WalkMode,
 };
 use cohmeleon_core::PartitionId;
 use proptest::prelude::*;
 
-/// A random but valid cache geometry: power-of-two sets × small ways.
-fn arb_geometry(max_sets_log2: u32) -> impl Strategy<Value = CacheGeometry> {
-    (1u32..=max_sets_log2, 0usize..3).prop_map(|(sets_log2, way_pick)| {
-        let ways = [1u32, 2, 4][way_pick];
-        let sets = 1u64 << sets_log2;
+/// A random but valid cache geometry: sets × small ways, deliberately
+/// including non-power-of-two set counts (and 3-way associativity) so the
+/// reciprocal set mapping and the stripe walk see awkward shapes.
+fn arb_geometry(max_sets: u64) -> impl Strategy<Value = CacheGeometry> {
+    (2u64..=max_sets, 0usize..4).prop_map(|(sets, way_pick)| {
+        let ways = [1u32, 2, 3, 4][way_pick];
         CacheGeometry::new(sets * u64::from(ways) * 64, ways, 64)
     })
 }
@@ -123,6 +124,61 @@ fn assert_state_eq(
     Ok(())
 }
 
+/// One operation from the full mixed vocabulary — per-line accesses, all
+/// four batched range paths, and L2 flushes (interleaved invalidations).
+#[derive(Debug, Clone, Copy)]
+struct MixedOp {
+    kind: u8,
+    cache: u16,
+    line: u64,
+    count: u64,
+    write: bool,
+}
+
+fn arb_mixed_ops(lines_span: u64) -> impl Strategy<Value = Vec<MixedOp>> {
+    proptest::collection::vec(
+        (0u8..9, 0u16..4, 0u64..lines_span, 1u64..160, any::<bool>()).prop_map(
+            |(kind, cache, line, count, write)| MixedOp {
+                kind,
+                cache,
+                line,
+                count,
+                write,
+            },
+        ),
+        1..24,
+    )
+}
+
+/// Applies one mixed op; returns everything the caller can observe from
+/// it: the access effects plus the L2 range hit count / flush totals.
+fn apply_mixed(
+    c: &mut CoherenceController,
+    op: MixedOp,
+    n_l2s: u16,
+    base: LineAddr,
+) -> (AccessEffects, u64, u64) {
+    let cache = CacheId(op.cache % n_l2s);
+    let line = LineAddr(base.0 + op.line);
+    match op.kind {
+        0 => (c.l2_access(cache, line, op.write), 0, 0),
+        1 => (c.coh_dma_access(line, op.write), 0, 0),
+        2 => (c.llc_coh_dma_access(line, op.write), 0, 0),
+        3 => (c.l2_store_streaming(cache, line), 0, 0),
+        4 => {
+            let (fx, hits) = c.l2_access_range(cache, line, op.count, op.write);
+            (fx, hits, 0)
+        }
+        5 => (c.coh_dma_access_range(line, op.count, op.write), 0, 0),
+        6 => (c.llc_coh_dma_access_range(line, op.count, op.write), 0, 0),
+        7 => (c.l2_store_streaming_range(cache, line, op.count), 0, 0),
+        _ => {
+            let fx = c.flush_l2(cache);
+            (AccessEffects::new(), fx.writebacks, fx.lines())
+        }
+    }
+}
+
 const SPAN: u64 = 256;
 
 proptest! {
@@ -131,8 +187,8 @@ proptest! {
     /// `coh_dma_access_range` ≡ per-line `coh_dma_access`.
     #[test]
     fn coh_dma_range_matches_per_line(
-        l2_geom in arb_geometry(4),
-        llc_geom in arb_geometry(6),
+        l2_geom in arb_geometry(16),
+        llc_geom in arb_geometry(48),
         n_l2s in 1u16..4,
         partitions in 1u16..3,
         prime in arb_prime_ops(SPAN),
@@ -156,8 +212,8 @@ proptest! {
     /// `llc_coh_dma_access_range` ≡ per-line `llc_coh_dma_access`.
     #[test]
     fn llc_coh_dma_range_matches_per_line(
-        l2_geom in arb_geometry(4),
-        llc_geom in arb_geometry(6),
+        l2_geom in arb_geometry(16),
+        llc_geom in arb_geometry(48),
         n_l2s in 1u16..4,
         partitions in 1u16..3,
         prime in arb_prime_ops(SPAN),
@@ -181,8 +237,8 @@ proptest! {
     /// `l2_access_range` ≡ per-line `l2_access`, including the hit count.
     #[test]
     fn l2_access_range_matches_per_line(
-        l2_geom in arb_geometry(4),
-        llc_geom in arb_geometry(6),
+        l2_geom in arb_geometry(16),
+        llc_geom in arb_geometry(48),
         n_l2s in 1u16..4,
         partitions in 1u16..3,
         prime in arb_prime_ops(SPAN),
@@ -214,8 +270,8 @@ proptest! {
     /// `l2_store_streaming_range` ≡ per-line `l2_store_streaming`.
     #[test]
     fn l2_streaming_range_matches_per_line(
-        l2_geom in arb_geometry(4),
-        llc_geom in arb_geometry(6),
+        l2_geom in arb_geometry(16),
+        llc_geom in arb_geometry(48),
         n_l2s in 1u16..4,
         partitions in 1u16..3,
         prime in arb_prime_ops(SPAN),
@@ -237,12 +293,83 @@ proptest! {
         assert_state_eq(&a, &b, base, SPAN + 128)?;
     }
 
+    /// A controller in `Run` walk mode stays observably identical to one
+    /// in `PerLine` mode across random mixed op sequences — per-op access
+    /// effects, hit counts, flush totals, and every probe-visible piece
+    /// of state, including the LRU order as exposed by later evictions.
+    #[test]
+    fn run_walk_matches_per_line_walk(
+        l2_geom in arb_geometry(16),
+        llc_geom in arb_geometry(48),
+        n_l2s in 1u16..4,
+        partitions in 1u16..3,
+        p in 0u16..3,
+        ops in arb_mixed_ops(SPAN),
+    ) {
+        let map = AddressMap::new(partitions);
+        let geoms = vec![l2_geom; n_l2s as usize];
+        let mut a = CoherenceController::new(map, &geoms, llc_geom);
+        let mut b = CoherenceController::new(map, &geoms, llc_geom);
+        a.set_walk_mode(WalkMode::Run);
+        b.set_walk_mode(WalkMode::PerLine);
+        let base = map.region_base(PartitionId(p % partitions));
+        for (i, op) in ops.iter().enumerate() {
+            let fa = apply_mixed(&mut a, *op, n_l2s, base);
+            let fb = apply_mixed(&mut b, *op, n_l2s, base);
+            prop_assert_eq!(fa, fb, "op {}", i);
+        }
+        assert_state_eq(&a, &b, base, SPAN + 192)?;
+    }
+
+    /// Focused wraparound stripes: bursts longer than the LLC set count
+    /// (every set gets a multi-member stripe, wrapping several laps)
+    /// match the per-line reference, with the LRU/dirty evolution pinned
+    /// by follow-up mixed traffic over the same lines.
+    #[test]
+    fn llc_stripe_wraparound_matches_per_line(
+        l2_geom in arb_geometry(8),
+        llc_sets in 2u64..12,
+        way_pick in 0usize..4,
+        n_l2s in 1u16..3,
+        prime in arb_prime_ops(SPAN),
+        offset in 0u64..SPAN,
+        laps in 1u64..4,
+        extra in 1u64..32,
+        write in any::<bool>(),
+        follow in arb_mixed_ops(SPAN),
+    ) {
+        let ways = [1u32, 2, 3, 4][way_pick];
+        let llc_geom = CacheGeometry::new(llc_sets * u64::from(ways) * 64, ways, 64);
+        let map = AddressMap::new(1);
+        let geoms = vec![l2_geom; n_l2s as usize];
+        let mut a = CoherenceController::new(map, &geoms, llc_geom);
+        let mut b = CoherenceController::new(map, &geoms, llc_geom);
+        a.set_walk_mode(WalkMode::Run);
+        b.set_walk_mode(WalkMode::PerLine);
+        let base = map.region_base(PartitionId(0));
+        for op in &prime {
+            apply_prime(&mut a, *op, n_l2s, base);
+            apply_prime(&mut b, *op, n_l2s, base);
+        }
+        let first = LineAddr(base.0 + offset);
+        let count = llc_sets * laps + extra;
+        let fa = a.llc_coh_dma_access_range(first, count, write);
+        let fb = b.llc_coh_dma_access_range(first, count, write);
+        prop_assert_eq!(fa, fb);
+        for (i, op) in follow.iter().enumerate() {
+            let fa = apply_mixed(&mut a, *op, n_l2s, base);
+            let fb = apply_mixed(&mut b, *op, n_l2s, base);
+            prop_assert_eq!(fa, fb, "follow op {}", i);
+        }
+        assert_state_eq(&a, &b, base, SPAN + 192)?;
+    }
+
     /// Flushes drain exactly the resident lines: effects match the dirty /
     /// valid counts observed beforehand, and both structures end empty.
     #[test]
     fn flush_accounts_for_every_resident_line(
-        l2_geom in arb_geometry(4),
-        llc_geom in arb_geometry(6),
+        l2_geom in arb_geometry(16),
+        llc_geom in arb_geometry(48),
         n_l2s in 1u16..4,
         partitions in 1u16..3,
         prime in arb_prime_ops(SPAN),

@@ -95,29 +95,36 @@ fn per_instance_routing_keeps_the_decide_path_allocation_free() {
         router.observe(AccelInstanceId(i), &d, &m);
     }
 
-    let before = allocations();
-    for round in 0..1_000u64 {
-        let i = (round % INSTANCES as u64) as u16;
-        let d = router.decide(&snap, ModeSet::all(), AccelInstanceId(i));
-        router.observe(AccelInstanceId(i), &d, &m);
-    }
-    let dispatch_allocs = allocations() - before;
+    // The allocation counter is process-global, so rare background
+    // allocations (test-harness bookkeeping) can land inside a measured
+    // window and inflate it. Noise only ever *adds* counts and the true
+    // per-window count is deterministic, so the minimum over a few
+    // repeated windows recovers it.
+    let dispatch_allocs = (0..3)
+        .map(|_| {
+            let before = allocations();
+            for round in 0..1_000u64 {
+                let i = (round % INSTANCES as u64) as u16;
+                let d = router.decide(&snap, ModeSet::all(), AccelInstanceId(i));
+                router.observe(AccelInstanceId(i), &d, &m);
+            }
+            allocations() - before
+        })
+        .min()
+        .unwrap();
     assert_eq!(
         dispatch_allocs, 0,
         "PerInstance dispatch allocated {dispatch_allocs} times in 1000 steady-state rounds"
     );
 
     // --- 2. Routing a learning agent adds nothing over the bare agent. ---
-    let agent = |seed| {
+    fn agent(seed: u64) -> CohmeleonPolicy {
         CohmeleonPolicy::new(
             RewardWeights::paper_default(),
             LearningSchedule::paper_default(4),
             seed,
         )
-    };
-    let mut bare = agent(9);
-    let mut routed = PolicyRouter::new(AgentScope::Global, 9, move |_, s| Box::new(agent(s)));
-    routed.bind_topology(&topology);
+    }
 
     let run = |policy: &mut dyn Policy, snap: &SystemSnapshot| {
         // Warm-up: first observes materialise per-accelerator reward
@@ -134,8 +141,20 @@ fn per_instance_routing_keeps_the_decide_path_allocation_free() {
         }
         allocations() - before
     };
-    let bare_allocs = run(&mut bare, &snap);
-    let routed_allocs = run(&mut routed, &snap);
+    // Every repeat starts from freshly-seeded agents and replays the same
+    // measurement sequence, so the true allocation count is identical
+    // across repeats of an arm — the minimum strips the (additive-only)
+    // background noise before the two arms are compared.
+    let bare_allocs = (0..3).map(|_| run(&mut agent(9), &snap)).min().unwrap();
+    let routed_allocs = (0..3)
+        .map(|_| {
+            let mut routed =
+                PolicyRouter::new(AgentScope::Global, 9, |_, s| Box::new(agent(s)));
+            routed.bind_topology(&topology);
+            run(&mut routed, &snap)
+        })
+        .min()
+        .unwrap();
     assert_eq!(
         routed_allocs, bare_allocs,
         "routing added {} allocations over the bare agent",

@@ -141,7 +141,8 @@ impl LeaseTable {
         if self.is_complete() {
             return Grant::Complete;
         }
-        if let Some((start, len)) = carve(&self.unleased, self.chunk) {
+        let chunk = self.effective_chunk(self.unleased.len());
+        if let Some((start, len)) = carve(&self.unleased, chunk) {
             for index in start..start + len {
                 self.unleased.remove(&index);
             }
@@ -160,7 +161,8 @@ impl LeaseTable {
             .map(|l| l.id);
         if let Some(old_id) = overdue {
             let old = self.leases.get_mut(&old_id).expect("lease just found");
-            let (start, len) = carve(&old.outstanding, self.chunk).expect("non-empty outstanding");
+            let chunk = self.chunk.min(old.outstanding.len().div_ceil(TAIL_PARALLELISM)).max(1);
+            let (start, len) = carve(&old.outstanding, chunk).expect("non-empty outstanding");
             old.deadline = now + self.ttl;
             self.speculative += 1;
             return Grant::Lease {
@@ -170,6 +172,16 @@ impl LeaseTable {
             };
         }
         Grant::Wait
+    }
+
+    /// Dynamic chunk sizing: the configured chunk, shrunk as `remaining`
+    /// cells approach the tail so the last stretch of the grid spreads
+    /// across up to [`TAIL_PARALLELISM`] workers instead of riding out in
+    /// one worker's full-size lease. With a large pool this is exactly the
+    /// configured chunk; it only bites once fewer than
+    /// `chunk × TAIL_PARALLELISM` cells remain.
+    fn effective_chunk(&self, remaining: usize) -> usize {
+        self.chunk.min(remaining.div_ceil(TAIL_PARALLELISM)).max(1)
     }
 
     fn insert_lease(&mut self, worker: &str, start: usize, len: usize, now: Instant) -> u64 {
@@ -269,6 +281,11 @@ impl LeaseTable {
     }
 }
 
+/// How many workers the tail of a grid should spread across: grants shrink
+/// once the relevant pool drops below `chunk × TAIL_PARALLELISM` cells
+/// (see [`LeaseTable::grant`]).
+const TAIL_PARALLELISM: usize = 4;
+
 /// Finds the longest contiguous run starting at the set's first element,
 /// capped at `chunk`. Returns `(start, len)`, or `None` if empty.
 fn carve(set: &BTreeSet<usize>, chunk: usize) -> Option<(usize, usize)> {
@@ -295,43 +312,98 @@ mod tests {
 
     #[test]
     fn carves_contiguous_runs_capped_at_chunk() {
-        let mut table = LeaseTable::new([0, 1, 2, 3, 5, 6], 3, TTL);
+        // Pool large enough (≥ chunk × TAIL_PARALLELISM) that the dynamic
+        // tail shrink stays out of the way.
+        let pending = (0..16).filter(|i| *i != 3);
+        let mut table = LeaseTable::new(pending, 3, TTL);
         let now = Instant::now();
         assert_eq!(lease(table.grant("a", now)), (1, 0, 3));
-        // 3 is contiguous but alone (4 is not pending).
-        assert_eq!(lease(table.grant("b", now)), (2, 3, 1));
-        assert_eq!(lease(table.grant("c", now)), (3, 5, 2));
-        assert_eq!(table.grant("d", now), Grant::Wait);
+        // 4 starts a fresh run (3 is not pending).
+        assert_eq!(lease(table.grant("b", now)), (2, 4, 3));
+        assert_eq!(lease(table.grant("c", now)), (3, 7, 3));
+    }
+
+    #[test]
+    fn large_pool_grants_stay_full_size() {
+        let mut table = LeaseTable::new(0..64, 4, TTL);
+        let now = Instant::now();
+        assert_eq!(lease(table.grant("a", now)), (1, 0, 4));
+        assert_eq!(lease(table.grant("b", now)), (2, 4, 4));
+    }
+
+    #[test]
+    fn tail_grants_shrink_to_parallelize() {
+        // 8 cells, chunk 8: one worker would otherwise carry the whole
+        // tail; the dynamic chunk spreads it across several.
+        let mut table = LeaseTable::new(0..8, 8, TTL);
+        let now = Instant::now();
+        assert_eq!(lease(table.grant("a", now)), (1, 0, 2));
+        assert_eq!(lease(table.grant("b", now)), (2, 2, 2));
+        assert_eq!(lease(table.grant("c", now)), (3, 4, 1));
+        assert_eq!(lease(table.grant("d", now)), (4, 5, 1));
+        assert_eq!(lease(table.grant("e", now)), (5, 6, 1));
+        assert_eq!(lease(table.grant("f", now)), (6, 7, 1));
+        assert_eq!(table.grant("g", now), Grant::Wait);
+    }
+
+    #[test]
+    fn speculative_re_lease_also_shrinks_near_the_tail() {
+        let mut table = LeaseTable::new(0..40, 10, TTL);
+        let t0 = Instant::now();
+        // The slow worker takes a full-size lease while the pool is deep.
+        let (slow, start, len) = lease(table.grant("slow", t0));
+        assert_eq!((start, len), (0, 10));
+        // Everything else completes (granted to others and reported).
+        for i in 10..40 {
+            table.complete_cell(i, slow, t0);
+        }
+        // The straggler's 10 outstanding cells are re-leased in tail-sized
+        // pieces so several fast workers can split them.
+        let t1 = t0 + TTL + Duration::from_millis(1);
+        let (twin, start, len) = lease(table.grant("fast", t1));
+        assert_ne!(twin, slow);
+        assert_eq!((start, len), (0, 3));
+        assert_eq!(table.speculative(), 1);
     }
 
     #[test]
     fn completion_drains_leases_and_finishes_the_grid() {
         let mut table = LeaseTable::new([0, 1], 4, TTL);
         let now = Instant::now();
-        let (id, start, len) = lease(table.grant("a", now));
-        assert_eq!((start, len), (0, 2));
-        assert!(table.complete_cell(0, id, now));
+        // Two cells left: the tail shrink hands out single-cell grants.
+        let (a, start, len) = lease(table.grant("a", now));
+        assert_eq!((start, len), (0, 1));
+        let (b, start, len) = lease(table.grant("b", now));
+        assert_eq!((start, len), (1, 1));
+        assert!(table.complete_cell(0, a, now));
         assert!(!table.is_complete());
-        assert!(table.complete_cell(1, id, now));
+        assert!(table.complete_cell(1, b, now));
         assert!(table.is_complete());
         assert_eq!(table.active_leases(), 0);
-        assert_eq!(table.grant("b", now), Grant::Complete);
+        assert_eq!(table.grant("c", now), Grant::Complete);
     }
 
     #[test]
     fn expired_lease_is_speculatively_re_leased() {
-        let mut table = LeaseTable::new([0, 1, 2], 4, TTL);
+        // Deep pool so the slow worker's lease is full-size, then the rest
+        // of the grid completes elsewhere, leaving only its cells.
+        let mut table = LeaseTable::new(0..16, 4, TTL);
         let t0 = Instant::now();
-        let (slow, _, _) = lease(table.grant("slow", t0));
+        let (slow, start, len) = lease(table.grant("slow", t0));
+        assert_eq!((start, len), (0, 4));
+        for i in 4..16 {
+            assert!(table.complete_cell(i, slow, t0));
+        }
 
-        // Before the deadline the cells stay claimed.
+        // Before the deadline the outstanding cells stay claimed.
         assert_eq!(table.grant("fast", t0 + TTL / 2), Grant::Wait);
 
-        // Past it, a twin lease is carved from the same cells.
+        // Past it, a twin lease is carved from the same cells — tail-sized,
+        // so the 4 stragglers can spread across several fast workers.
         let t1 = t0 + TTL + Duration::from_millis(1);
         let (twin, start, len) = lease(table.grant("fast", t1));
         assert_ne!(twin, slow);
-        assert_eq!((start, len), (0, 3));
+        assert_eq!((start, len), (0, 1));
         assert_eq!(table.speculative(), 1);
 
         // The original's deadline was pushed out: no third dispatch yet.
@@ -343,6 +415,7 @@ mod tests {
         assert!(!table.complete_cell(0, slow, t1));
         assert!(table.complete_cell(1, slow, t1));
         assert!(table.complete_cell(2, slow, t1));
+        assert!(table.complete_cell(3, slow, t1));
         assert!(table.is_complete());
     }
 

@@ -163,6 +163,68 @@ fn capped_queen_resumes_to_byte_identical() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// Dynamic chunk sizing over the wire: with a configured chunk far larger
+/// than the grid, the queen's first grant still carves only a tail-sized
+/// piece (the unleased pool spread across `TAIL_PARALLELISM` workers), so
+/// the rest of the grid stays available to other workers.
+#[test]
+fn tail_chunks_shrink_over_loopback() {
+    let grid = grid(); // 6 cells
+    let clean = canonical_jsonl(&grid.collect_records(&Serial));
+    let path = tmp_path("tail-chunk");
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let options = QueenOptions {
+        chunk: Some(64),
+        ..queen_options(2_000)
+    };
+
+    let report = std::thread::scope(|scope| {
+        let queen = scope.spawn(|| run_queen(&grid, listener, &path, &options));
+
+        // A raw-socket observer asks for the first lease.
+        let mut probe = TcpStream::connect(&addr).unwrap();
+        let mut reader = LineReader::new(probe.try_clone().unwrap());
+        let hello = ToQueen::Hello {
+            name: "probe".into(),
+        };
+        probe
+            .write_all(format!("{}\n{}\n", hello.to_line(), ToQueen::Lease.to_line()).as_bytes())
+            .unwrap();
+        let hello_line = reader.read_line().unwrap().unwrap();
+        assert!(matches!(
+            ToWorker::parse(&hello_line).unwrap(),
+            ToWorker::Hello { .. }
+        ));
+        let lease_line = reader.read_line().unwrap().unwrap();
+        let len = match ToWorker::parse(&lease_line).unwrap() {
+            ToWorker::Lease { len, .. } => len,
+            other => panic!("expected a lease, got {other:?}"),
+        };
+        // 6 unleased cells spread over TAIL_PARALLELISM (4) workers, not
+        // the configured 64-cell chunk.
+        assert_eq!(len, 2);
+
+        // Dropping the connection returns the cells; a real worker
+        // finishes the grid.
+        drop(probe);
+        let real = {
+            let addr = addr.clone();
+            let grid = &grid;
+            scope.spawn(move || {
+                run_worker(&addr, resolver(grid), &worker_options("real")).unwrap()
+            })
+        };
+        real.join().unwrap();
+        queen.join().unwrap().unwrap()
+    });
+
+    assert!(report.complete);
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), clean);
+    std::fs::remove_file(&path).unwrap();
+}
+
 /// A raw-socket worker that takes a lease and goes silent: the lease must
 /// expire and be speculatively re-dispatched to a real worker, and the
 /// stalled worker's eventual duplicate records must reconcile cleanly.

@@ -123,6 +123,10 @@ pub struct AppResult {
     pub policy: String,
     /// Per-phase results.
     pub phases: Vec<PhaseResult>,
+    /// Tag-walk operation counters accumulated across the run (summed over
+    /// every L2 and LLC partition). A perf diagnostic, deliberately outside
+    /// [`structural_hash`](Self::structural_hash) and all golden records.
+    pub tag_walk: cohmeleon_cache::TagStats,
 }
 
 impl AppResult {
@@ -233,6 +237,7 @@ pub fn run_app_with_options(
         .map(|info| (info.instance, info.kind))
         .collect();
     policy.bind_topology(&topology);
+    let walk_before = soc.caches().tag_stats();
     let mut engine = Engine::new(soc, policy, seed);
     engine.options = options;
     if options.parallel_cell {
@@ -254,10 +259,12 @@ pub fn run_app_with_options(
         .iter()
         .map(|phase| engine.run_phase(phase))
         .collect();
+    let policy_name = engine.policy.name();
     AppResult {
         name: app.name.clone(),
-        policy: engine.policy.name(),
+        policy: policy_name,
         phases,
+        tag_walk: soc.caches().tag_stats().delta_since(&walk_before),
     }
 }
 
